@@ -1,0 +1,144 @@
+(* The benchmark harness.
+
+   Two parts, both keyed to the paper's evaluation artifacts:
+
+   1. Regeneration - every table and figure of the paper is recomputed at
+      full size and printed with paper-vs-measured headline comparisons
+      (the same tables EXPERIMENTS.md quotes).
+
+   2. Micro-benchmarks - one Bechamel [Test.make] per table/figure timing
+      the computational kernel behind that artifact (trace analysis for the
+      characterization figures, a scaled-down simulation for the
+      performance figures), so regressions in simulator speed show up per
+      experiment. *)
+
+module Experiments = Hc_core.Experiments
+module Runs = Hc_core.Runs
+module Profile = Hc_trace.Profile
+module Generator = Hc_trace.Generator
+module Analysis = Hc_trace.Analysis
+module Workloads = Hc_trace.Workloads
+module Config = Hc_sim.Config
+module Pipeline = Hc_sim.Pipeline
+module Width_predictor = Hc_predictors.Width_predictor
+
+(* ----- part 1: regenerate every table and figure ----- *)
+
+let regenerate () =
+  print_endline "==================================================================";
+  print_endline " Reproduction of every table and figure (paper vs measured)";
+  print_endline "==================================================================";
+  let runs = Runs.create ~length:30_000 () in
+  List.iter
+    (fun (e : Experiments.t) ->
+      Printf.printf "\n=== %s: %s ===\npaper: %s\n\n" e.Experiments.id
+        e.Experiments.title e.Experiments.paper_claim;
+      let text, headlines = e.Experiments.run runs in
+      print_endline text;
+      List.iter
+        (fun (h : Experiments.headline) ->
+          Printf.printf "  %-55s paper %8.2f | measured %8.2f\n"
+            h.Experiments.label h.Experiments.paper h.Experiments.measured)
+        headlines)
+    Experiments.all
+
+(* ----- part 2: bechamel micro-benchmarks ----- *)
+
+let bench_trace =
+  lazy (Generator.generate_sliced ~length:5_000 (Profile.find_spec_int "gcc"))
+
+let sim_kernel scheme =
+  let trace =
+    lazy (Generator.generate_sliced ~length:2_000 (Profile.find_spec_int "gcc"))
+  in
+  fun () ->
+    let cfg = Config.with_scheme Config.default (Config.find_scheme scheme) in
+    ignore
+      (Pipeline.run ~cfg ~decide:Hc_steering.Policy.decide ~scheme_name:scheme
+         (Lazy.force trace))
+
+let predictor_kernel () =
+  let t = Lazy.force bench_trace in
+  let pred = Width_predictor.create () in
+  Hc_trace.Trace.iter
+    (fun u ->
+      ignore (Width_predictor.predict pred u.Hc_isa.Uop.pc);
+      Width_predictor.update pred u.Hc_isa.Uop.pc
+        ~narrow:(Hc_isa.Width.is_narrow u.Hc_isa.Uop.result))
+    t
+
+let tests =
+  let open Bechamel in
+  let stage name f = Test.make ~name (Staged.stage f) in
+  [
+    stage "tab1:machine-instantiation" (fun () ->
+        match Config.validate Config.default with
+        | Ok () -> ()
+        | Error msg -> failwith msg);
+    stage "fig1:narrow-dependence-scan" (fun () ->
+        ignore (Analysis.narrow_dependence_pct (Lazy.force bench_trace)));
+    stage "opmix:operand-width-scan" (fun () ->
+        ignore (Analysis.operand_mix (Lazy.force bench_trace)));
+    stage "fig5:width-predictor-throughput" predictor_kernel;
+    stage "fig6:sim-8_8_8" (sim_kernel "8_8_8");
+    stage "fig7:sim-baseline" (sim_kernel "baseline");
+    stage "fig8:sim-BR" (sim_kernel "+BR");
+    stage "fig9:sim-LR" (sim_kernel "+LR");
+    stage "fig11:carry-locality-scan" (fun () ->
+        ignore (Analysis.carry_not_propagated_pct (Lazy.force bench_trace) ~arith:true);
+        ignore (Analysis.carry_not_propagated_pct (Lazy.force bench_trace) ~arith:false));
+    stage "fig12:sim-CR" (sim_kernel "+CR");
+    stage "fig13:distance-scan" (fun () ->
+        ignore (Analysis.mean_distance (Lazy.force bench_trace)));
+    stage "cp:sim-CP" (sim_kernel "+CP");
+    stage "ir:sim-IR" (sim_kernel "+IR");
+    stage "tab2:suite-derivation" (fun () -> ignore (Workloads.suite ()));
+    stage "fig14:one-app-end-to-end" (fun () ->
+        let p = List.hd (Workloads.category_apps Profile.Multimedia) in
+        let tr = Generator.generate_sliced ~length:1_000 p in
+        let base =
+          Pipeline.run ~cfg:Config.baseline ~decide:Hc_steering.Policy.decide
+            ~scheme_name:"baseline" tr
+        in
+        let ir =
+          Pipeline.run
+            ~cfg:(Config.with_scheme Config.default (Config.find_scheme "+IR"))
+            ~decide:Hc_steering.Policy.decide ~scheme_name:"+IR" tr
+        in
+        ignore (Hc_sim.Metrics.speedup_pct ~baseline:base ir));
+  ]
+
+let run_bechamel () =
+  let open Bechamel in
+  let open Toolkit in
+  print_endline "\n==================================================================";
+  print_endline " Micro-benchmarks (Bechamel, one per table/figure)";
+  print_endline "==================================================================";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:(Some 500) ()
+  in
+  let test = Test.make_grouped ~name:"helper_cluster" ~fmt:"%s %s" tests in
+  let raw = Benchmark.all cfg instances test in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  let results = Analyze.merge ols instances results in
+  let clock = Hashtbl.find results (Measure.label Instance.monotonic_clock) in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) clock [] in
+  let rows = List.sort (fun (a, _) (b, _) -> String.compare a b) rows in
+  List.iter
+    (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some [ ns ] -> Printf.printf "%-45s %12.1f ns/run\n" name ns
+      | Some _ | None -> Printf.printf "%-45s (no estimate)\n" name)
+    rows
+
+let () =
+  let only_micro = Array.exists (( = ) "--micro") Sys.argv in
+  let only_tables = Array.exists (( = ) "--tables") Sys.argv in
+  if not only_micro then regenerate ();
+  if not only_tables then run_bechamel ()

@@ -1,0 +1,92 @@
+(* Command-line front door to the simulator: run one workload under one
+   steering scheme and print the metrics (optionally with the energy
+   breakdown).
+
+     hc_sim --benchmark gcc --scheme +CR
+     hc_sim --benchmark mcf --scheme baseline --length 100000 --power *)
+
+module Profile = Hc_trace.Profile
+module Generator = Hc_trace.Generator
+module Config = Hc_sim.Config
+module Pipeline = Hc_sim.Pipeline
+module Metrics = Hc_sim.Metrics
+module Model = Hc_power.Model
+
+open Cmdliner
+
+let scheme_names = List.map fst Hc_steering.Policy.stack @ [ "ics05" ]
+
+let run benchmark scheme length power compare_baseline =
+  let profile =
+    try Profile.find_spec_int benchmark
+    with Not_found ->
+      Printf.eprintf "unknown benchmark %S; known: %s\n" benchmark
+        (String.concat ", " Profile.spec_int_names);
+      exit 1
+  in
+  let cfg =
+    if scheme = "ics05" then Config.ics05
+    else
+      match Config.find_scheme scheme with
+      | scheme_cfg -> Config.with_scheme Config.default scheme_cfg
+      | exception Not_found ->
+        Printf.eprintf "unknown scheme %S; known: %s\n" scheme
+          (String.concat ", " scheme_names);
+        exit 1
+  in
+  let trace = Generator.generate_sliced ~length profile in
+  let m =
+    Pipeline.run ~cfg ~decide:Hc_steering.Policy.decide ~scheme_name:scheme trace
+  in
+  Format.printf "%a@." Metrics.pp m;
+  if compare_baseline && scheme <> "baseline" then begin
+    let base =
+      Pipeline.run ~cfg:(Config.with_scheme cfg Config.monolithic)
+        ~decide:Hc_steering.Policy.decide ~scheme_name:"baseline" trace
+    in
+    Format.printf "speedup over baseline: %.2f%%@."
+      (Metrics.speedup_pct ~baseline:base m);
+    Format.printf "energy-delay^2 improvement: %.2f%%@."
+      (Model.ed2_improvement_pct ~narrow_bits:cfg.Config.narrow_bits
+         ~baseline:base m)
+  end;
+  if power then begin
+    let report = Model.estimate ~narrow_bits:cfg.Config.narrow_bits m in
+    Format.printf "@.energy: %.0f units@." report.Model.total;
+    List.iter
+      (fun (name, e) -> Format.printf "  %-20s %12.0f@." name e)
+      report.Model.breakdown
+  end
+
+let cmd =
+  let benchmark =
+    Arg.(
+      value & opt string "gcc"
+      & info [ "b"; "benchmark" ] ~docv:"NAME" ~doc:"SPEC Int 2000 benchmark name.")
+  in
+  let scheme =
+    Arg.(
+      value & opt string "+IR"
+      & info [ "s"; "scheme" ] ~docv:"SCHEME"
+          ~doc:
+            "Steering scheme (baseline, 8_8_8, +BR, +LR, +CR, +CP, +IR, \
+             +IR(nodest), or ics05 for the section-4 comparator).")
+  in
+  let length =
+    Arg.(
+      value & opt int 30_000
+      & info [ "length" ] ~docv:"UOPS" ~doc:"Trace length in uops.")
+  in
+  let power =
+    Arg.(value & flag & info [ "power" ] ~doc:"Print the energy breakdown.")
+  in
+  let compare_baseline =
+    Arg.(
+      value & opt bool true
+      & info [ "compare" ] ~docv:"BOOL" ~doc:"Also run the monolithic baseline.")
+  in
+  let doc = "cycle-level helper-cluster simulator" in
+  Cmd.v (Cmd.info "hc_sim" ~doc)
+    Term.(const run $ benchmark $ scheme $ length $ power $ compare_baseline)
+
+let () = exit (Cmd.eval cmd)

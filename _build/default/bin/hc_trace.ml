@@ -1,0 +1,133 @@
+(* Trace tooling: generate, save, load, inspect.
+
+     hc_trace generate --benchmark gcc --length 10000 --out gcc.trace
+     hc_trace dump --file gcc.trace --head 20
+     hc_trace stats --file gcc.trace
+     hc_trace run --file gcc.trace --scheme +CR
+
+   The text format (see Hc_trace.Trace_io) is the interchange point for
+   running the evaluation on externally captured traces. *)
+
+module Profile = Hc_trace.Profile
+module Generator = Hc_trace.Generator
+module Trace = Hc_trace.Trace
+module Trace_io = Hc_trace.Trace_io
+module Analysis = Hc_trace.Analysis
+module Config = Hc_sim.Config
+module Pipeline = Hc_sim.Pipeline
+module Metrics = Hc_sim.Metrics
+
+open Cmdliner
+
+let benchmark_arg =
+  Arg.(
+    value & opt string "gcc"
+    & info [ "b"; "benchmark" ] ~docv:"NAME" ~doc:"SPEC benchmark personality.")
+
+let length_arg =
+  Arg.(
+    value & opt int 10_000
+    & info [ "length" ] ~docv:"UOPS" ~doc:"Trace length in uops.")
+
+let file_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "f"; "file" ] ~docv:"PATH" ~doc:"Trace file.")
+
+let profile_of name =
+  try Profile.find_spec_int name
+  with Not_found ->
+    Printf.eprintf "unknown benchmark %S\n" name;
+    exit 1
+
+let generate benchmark length out =
+  let trace = Generator.generate_sliced ~length (profile_of benchmark) in
+  Trace_io.save trace out;
+  Printf.printf "wrote %s (%d uops)\n" out (Trace.length trace)
+
+let dump file head =
+  let trace = Trace_io.load file in
+  let n = min head (Trace.length trace) in
+  for i = 0 to n - 1 do
+    Format.printf "%a@." Hc_isa.Uop.pp (Trace.get trace i)
+  done
+
+let stats file =
+  let trace = Trace_io.load file in
+  Format.printf "%a@." Trace.pp_summary trace;
+  let mix = Analysis.operand_mix trace in
+  Printf.printf "narrow-dependent ALU operands: %.1f%%\n"
+    (Analysis.narrow_dependence_pct trace);
+  Printf.printf "operand mix: 1-narrow %.1f%%, 2n-wide %.1f%%, 2n-narrow %.1f%%\n"
+    mix.Analysis.one_narrow mix.Analysis.two_narrow_wide_result
+    mix.Analysis.two_narrow_narrow_result;
+  Printf.printf "carry-local: arith %.1f%%, loads %.1f%%\n"
+    (Analysis.carry_not_propagated_pct trace ~arith:true)
+    (Analysis.carry_not_propagated_pct trace ~arith:false);
+  Printf.printf "mean producer-consumer distance: %.2f uops\n"
+    (Analysis.mean_distance trace)
+
+let run file scheme =
+  let trace = Trace_io.load file in
+  let cfg =
+    if scheme = "ics05" then Config.ics05
+    else
+      match Config.find_scheme scheme with
+      | s -> Config.with_scheme Config.default s
+      | exception Not_found ->
+        Printf.eprintf "unknown scheme %S\n" scheme;
+        exit 1
+  in
+  let base =
+    Pipeline.run ~cfg:Config.baseline ~decide:Hc_steering.Policy.decide
+      ~scheme_name:"baseline" trace
+  in
+  let m =
+    Pipeline.run ~cfg ~decide:Hc_steering.Policy.decide ~scheme_name:scheme trace
+  in
+  Format.printf "%a@." Metrics.pp m;
+  Format.printf "speedup over baseline: %+.2f%%@."
+    (Metrics.speedup_pct ~baseline:base m)
+
+let generate_cmd =
+  let out =
+    Arg.(
+      value & opt string "trace.txt"
+      & info [ "o"; "out" ] ~docv:"PATH" ~doc:"Output path.")
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"generate a synthetic trace and save it")
+    Term.(const generate $ benchmark_arg $ length_arg $ out)
+
+let dump_cmd =
+  let head =
+    Arg.(
+      value & opt int 20
+      & info [ "head" ] ~docv:"N" ~doc:"How many uops to print.")
+  in
+  Cmd.v
+    (Cmd.info "dump" ~doc:"print the first uops of a saved trace")
+    Term.(const dump $ file_arg $ head)
+
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats" ~doc:"workload-characterization statistics of a trace")
+    Term.(const stats $ file_arg)
+
+let run_cmd =
+  let scheme =
+    Arg.(
+      value & opt string "+IR"
+      & info [ "s"; "scheme" ] ~docv:"SCHEME" ~doc:"Steering scheme.")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"simulate a saved trace under a scheme")
+    Term.(const run $ file_arg $ scheme)
+
+let cmd =
+  Cmd.group
+    (Cmd.info "hc_trace" ~doc:"trace generation, inspection and interchange")
+    [ generate_cmd; dump_cmd; stats_cmd; run_cmd ]
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/custom_workload.ml: Hc_sim Hc_steering Hc_trace Printf

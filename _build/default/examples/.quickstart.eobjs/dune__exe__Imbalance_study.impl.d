@@ -1,0 +1,1 @@
+examples/imbalance_study.ml: Hc_sim Hc_stats Hc_steering Hc_trace Lazy List Printf

@@ -1,0 +1,1 @@
+examples/imbalance_study.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Hc_power Hc_sim Hc_steering Hc_trace

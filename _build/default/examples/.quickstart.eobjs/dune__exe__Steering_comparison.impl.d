@@ -1,0 +1,1 @@
+examples/steering_comparison.ml: Array Hc_sim Hc_stats Hc_steering Hc_trace List Printf Sys

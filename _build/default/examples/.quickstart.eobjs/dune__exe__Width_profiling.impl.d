@@ -1,0 +1,1 @@
+examples/width_profiling.ml: Hc_stats Hc_trace List Printf String Sys

@@ -1,0 +1,73 @@
+(* Study the NREADY workload-imbalance metric of section 3.7 across
+   machine shapes and steering schemes.
+
+     dune exec examples/imbalance_study.exe
+
+   The paper's IR argument rests on a persistent wide-to-narrow imbalance
+   (ready instructions stalling in the wide scheduler while the helper has
+   idle slots). This example shows (a) how that imbalance builds up along
+   the steering stack, and (b) how it reacts to the wide scheduler's size
+   and issue width - the machine-shape sensitivity that decides whether
+   instruction splitting can pay. *)
+
+module Profile = Hc_trace.Profile
+module Generator = Hc_trace.Generator
+module Config = Hc_sim.Config
+module Pipeline = Hc_sim.Pipeline
+module Metrics = Hc_sim.Metrics
+module Table = Hc_stats.Table
+module Summary = Hc_stats.Summary
+
+let traces =
+  lazy (List.map (fun p -> Generator.generate_sliced ~length:10_000 p) Profile.spec_int)
+
+let averages cfg scheme_name =
+  let results =
+    List.map
+      (fun tr ->
+        Pipeline.run ~cfg ~decide:Hc_steering.Policy.decide ~scheme_name tr)
+      (Lazy.force traces)
+  in
+  let mean f = Summary.arithmetic_mean (List.map f results) in
+  ( mean Metrics.imbalance_w2n_pct,
+    mean Metrics.imbalance_n2w_pct,
+    mean (fun m -> float_of_int m.Metrics.split_uops) )
+
+let () =
+  print_endline "NREADY imbalance along the steering stack (SPEC averages):\n";
+  let table =
+    Table.create [ "scheme"; "w2n (%)"; "n2w (%)"; "splits/app" ]
+  in
+  List.iter
+    (fun (name, scheme) ->
+      if name <> "baseline" then begin
+        let cfg = Config.with_scheme Config.default scheme in
+        let w2n, n2w, splits = averages cfg name in
+        Table.add_row table
+          [ name; Printf.sprintf "%.1f" w2n; Printf.sprintf "%.1f" n2w;
+            Printf.sprintf "%.0f" splits ]
+      end)
+    Hc_steering.Policy.stack;
+  Table.print table;
+
+  print_endline
+    "\nSensitivity of the pre-IR imbalance to the wide backend's shape (+CP):\n";
+  let table =
+    Table.create [ "machine"; "w2n (%)"; "n2w (%)" ]
+  in
+  let base_cp = Config.with_scheme Config.default (Config.find_scheme "+CP") in
+  List.iter
+    (fun (label, cfg) ->
+      let w2n, n2w, _ = averages cfg "+CP" in
+      Table.add_row table
+        [ label; Printf.sprintf "%.1f" w2n; Printf.sprintf "%.1f" n2w ])
+    [
+      ("Table-1 machine (3-issue, 32-entry IQ)", base_cp);
+      ("2-issue wide backend", { base_cp with Config.issue_width = 2 });
+      ("16-entry wide scheduler", { base_cp with Config.iq_size = 16 });
+      ("4-issue wide backend", { base_cp with Config.issue_width = 4 });
+    ];
+  Table.print table;
+  print_endline
+    "\nThe tighter the wide backend, the larger the wide-to-narrow imbalance\n\
+     - and the more instruction splitting (IR) has to work with."

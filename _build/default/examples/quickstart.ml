@@ -1,0 +1,42 @@
+(* Quickstart: simulate one benchmark with and without the helper cluster.
+
+     dune exec examples/quickstart.exe
+
+   This is the smallest end-to-end use of the library: pick a workload
+   profile, expand it into a trace, run the monolithic baseline and the
+   full helper-cluster configuration, and compare. *)
+
+module Profile = Hc_trace.Profile
+module Generator = Hc_trace.Generator
+module Config = Hc_sim.Config
+module Pipeline = Hc_sim.Pipeline
+module Metrics = Hc_sim.Metrics
+module Model = Hc_power.Model
+
+let () =
+  (* 1. a workload: the gcc personality from SPEC Int 2000, expanded into
+     30k uops with the paper's warm-up slicing *)
+  let profile = Profile.find_spec_int "gcc" in
+  let trace = Generator.generate_sliced ~length:30_000 profile in
+  Format.printf "workload: %a@.@." Hc_trace.Trace.pp_summary trace;
+
+  (* 2. the monolithic 32-bit baseline (Table 1) *)
+  let baseline =
+    Pipeline.run ~cfg:Config.baseline ~decide:Hc_steering.Policy.decide
+      ~scheme_name:"baseline" trace
+  in
+
+  (* 3. the same machine plus the 8-bit helper cluster, full technique
+     stack (8_8_8 + BR + LR + CR + CP + IR) *)
+  let helper =
+    Pipeline.run
+      ~cfg:(Config.with_scheme Config.default (Config.find_scheme "+IR"))
+      ~decide:Hc_steering.Policy.decide ~scheme_name:"+IR" trace
+  in
+
+  Format.printf "baseline: %a@.@." Metrics.pp baseline;
+  Format.printf "helper:   %a@.@." Metrics.pp helper;
+  Format.printf "speedup:            %+.2f%%@."
+    (Metrics.speedup_pct ~baseline helper);
+  Format.printf "energy-delay^2:     %+.2f%% vs baseline@."
+    (Model.ed2_improvement_pct ~baseline helper)

@@ -1,0 +1,54 @@
+(* Walk the paper's whole steering-policy stack over the SPEC Int suite and
+   print the incremental picture: speedup, steered fraction, copies, fatal
+   mispredictions per scheme.
+
+     dune exec examples/steering_comparison.exe [length]
+
+   This is the paper's section 3 in one table: each row adds one technique
+   on top of everything before it. *)
+
+module Profile = Hc_trace.Profile
+module Generator = Hc_trace.Generator
+module Config = Hc_sim.Config
+module Pipeline = Hc_sim.Pipeline
+module Metrics = Hc_sim.Metrics
+module Table = Hc_stats.Table
+module Summary = Hc_stats.Summary
+
+let () =
+  let length =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 15_000
+  in
+  let traces =
+    List.map (fun p -> Generator.generate_sliced ~length p) Profile.spec_int
+  in
+  let run scheme trace =
+    let cfg = Config.with_scheme Config.default (Config.find_scheme scheme) in
+    Pipeline.run ~cfg ~decide:Hc_steering.Policy.decide ~scheme_name:scheme trace
+  in
+  let baselines = List.map (run "baseline") traces in
+  let table =
+    Table.create
+      [ "scheme"; "speedup (%)"; "steered (%)"; "copies (%)"; "fatal (%)" ]
+  in
+  List.iter
+    (fun (scheme, _) ->
+      if scheme <> "baseline" then begin
+        let results = List.map (run scheme) traces in
+        let mean f = Summary.arithmetic_mean (List.map f results) in
+        let speed =
+          Summary.arithmetic_mean
+            (List.map2 (fun b m -> Metrics.speedup_pct ~baseline:b m) baselines
+               results)
+        in
+        Table.add_row table
+          [ scheme;
+            Printf.sprintf "%+.2f" speed;
+            Printf.sprintf "%.1f" (mean Metrics.steered_pct);
+            Printf.sprintf "%.1f" (mean Metrics.copy_pct);
+            Printf.sprintf "%.2f" (mean Metrics.wpred_fatal_pct) ]
+      end)
+    Hc_steering.Policy.stack;
+  Printf.printf "SPEC Int 2000, %d uops per benchmark, averages over 12 apps\n\n"
+    length;
+  Table.print table

@@ -1,0 +1,52 @@
+(* Width-profile a workload without running the simulator.
+
+   Reproduces the paper's workload-characterization artifacts on any
+   profile: Fig 1 (narrow data-width dependence of register operands), the
+   §1 operand-width mix, Fig 11 (carry-not-propagated potential) and Fig 13
+   (producer-consumer distance). Run with:
+
+     dune exec examples/width_profiling.exe [benchmark]
+
+   where [benchmark] is a SPEC Int 2000 name (default: all twelve). *)
+
+module Profile = Hc_trace.Profile
+module Generator = Hc_trace.Generator
+module Analysis = Hc_trace.Analysis
+module Table = Hc_stats.Table
+
+let profile_one table p =
+  let trace = Generator.generate_sliced ~length:30_000 p in
+  let mix = Analysis.operand_mix trace in
+  Table.add_row table
+    [
+      p.Profile.name;
+      Printf.sprintf "%.1f" (Analysis.narrow_dependence_pct trace);
+      Printf.sprintf "%.1f" mix.Analysis.one_narrow;
+      Printf.sprintf "%.1f" mix.Analysis.two_narrow_wide_result;
+      Printf.sprintf "%.1f" mix.Analysis.two_narrow_narrow_result;
+      Printf.sprintf "%.1f" (Analysis.carry_not_propagated_pct trace ~arith:true);
+      Printf.sprintf "%.1f" (Analysis.carry_not_propagated_pct trace ~arith:false);
+      Printf.sprintf "%.2f" (Analysis.mean_distance trace);
+    ]
+
+let () =
+  let requested =
+    match Sys.argv with
+    | [| _ |] -> Profile.spec_int
+    | [| _; name |] -> (
+      try [ Profile.find_spec_int name ]
+      with Not_found ->
+        Printf.eprintf "unknown benchmark %S; known: %s\n" name
+          (String.concat ", " Profile.spec_int_names);
+        exit 1)
+    | _ ->
+      Printf.eprintf "usage: width_profiling [benchmark]\n";
+      exit 1
+  in
+  let table =
+    Table.create
+      [ "benchmark"; "narrow-dep%"; "1-narrow%"; "2n-wide%"; "2n-narrow%";
+        "carry-local arith%"; "carry-local load%"; "dep-dist" ]
+  in
+  List.iter (profile_one table) requested;
+  Table.print table

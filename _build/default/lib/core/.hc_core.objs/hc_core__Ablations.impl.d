@@ -1,0 +1,1 @@
+lib/core/ablations.ml: Hc_isa Hc_sim Hc_stats Hc_steering Hc_trace List Printf

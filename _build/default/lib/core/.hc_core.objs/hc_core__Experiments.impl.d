@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Float Hc_power Hc_sim Hc_stats Hc_steering Hc_trace List Printf Runs

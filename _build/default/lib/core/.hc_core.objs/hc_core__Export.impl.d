@@ -1,0 +1,1 @@
+lib/core/export.ml: Experiments Filename Fun Hc_sim Hc_stats List Printf Runs String Sys

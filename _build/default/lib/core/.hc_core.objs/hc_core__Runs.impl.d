@@ -1,0 +1,1 @@
+lib/core/runs.ml: Hashtbl Hc_sim Hc_steering Hc_trace

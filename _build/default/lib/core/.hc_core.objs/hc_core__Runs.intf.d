@@ -1,0 +1,1 @@
+lib/core/runs.mli: Hc_sim Hc_trace

@@ -1,0 +1,33 @@
+(** Ablations of the design decisions DESIGN.md calls out.
+
+    Each ablation perturbs exactly one mechanism and reports the average
+    SPEC Int speedup of the full technique stack over the monolithic
+    baseline, so the contribution of that mechanism is isolated. These go
+    beyond the paper's own evaluation; the helper-width sweep realizes the
+    wider-helper extension its conclusion proposes. *)
+
+type row = {
+  variant : string;  (** e.g. "width=16" *)
+  speedup_pct : float;  (** avg SPEC speedup of +IR over baseline *)
+  steered_pct : float;
+  copy_pct : float;
+  fatal_pct : float;
+}
+
+type t = {
+  id : string;
+  title : string;
+  what : string;  (** what is being isolated *)
+  run : length:int -> row list;
+}
+
+val all : t list
+(** helper-width sweep, clock-ratio, confidence gate, oracle width
+    knowledge, copy latency, flush penalty, structural substrates,
+    register-file pressure. *)
+
+val find : string -> t
+(** @raise Not_found for an unknown id. *)
+
+val render : row list -> string
+(** Aligned table of the rows. *)

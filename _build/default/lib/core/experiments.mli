@@ -1,0 +1,66 @@
+(** One reproduction per table/figure of the paper's evaluation.
+
+    Every experiment renders the same rows/series the paper reports and is
+    also exposed as structured data for the test suite. Aggregate numbers
+    (averages, the claims quoted in the paper's prose) come back in
+    [headline] records so EXPERIMENTS.md can quote paper-vs-measured pairs
+    mechanically. *)
+
+type headline = {
+  label : string;  (** what the number is, e.g. "avg speedup (%)" *)
+  paper : float;  (** the value the paper reports *)
+  measured : float;  (** what this reproduction measures *)
+}
+
+type t = {
+  id : string;  (** "fig6", "tab2", … *)
+  title : string;
+  paper_claim : string;  (** the sentence/number the paper states *)
+  run : Runs.t -> string * headline list;
+      (** render the full table and return the headline comparisons *)
+}
+
+val all : t list
+(** Every experiment, in paper order: fig1, opmix, fig5, fig6, fig7, fig8,
+    fig9, fig11, fig12, fig13, cp, ir, related (the §4 comparator), tab2,
+    fig14. *)
+
+val find : string -> t
+(** @raise Not_found for an unknown id. *)
+
+(* Structured accessors used by the integration tests. *)
+
+val fig1_rows : Runs.t -> (string * float) list
+(** benchmark → %% of ALU register operands that are narrow-dependent. *)
+
+val fig5_rows : Runs.t -> (string * float * float * float) list
+(** benchmark → (correct, fatal, non-fatal) percentages under 8_8_8. *)
+
+val fig6_rows : Runs.t -> (string * float) list
+(** benchmark → 8_8_8 speedup %% over baseline. *)
+
+val fig7_rows : Runs.t -> (string * float * float) list
+(** benchmark → (steered %%, copies %%) under 8_8_8. *)
+
+val copies_by_scheme : Runs.t -> string -> (string * float) list
+(** benchmark → copy %% under the given scheme (Figs 8 and 9). *)
+
+val fig11_rows : Runs.t -> (string * float * float) list
+(** benchmark → (arith %%, load %%) carry-not-propagated potential. *)
+
+val fig12_rows : Runs.t -> (string * float * float) list
+(** benchmark → (8_8_8 speedup, +CR-stack speedup). *)
+
+val fig13_rows : Runs.t -> (string * float) list
+(** benchmark → mean producer–consumer distance. *)
+
+val fig14_category_rows :
+  ?apps_per_category:int -> ?length:int -> unit -> (string * float) list
+(** category → average +IR speedup %% over baseline, on the Table-2 suite
+    (optionally subsampled to [apps_per_category] apps per category for
+    quick runs). *)
+
+val fig14_curve :
+  ?apps_per_category:int -> ?length:int -> unit -> float list
+(** The Fig 14 S-curve: per-app speedup factors (baseline = 1.0), sorted
+    ascending, over the same suite. *)

@@ -1,0 +1,44 @@
+module Profile = Hc_trace.Profile
+module Generator = Hc_trace.Generator
+module Trace = Hc_trace.Trace
+module Config = Hc_sim.Config
+module Pipeline = Hc_sim.Pipeline
+module Metrics = Hc_sim.Metrics
+
+type t = {
+  len : int;
+  traces : (string, Trace.t) Hashtbl.t;
+  runs : (string * string, Metrics.t) Hashtbl.t;
+}
+
+let create ?(length = 30_000) () =
+  { len = length; traces = Hashtbl.create 32; runs = Hashtbl.create 64 }
+
+let length t = t.len
+
+let trace t (p : Profile.t) =
+  match Hashtbl.find_opt t.traces p.Profile.name with
+  | Some tr -> tr
+  | None ->
+    let tr = Generator.generate_sliced ~length:t.len p in
+    Hashtbl.add t.traces p.Profile.name tr;
+    tr
+
+let metrics t ~scheme (p : Profile.t) =
+  let key = (scheme, p.Profile.name) in
+  match Hashtbl.find_opt t.runs key with
+  | Some m -> m
+  | None ->
+    let cfg = Config.with_scheme Config.default (Config.find_scheme scheme) in
+    let m =
+      Pipeline.run ~cfg ~decide:Hc_steering.Policy.decide ~scheme_name:scheme
+        (trace t p)
+    in
+    Hashtbl.add t.runs key m;
+    m
+
+let speedup_pct t ~scheme p =
+  let baseline = metrics t ~scheme:"baseline" p in
+  Metrics.speedup_pct ~baseline (metrics t ~scheme p)
+
+let spec_profiles = Profile.spec_int

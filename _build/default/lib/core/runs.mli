@@ -1,0 +1,29 @@
+(** Simulation-run cache shared by the experiment suite.
+
+    Experiments reuse each other's runs (Fig 6 and Fig 7 both need the
+    8_8_8 runs; Fig 8 adds +BR; …), so traces and finished metrics are
+    generated once per (benchmark, scheme) and memoized for the process
+    lifetime. Everything is deterministic: same [length] in, same numbers
+    out. *)
+
+type t
+
+val create : ?length:int -> unit -> t
+(** [length] is the per-benchmark trace length (default [30_000] uops,
+    generated with the paper's slice-skipping methodology). *)
+
+val length : t -> int
+
+val trace : t -> Hc_trace.Profile.t -> Hc_trace.Trace.t
+(** Memoized sliced trace for a profile (keyed by profile name). *)
+
+val metrics : t -> scheme:string -> Hc_trace.Profile.t -> Hc_sim.Metrics.t
+(** Memoized simulation of a profile under a named scheme (names from
+    {!Hc_steering.Policy.stack}: ["baseline"], ["8_8_8"], ["+BR"], …).
+    @raise Not_found for an unknown scheme name. *)
+
+val speedup_pct : t -> scheme:string -> Hc_trace.Profile.t -> float
+(** Performance increase of [scheme] over ["baseline"] for one profile. *)
+
+val spec_profiles : Hc_trace.Profile.t list
+(** The 12 SPEC Int 2000 profiles, in paper order. *)

@@ -1,0 +1,1 @@
+lib/isa/semantics.ml: List Opcode Value

@@ -1,0 +1,1 @@
+lib/isa/uop.ml: Format List Opcode Option Reg Semantics Value Width

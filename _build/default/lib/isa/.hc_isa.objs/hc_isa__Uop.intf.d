@@ -1,0 +1,1 @@
+lib/isa/uop.mli: Format Opcode Reg Value Width

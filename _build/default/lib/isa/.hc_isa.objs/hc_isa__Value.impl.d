@@ -1,0 +1,1 @@
+lib/isa/value.ml: Format Printf

@@ -1,0 +1,1 @@
+lib/isa/width.ml: Detector Format List Value

@@ -1,0 +1,21 @@
+(* The loops mirror the dynamic-logic pull-down chains of Fig 3: each bit
+   above the anchor can discharge the precharged node, so the output is the
+   AND of per-bit conditions. *)
+
+let zeros_above k v =
+  assert (k >= 0 && k <= 32);
+  let rec check i = i > 31 || ((v lsr i) land 1 = 0 && check (i + 1)) in
+  check k
+
+let ones_above k v =
+  assert (k >= 0 && k <= 32);
+  let rec check i = i > 31 || ((v lsr i) land 1 = 1 && check (i + 1)) in
+  check k
+
+let narrow8 v = zeros_above 8 v || ones_above 8 v
+
+let narrow ~bits v =
+  if bits < 1 || bits > 32 then invalid_arg "Detector.narrow: bits out of [1,32]";
+  if bits = 32 then true else zeros_above bits v || ones_above bits v
+
+let narrow8_unsigned v = zeros_above 8 v

@@ -1,0 +1,59 @@
+type t =
+  | Eax | Ecx | Edx | Ebx | Esp | Ebp | Esi | Edi
+  | Eflags
+  | Eip
+  | Tmp of int
+
+let tmp_count = 8
+
+let count = 10 + tmp_count
+
+let to_index = function
+  | Eax -> 0
+  | Ecx -> 1
+  | Edx -> 2
+  | Ebx -> 3
+  | Esp -> 4
+  | Ebp -> 5
+  | Esi -> 6
+  | Edi -> 7
+  | Eflags -> 8
+  | Eip -> 9
+  | Tmp i ->
+    assert (i >= 0 && i < tmp_count);
+    10 + i
+
+let of_index = function
+  | 0 -> Eax
+  | 1 -> Ecx
+  | 2 -> Edx
+  | 3 -> Ebx
+  | 4 -> Esp
+  | 5 -> Ebp
+  | 6 -> Esi
+  | 7 -> Edi
+  | 8 -> Eflags
+  | 9 -> Eip
+  | i when i >= 10 && i < 10 + tmp_count -> Tmp (i - 10)
+  | i -> invalid_arg (Printf.sprintf "Reg.of_index: %d" i)
+
+let equal a b = to_index a = to_index b
+
+let compare a b = Int.compare (to_index a) (to_index b)
+
+let to_string = function
+  | Eax -> "eax"
+  | Ecx -> "ecx"
+  | Edx -> "edx"
+  | Ebx -> "ebx"
+  | Esp -> "esp"
+  | Ebp -> "ebp"
+  | Esi -> "esi"
+  | Edi -> "edi"
+  | Eflags -> "eflags"
+  | Eip -> "eip"
+  | Tmp i -> Printf.sprintf "tmp%d" i
+
+let pp ppf r = Format.pp_print_string ppf (to_string r)
+
+let gprs = [ Eax; Ecx; Edx; Ebx; Esp; Ebp; Esi; Edi ]

@@ -1,0 +1,33 @@
+(** Architectural registers of the IA-32-like uop machine.
+
+    The trace generator emits uops over the eight IA-32 general-purpose
+    registers, the flags register (written by arithmetic uops, read by
+    conditional branches — the dependence the BR policy exploits), the
+    instruction pointer, and a pool of internal temporaries used by cracked
+    uops and by the IR splitter's byte lanes. *)
+
+type t =
+  | Eax | Ecx | Edx | Ebx | Esp | Ebp | Esi | Edi
+  | Eflags
+  | Eip
+  | Tmp of int  (** internal temporary; index in [0, tmp_count-1] *)
+
+val tmp_count : int
+(** Number of internal temporaries ([Tmp] indices range below this). *)
+
+val count : int
+(** Total number of architectural registers, i.e. the rename-table size. *)
+
+val to_index : t -> int
+(** Dense index in [0, count-1], suitable for array-backed rename tables. *)
+
+val of_index : int -> t
+(** Inverse of {!to_index}. @raise Invalid_argument if out of range. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val gprs : t list
+(** The eight general-purpose registers, in encoding order. *)

@@ -1,0 +1,22 @@
+(* Concrete evaluation of uop opcodes over 32-bit values. The trace
+   generator uses this to keep the value flow of a synthetic trace
+   self-consistent, so that width detection, carry propagation and byte
+   splitting observe genuine arithmetic rather than sampled labels. *)
+
+let eval op (vals : Value.t list) : Value.t option =
+  let v i = List.nth vals i in
+  let binary f = match vals with _ :: _ :: _ -> Some (f (v 0) (v 1)) | _ -> None in
+  let unary f = match vals with _ :: _ -> Some (f (v 0)) | [] -> None in
+  match (op : Opcode.t) with
+  | Add | Lea -> binary Value.add
+  | Sub | Cmp -> binary Value.sub
+  | And -> binary (fun a b -> a land b)
+  | Or -> binary (fun a b -> a lor b)
+  | Xor -> binary (fun a b -> Value.mask32 (a lxor b))
+  | Shl -> binary (fun a b -> Value.mask32 (a lsl (b land 31)))
+  | Shr -> binary (fun a b -> a lsr (b land 31))
+  | Mov | Copy -> unary (fun a -> a)
+  | Mul -> binary (fun a b -> Value.mask32 (a * b))
+  | Div -> binary (fun a b -> if b = 0 then 0 else a / b)
+  | Load | Store | Branch_cond | Branch_uncond | Fp_add | Fp_mul | Fp_div | Nop ->
+    None

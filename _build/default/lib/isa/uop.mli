@@ -1,0 +1,95 @@
+(** Dynamic uops — the unit the frontend steers and the backends execute.
+
+    A [Uop.t] is one dynamic instance from a trace. Besides the static
+    fields (pc, opcode, register operands) it carries the {e ground truth}
+    of the traced execution: concrete source values, the concrete result,
+    the memory address and the branch direction. The simulator's predictors
+    see none of this directly — they are trained at writeback, exactly like
+    the hardware tables of the paper — but the execution model uses it to
+    detect fatal width mispredictions and carry propagation. *)
+
+type operand =
+  | Reg of Reg.t
+  | Imm of Value.t  (** immediate; its width is architecturally known *)
+
+type t = {
+  id : int;  (** dynamic sequence number, dense from 0 within a trace *)
+  pc : Value.t;  (** synthetic PC; indexes the width/CP predictors *)
+  op : Opcode.t;
+  srcs : operand list;
+  dst : Reg.t option;
+  src_vals : Value.t list;  (** concrete source values, parallel to [srcs] *)
+  result : Value.t;  (** concrete result; [0] when the uop produces none *)
+  mem_addr : Value.t;  (** effective address for loads/stores, else [0] *)
+  taken : bool;  (** branch direction, [false] for non-branches *)
+  branch_mispredicted : bool;
+      (** did the frontend branch predictor miss this dynamic branch —
+          sampled by the trace generator from the profile's rate *)
+  dl0_miss : bool;
+      (** memory ground truth: this access misses the level-1 data cache.
+          Carried in the trace so every simulator configuration sees the
+          same memory behaviour. *)
+  ul1_miss : bool;  (** and also misses the level-2 cache *)
+}
+
+val make :
+  id:int ->
+  pc:Value.t ->
+  op:Opcode.t ->
+  srcs:operand list ->
+  dst:Reg.t option ->
+  src_vals:Value.t list ->
+  ?result:Value.t ->
+  ?mem_addr:Value.t ->
+  ?taken:bool ->
+  ?branch_mispredicted:bool ->
+  ?dl0_miss:bool ->
+  ?ul1_miss:bool ->
+  unit ->
+  t
+(** Smart constructor. When [result] is omitted it is computed with
+    {!Semantics.eval} where possible (pure ALU ops), else [0].
+    @raise Invalid_argument if [src_vals] and [srcs] lengths differ. *)
+
+val has_dest : t -> bool
+
+val writes_flags : t -> bool
+val reads_flags : t -> bool
+
+val result_width : t -> Width.t
+(** Width of the ground-truth result value. *)
+
+val src_widths : t -> Width.t list
+(** Widths of the concrete source values. *)
+
+val all_srcs_narrow : t -> bool
+(** Ground truth for the 8-8-8 condition on the source side. *)
+
+val is_888_bits : bits:int -> t -> bool
+(** {!is_888} against an arbitrary helper datapath width. *)
+
+val is_888 : t -> bool
+(** Ground truth 8-8-8 eligibility: every source value narrow and, when the
+    uop produces anything observable (a destination register or the flags),
+    a narrow result too. *)
+
+val is_8_32_32 : t -> bool
+(** Ground truth CR-shape: two sources, exactly one wide, with a wide
+    result (the 8-32-32 pattern of §3.5). For memory uops the "result" is
+    the effective address — the AGU output of Fig 10 — not the loaded
+    value. *)
+
+val is_8_32_32_bits : bits:int -> t -> bool
+(** {!is_8_32_32} against an arbitrary helper width. *)
+
+val carry_not_propagated_bits : bits:int -> t -> bool
+(** {!carry_not_propagated} against an arbitrary helper width. *)
+
+val carry_not_propagated : t -> bool
+(** For an {!is_8_32_32} additive uop: did the traced execution leave the
+    upper 24 bits of the wide source unchanged (Fig 10)? [false] when the
+    shape or opcode does not apply. *)
+
+val pp : Format.formatter -> t -> unit
+
+val pp_operand : Format.formatter -> operand -> unit

@@ -1,0 +1,31 @@
+type t = int
+
+let mask32 x = x land 0xFFFF_FFFF
+
+let of_signed x = mask32 x
+
+let to_signed v = if v land 0x8000_0000 <> 0 then v - 0x1_0000_0000 else v
+
+let byte i v =
+  assert (i >= 0 && i <= 3);
+  (v lsr (8 * i)) land 0xFF
+
+let of_bytes b0 b1 b2 b3 =
+  (b0 land 0xFF)
+  lor ((b1 land 0xFF) lsl 8)
+  lor ((b2 land 0xFF) lsl 16)
+  lor ((b3 land 0xFF) lsl 24)
+
+let add a b = mask32 (a + b)
+
+let sub a b = mask32 (a - b)
+
+let carry_out_low8 a b = (a land 0xFF) + (b land 0xFF) > 0xFF
+
+let upper24_equal a b = a lsr 8 = b lsr 8
+
+let carry_propagates base offset = not (upper24_equal (add base offset) base)
+
+let to_hex v = Printf.sprintf "0x%08X" v
+
+let pp ppf v = Format.pp_print_string ppf (to_hex v)

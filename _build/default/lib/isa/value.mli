@@ -1,0 +1,58 @@
+(** 32-bit machine values.
+
+    The simulator operates on concrete 32-bit values carried by the trace.
+    Values are represented as OCaml [int]s in the range [0, 2{^32}-1] (the
+    unsigned bit pattern); helpers convert to and from the signed view.
+    Keeping concrete values around is what lets the width predictors, the
+    carry-propagation test of the CR policy and the instruction-splitting
+    machinery of the IR policy operate on ground truth, exactly as the
+    leading zero/one detectors of the hardware would. *)
+
+type t = int
+(** A 32-bit value stored as its unsigned bit pattern. Invariant:
+    [0 <= v <= 0xFFFF_FFFF]. *)
+
+val mask32 : int -> t
+(** [mask32 x] truncates [x] to its low 32 bits. *)
+
+val of_signed : int -> t
+(** [of_signed x] is the two's-complement 32-bit pattern of [x]. *)
+
+val to_signed : t -> int
+(** [to_signed v] interprets [v] as a signed 32-bit integer. *)
+
+val byte : int -> t -> int
+(** [byte i v] extracts byte [i] (0 = least significant, [0 <= i <= 3]). *)
+
+val of_bytes : int -> int -> int -> int -> t
+(** [of_bytes b0 b1 b2 b3] assembles a value from four bytes, [b0] least
+    significant. Each byte is masked to 8 bits. *)
+
+val add : t -> t -> t
+(** 32-bit wrapping addition. *)
+
+val sub : t -> t -> t
+(** 32-bit wrapping subtraction. *)
+
+val carry_out_low8 : t -> t -> bool
+(** [carry_out_low8 a b] is [true] when adding the low bytes of [a] and [b]
+    produces a carry out of bit 7 — the signal the CR scheme taps to detect
+    (at writeback) that an 8-bit helper-cluster addition would have been
+    wrong. *)
+
+val carry_propagates : t -> t -> bool
+(** [carry_propagates base offset] is [true] when the addition
+    [base + offset] changes bits above the low byte relative to [base],
+    i.e. the operation is {e not} an effectively-8-bit operation in the
+    sense of §3.5 of the paper (Fig 10). [false] means the upper 24 bits of
+    the result equal the upper 24 bits of [base] and the add could run on
+    the 8-bit AGU of the helper cluster. *)
+
+val upper24_equal : t -> t -> bool
+(** [upper24_equal a b] compares bits 8..31 of the two values. *)
+
+val pp : Format.formatter -> t -> unit
+(** Hexadecimal printer, e.g. [0xFFFC4A1E]. *)
+
+val to_hex : t -> string
+(** [to_hex v] is the 8-digit hexadecimal rendering of [v]. *)

@@ -1,0 +1,43 @@
+type t = Narrow | Wide
+
+let equal a b =
+  match a, b with
+  | Narrow, Narrow | Wide, Wide -> true
+  | Narrow, Wide | Wide, Narrow -> false
+
+let to_string = function Narrow -> "narrow" | Wide -> "wide"
+
+let pp ppf w = Format.pp_print_string ppf (to_string w)
+
+let classify v = if Detector.narrow8 v then Narrow else Wide
+
+let is_narrow v = Detector.narrow8 v
+
+let is_narrow_bits ~bits v = Detector.narrow ~bits v
+
+(* Smallest byte count that reproduces [v] under sign extension: byte [n-1]
+   must carry the sign of everything above it. *)
+let significant_bytes v =
+  let sign_extend n =
+    let low = v land ((1 lsl (8 * n)) - 1) in
+    let sign_bit = (low lsr ((8 * n) - 1)) land 1 in
+    if sign_bit = 1 then Value.mask32 (low lor (lnot ((1 lsl (8 * n)) - 1)))
+    else low
+  in
+  let rec find n = if n = 4 then 4 else if sign_extend n = v then n else find (n + 1) in
+  find 1
+
+let significant_bytes_unsigned v =
+  let rec find n =
+    if n = 4 then 4
+    else if v land lnot ((1 lsl (8 * n)) - 1) = 0 then n
+    else find (n + 1)
+  in
+  find 1
+
+let narrow_fraction values =
+  match values with
+  | [] -> 0.
+  | _ ->
+    let narrow = List.fold_left (fun acc v -> if is_narrow v then acc + 1 else acc) 0 values in
+    float_of_int narrow /. float_of_int (List.length values)

@@ -1,0 +1,40 @@
+(** Data-width classification of machine values.
+
+    The paper's policies only distinguish {e narrow} (representable in the
+    8-bit helper datapath) from {e wide}; the IR splitting machinery
+    additionally works at byte granularity. Both views live here, built on
+    the {!Detector} circuits. *)
+
+type t = Narrow | Wide
+(** The two-point width lattice the steering policies reason about. A value
+    is [Narrow] when the upper 24 bits are a sign run (all zero or all
+    one). *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val classify : Value.t -> t
+(** [classify v] applies the 8-bit leading zero/one detectors to [v]. *)
+
+val is_narrow : Value.t -> bool
+(** [is_narrow v] = [classify v = Narrow]. *)
+
+val is_narrow_bits : bits:int -> Value.t -> bool
+(** Narrowness against an arbitrary helper datapath width; [~bits:8] is
+    {!is_narrow}. Supports the paper's wider-helper extension. *)
+
+val significant_bytes : Value.t -> int
+(** [significant_bytes v] is the smallest [n] in [1..4] such that the value
+    is faithfully represented by its low [n] bytes plus sign extension.
+    E.g. [significant_bytes 0xFF = 2] (0xFF as signed needs two bytes,
+    unsigned one — we take the two's-complement view: 0x000000FF has
+    bit 7 set and bits 8.. zero, so sign-extending its low byte would give
+    0xFFFFFFFF ≠ v, hence 2). *)
+
+val significant_bytes_unsigned : Value.t -> int
+(** Zero-extension variant: smallest [n] such that the low [n] bytes
+    zero-extended reproduce [v]. [significant_bytes_unsigned 0xFF = 1]. *)
+
+val narrow_fraction : Value.t list -> float
+(** Fraction of the values classified [Narrow]; [0.] on the empty list. *)

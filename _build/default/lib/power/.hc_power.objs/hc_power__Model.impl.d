@@ -1,0 +1,1 @@
+lib/power/model.ml: Float Hc_sim Hc_stats List String

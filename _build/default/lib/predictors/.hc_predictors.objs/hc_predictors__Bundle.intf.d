@@ -1,0 +1,1 @@
+lib/predictors/bundle.mli: Carry_predictor Copy_predictor Width_predictor

@@ -1,0 +1,1 @@
+lib/predictors/carry_predictor.ml: Array Confidence

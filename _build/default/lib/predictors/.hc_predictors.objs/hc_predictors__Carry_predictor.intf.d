@@ -1,0 +1,1 @@
+lib/predictors/carry_predictor.mli: Hc_isa

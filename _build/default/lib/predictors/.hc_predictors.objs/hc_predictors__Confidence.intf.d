@@ -1,0 +1,1 @@
+lib/predictors/confidence.mli:

@@ -1,0 +1,1 @@
+lib/predictors/copy_predictor.mli: Hc_isa

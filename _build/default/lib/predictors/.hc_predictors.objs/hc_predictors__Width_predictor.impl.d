@@ -1,0 +1,1 @@
+lib/predictors/width_predictor.ml: Array Confidence

@@ -1,0 +1,12 @@
+type t = {
+  width : Width_predictor.t;
+  carry : Carry_predictor.t;
+  copy : Copy_predictor.t;
+}
+
+let create ?(entries = 256) ?(conf_bits = 2) () =
+  {
+    width = Width_predictor.create ~entries ~conf_bits ();
+    carry = Carry_predictor.create ~entries ~conf_bits ();
+    copy = Copy_predictor.create ~entries ();
+  }

@@ -1,0 +1,13 @@
+(** The full prediction hardware of the helper-cluster frontend: base width
+    predictor plus the CR and CP extension bits, created together so every
+    steering scheme sees one coherent set of tables. *)
+
+type t = {
+  width : Width_predictor.t;
+  carry : Carry_predictor.t;
+  copy : Copy_predictor.t;
+}
+
+val create : ?entries:int -> ?conf_bits:int -> unit -> t
+(** All three tables sized identically (default 256 entries), matching the
+    paper's "additional bit in the width predictor" framing. *)

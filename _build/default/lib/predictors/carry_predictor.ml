@@ -1,0 +1,37 @@
+type entry = {
+  mutable carry_local : bool;
+  conf : Confidence.t;
+}
+
+type t = {
+  table : entry array;
+  modulo : int;
+}
+
+type prediction = {
+  carry_local : bool;
+  confident : bool;
+}
+
+let create ?(entries = 256) ?(conf_bits = 2) () =
+  if entries <= 0 then invalid_arg "Carry_predictor.create: entries <= 0";
+  {
+    table =
+      Array.init entries (fun _ ->
+          { carry_local = false; conf = Confidence.create ~bits:conf_bits () });
+    modulo = entries;
+  }
+
+let index t pc = (pc lsr 2) mod t.modulo
+
+let predict t pc =
+  let e = t.table.(index t pc) in
+  { carry_local = e.carry_local; confident = Confidence.is_high e.conf }
+
+let update t pc ~carry_local =
+  let e = t.table.(index t pc) in
+  if e.carry_local = carry_local then Confidence.strengthen e.conf
+  else begin
+    Confidence.weaken e.conf;
+    e.carry_local <- carry_local
+  end

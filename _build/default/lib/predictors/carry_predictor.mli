@@ -1,0 +1,23 @@
+(** The carry-width extension of §3.5 (CR scheme).
+
+    One extra bit per width-predictor entry records whether the last
+    occurrence of this (8-32-32 shaped) instruction operated entirely
+    within the low 8 bits — no carry/borrow out of bit 7. A 2-bit
+    confidence estimator gates steering, as in the base predictor.
+    Multiply/divide are never trained or predicted here
+    ({!Hc_isa.Opcode.carry_eligible} filters them upstream). *)
+
+type t
+
+type prediction = {
+  carry_local : bool;  (** last occurrence did not propagate a carry *)
+  confident : bool;
+}
+
+val create : ?entries:int -> ?conf_bits:int -> unit -> t
+(** Default 256 entries / 2-bit confidence, mirroring the base table. *)
+
+val predict : t -> Hc_isa.Value.t -> prediction
+
+val update : t -> Hc_isa.Value.t -> carry_local:bool -> unit
+(** Writeback training with the observed carry behaviour. *)

@@ -1,0 +1,22 @@
+type t = {
+  max_value : int;
+  mutable value : int;
+}
+
+let create ?(bits = 2) () =
+  if bits < 1 then invalid_arg "Confidence.create: bits < 1";
+  { max_value = (1 lsl bits) - 1; value = 0 }
+
+let value t = t.value
+
+let max_value t = t.max_value
+
+let strengthen t = if t.value < t.max_value then t.value <- t.value + 1
+
+let weaken t = t.value <- 0
+
+let is_high ?threshold t =
+  let threshold = match threshold with Some x -> x | None -> t.max_value in
+  t.value >= threshold
+
+let reset t = t.value <- 0

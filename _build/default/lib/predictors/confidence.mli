@@ -1,0 +1,32 @@
+(** Saturating-counter confidence estimators.
+
+    The paper gates narrow steering on a 2-bit per-entry confidence
+    interval estimator (§3.2): an instruction is only steered to the helper
+    cluster when its width prediction is high-confidence, which drops the
+    misprediction-requiring-recovery rate from 2.11% to 0.83%. *)
+
+type t
+(** One saturating counter. *)
+
+val create : ?bits:int -> unit -> t
+(** [create ~bits ()] — a [bits]-wide saturating counter starting at 0.
+    Default 2 bits (values 0..3). @raise Invalid_argument if [bits < 1]. *)
+
+val value : t -> int
+
+val max_value : t -> int
+(** [2^bits - 1]. *)
+
+val strengthen : t -> unit
+(** Saturating increment — the last prediction proved right. *)
+
+val weaken : t -> unit
+(** Reset to 0 — the behaviour changed. The paper's estimator must clear
+    fast: one width flip costs a squash-and-resteer, so the counter drops
+    to zero rather than decaying by one. *)
+
+val is_high : ?threshold:int -> t -> bool
+(** [is_high ~threshold t] — [value t >= threshold], default the saturated
+    maximum. *)
+
+val reset : t -> unit

@@ -1,0 +1,14 @@
+type t = {
+  table : bool array;
+  modulo : int;
+}
+
+let create ?(entries = 256) () =
+  if entries <= 0 then invalid_arg "Copy_predictor.create: entries <= 0";
+  { table = Array.make entries false; modulo = entries }
+
+let index t pc = (pc lsr 2) mod t.modulo
+
+let predict t pc = t.table.(index t pc)
+
+let update t pc ~copied = t.table.(index t pc) <- copied

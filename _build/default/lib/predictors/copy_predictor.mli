@@ -1,0 +1,19 @@
+(** The copy-prefetch predictor of §3.6 (CP scheme).
+
+    Last-value based: when a producer instruction's value ends up needing
+    an inter-cluster copy, the producer's entry is set at writeback; the
+    next dynamic instance of that producer then prefetches the copy
+    immediately, hiding the inter-cluster hop from the consumer. The paper
+    measures ~90% accuracy for this single-bit scheme and uses it for
+    narrow→wide copies only (wide→narrow prefetches reuse the base width
+    predictor). *)
+
+type t
+
+val create : ?entries:int -> unit -> t
+
+val predict : t -> Hc_isa.Value.t -> bool
+(** Will this producer's value be copied to the other cluster? *)
+
+val update : t -> Hc_isa.Value.t -> copied:bool -> unit
+(** Writeback training: did this dynamic instance incur a copy? *)

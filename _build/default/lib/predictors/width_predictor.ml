@@ -1,0 +1,43 @@
+type entry = {
+  mutable last_narrow : bool;
+  conf : Confidence.t;
+}
+
+type t = {
+  table : entry array;
+  mask_modulo : int;
+}
+
+type prediction = {
+  narrow : bool;
+  confident : bool;
+}
+
+let create ?(entries = 256) ?(conf_bits = 2) () =
+  if entries <= 0 then invalid_arg "Width_predictor.create: entries <= 0";
+  {
+    table =
+      Array.init entries (fun _ ->
+          { last_narrow = false; conf = Confidence.create ~bits:conf_bits () });
+    mask_modulo = entries;
+  }
+
+let entries t = t.mask_modulo
+
+(* PCs step by 4; drop the low bits before indexing so neighbouring statics
+   do not all collide into a quarter of the table. *)
+let index t pc = (pc lsr 2) mod t.mask_modulo
+
+let predict t pc =
+  let e = t.table.(index t pc) in
+  { narrow = e.last_narrow; confident = Confidence.is_high e.conf }
+
+let update t pc ~narrow =
+  let e = t.table.(index t pc) in
+  if e.last_narrow = narrow then Confidence.strengthen e.conf
+  else begin
+    Confidence.weaken e.conf;
+    e.last_narrow <- narrow
+  end
+
+let accuracy_probe t pc ~narrow = (predict t pc).narrow = narrow

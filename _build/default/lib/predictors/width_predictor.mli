@@ -1,0 +1,34 @@
+(** The data-width predictor of §3.2 (Fig 4).
+
+    A tagless, PC-indexed table (256 entries in the paper's final design).
+    Each entry stores the last observed result width (1 bit) and a 2-bit
+    confidence estimator; steering to the helper cluster only happens on a
+    high-confidence narrow prediction. Being tagless, distinct static
+    instructions alias the same entry — exactly as in hardware — which is
+    one genuine source of mispredictions. *)
+
+type t
+
+type prediction = {
+  narrow : bool;  (** last observed width for this entry *)
+  confident : bool;  (** the 2-bit estimator is saturated *)
+}
+
+val create : ?entries:int -> ?conf_bits:int -> unit -> t
+(** Default 256 entries, 2-bit confidence (the paper's design point).
+    @raise Invalid_argument if [entries <= 0]. *)
+
+val entries : t -> int
+
+val predict : t -> Hc_isa.Value.t -> prediction
+(** [predict t pc] — combinational read, no state change. *)
+
+val update : t -> Hc_isa.Value.t -> narrow:bool -> unit
+(** Writeback training: record the actual result width. Confidence
+    strengthens when the width matches the stored last width and clears
+    when it flips. *)
+
+val accuracy_probe : t -> Hc_isa.Value.t -> narrow:bool -> bool
+(** [accuracy_probe t pc ~narrow] is [true] when the current prediction
+    for [pc] matches [narrow] — a convenience for instrumentation; does
+    not train. *)

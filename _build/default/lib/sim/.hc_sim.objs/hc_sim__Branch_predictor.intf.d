@@ -1,0 +1,1 @@
+lib/sim/branch_predictor.mli: Hc_isa

@@ -1,0 +1,1 @@
+lib/sim/pipeline.ml: Array Branch_predictor Cache Config Hashtbl Hc_isa Hc_predictors Hc_stats Hc_trace Int List Metrics Printf Queue Regfile Stack Steer Trace_cache

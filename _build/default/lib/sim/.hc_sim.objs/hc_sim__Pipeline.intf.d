@@ -1,0 +1,1 @@
+lib/sim/pipeline.mli: Config Hc_isa Hc_trace Metrics Steer

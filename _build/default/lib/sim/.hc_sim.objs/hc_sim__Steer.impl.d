@@ -1,0 +1,1 @@
+lib/sim/steer.ml: Config Format Hc_isa Hc_predictors

@@ -1,0 +1,1 @@
+lib/sim/steer.mli: Config Format Hc_isa Hc_predictors

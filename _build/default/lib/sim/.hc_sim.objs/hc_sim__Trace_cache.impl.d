@@ -1,0 +1,1 @@
+lib/sim/trace_cache.ml: Cache

@@ -1,0 +1,1 @@
+lib/sim/trace_cache.mli: Hc_isa

@@ -1,0 +1,38 @@
+type t = {
+  history_mask : int;
+  table_mask : int;
+  counters : int array;  (* 2-bit saturating, 0..3; >=2 = predict taken *)
+  mutable history : int;
+  mutable resolved : int;
+  mutable correct : int;
+}
+
+let create ?(history_bits = 12) ?(table_bits = 12) () =
+  if history_bits < 1 || history_bits > 24 || table_bits < 1 || table_bits > 24
+  then invalid_arg "Branch_predictor.create: bits out of [1,24]";
+  {
+    history_mask = (1 lsl history_bits) - 1;
+    table_mask = (1 lsl table_bits) - 1;
+    counters = Array.make (1 lsl table_bits) 1 (* weakly not-taken *);
+    history = 0;
+    resolved = 0;
+    correct = 0;
+  }
+
+let index t pc = ((pc lsr 2) lxor t.history) land t.table_mask
+
+let predict t pc = t.counters.(index t pc) >= 2
+
+let update t pc ~taken =
+  let i = index t pc in
+  let predicted = t.counters.(i) >= 2 in
+  if taken then (if t.counters.(i) < 3 then t.counters.(i) <- t.counters.(i) + 1)
+  else if t.counters.(i) > 0 then t.counters.(i) <- t.counters.(i) - 1;
+  t.history <- ((t.history lsl 1) lor (if taken then 1 else 0)) land t.history_mask;
+  t.resolved <- t.resolved + 1;
+  if predicted = taken then t.correct <- t.correct + 1;
+  predicted <> taken
+
+let accuracy t =
+  if t.resolved = 0 then 0.
+  else float_of_int t.correct /. float_of_int t.resolved

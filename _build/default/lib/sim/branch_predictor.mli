@@ -1,0 +1,23 @@
+(** Gshare branch direction predictor.
+
+    An alternative to the trace's sampled misprediction flags: predict
+    each conditional branch from a global-history-xor-PC indexed table of
+    2-bit counters and discover mispredictions by comparing against the
+    trace's actual direction. Select with {!Config.t.branch_model}. *)
+
+type t
+
+val create : ?history_bits:int -> ?table_bits:int -> unit -> t
+(** Defaults: 12 bits of global history, a 4096-entry counter table.
+    @raise Invalid_argument if either is outside [1, 24]. *)
+
+val predict : t -> Hc_isa.Value.t -> bool
+(** Predicted direction for the branch at this pc; no state change. *)
+
+val update : t -> Hc_isa.Value.t -> taken:bool -> bool
+(** Resolve the branch: trains the counter, shifts the history, and
+    returns [true] when the prediction (as it stood before training) was
+    {e wrong} — i.e. this dynamic branch mispredicted. *)
+
+val accuracy : t -> float
+(** Fraction of resolved branches predicted correctly; [0.] before any. *)

@@ -1,0 +1,106 @@
+type t = {
+  line_bits : int;
+  set_count : int;
+  way_count : int;
+  tags : int array;  (* set-major: tags.(set * ways + way), -1 = invalid *)
+  lru : int array;  (* same layout: larger = more recently used *)
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let log2 n =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let create ?(line_bytes = 64) ~size_bytes ~ways () =
+  if not (is_pow2 line_bytes && is_pow2 size_bytes && is_pow2 ways) then
+    invalid_arg "Cache.create: sizes must be powers of two";
+  if size_bytes < ways * line_bytes then
+    invalid_arg "Cache.create: fewer lines than ways";
+  let set_count = size_bytes / (ways * line_bytes) in
+  {
+    line_bits = log2 line_bytes;
+    set_count;
+    way_count = ways;
+    tags = Array.make (set_count * ways) (-1);
+    lru = Array.make (set_count * ways) 0;
+    clock = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+let sets t = t.set_count
+
+let ways t = t.way_count
+
+let line_bytes t = 1 lsl t.line_bits
+
+let locate t addr =
+  let line = addr lsr t.line_bits in
+  let set = line land (t.set_count - 1) in
+  let tag = line lsr (log2 t.set_count) in
+  (set, tag)
+
+let find_way t set tag =
+  let base = set * t.way_count in
+  let rec scan w =
+    if w = t.way_count then None
+    else if t.tags.(base + w) = tag then Some w
+    else scan (w + 1)
+  in
+  scan 0
+
+let touch t set way =
+  t.clock <- t.clock + 1;
+  t.lru.((set * t.way_count) + way) <- t.clock
+
+let victim_way t set =
+  let base = set * t.way_count in
+  let best = ref 0 in
+  for w = 1 to t.way_count - 1 do
+    if t.lru.(base + w) < t.lru.(base + !best) then best := w
+  done;
+  !best
+
+let probe t addr =
+  let set, tag = locate t addr in
+  find_way t set tag <> None
+
+let access t addr =
+  let set, tag = locate t addr in
+  match find_way t set tag with
+  | Some way ->
+    t.hits <- t.hits + 1;
+    touch t set way;
+    true
+  | None ->
+    t.misses <- t.misses + 1;
+    let way = victim_way t set in
+    t.tags.((set * t.way_count) + way) <- tag;
+    touch t set way;
+    false
+
+let invalidate_all t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.lru 0 (Array.length t.lru) 0;
+  t.clock <- 0
+
+let stats t = (t.hits, t.misses)
+
+let dl0 () = create ~size_bytes:(32 * 1024) ~ways:8 ()
+
+let ul1 () = create ~size_bytes:(4 * 1024 * 1024) ~ways:16 ()
+
+module Hierarchy = struct
+  type nonrec t = { dl0 : t; ul1 : t }
+
+  let create () = { dl0 = dl0 (); ul1 = ul1 () }
+
+  let latency h ~latencies:(l0, l1, mem) addr =
+    if access h.dl0 addr then l0
+    else if access h.ul1 addr then l1
+    else mem
+end

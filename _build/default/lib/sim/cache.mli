@@ -1,0 +1,49 @@
+(** Set-associative cache with LRU replacement.
+
+    Table 1's memory hierarchy — a 32 KB 8-way 3-cycle DL0 and a 4 MB
+    16-way 13-cycle UL1 — can be simulated structurally instead of through
+    the trace's sampled miss flags: every uop carries a concrete effective
+    address, so hit/miss behaviour is emergent from the address stream.
+    Select with {!Config.t.memory_model}. *)
+
+type t
+
+val create : ?line_bytes:int -> size_bytes:int -> ways:int -> unit -> t
+(** [create ~size_bytes ~ways ()] — [line_bytes] defaults to 64. All three
+    quantities must be powers of two with [size_bytes >= ways * line_bytes].
+    @raise Invalid_argument otherwise. *)
+
+val sets : t -> int
+val ways : t -> int
+val line_bytes : t -> int
+
+val access : t -> Hc_isa.Value.t -> bool
+(** [access t addr] looks the line up, updates LRU state, allocates on
+    miss, and returns [true] on a hit. *)
+
+val probe : t -> Hc_isa.Value.t -> bool
+(** Hit check without any state change. *)
+
+val invalidate_all : t -> unit
+
+val stats : t -> int * int
+(** [(hits, misses)] since creation. *)
+
+val dl0 : unit -> t
+(** A fresh Table-1 DL0: 32 KB, 8-way. *)
+
+val ul1 : unit -> t
+(** A fresh Table-1 UL1: 4 MB, 16-way. *)
+
+module Hierarchy : sig
+  (** The two-level hierarchy: DL0 backed by UL1 backed by memory. *)
+
+  type nonrec t = { dl0 : t; ul1 : t }
+
+  val create : unit -> t
+
+  val latency : t -> latencies:int * int * int -> Hc_isa.Value.t -> int
+  (** [latency h ~latencies:(l0, l1, mem) addr] performs the access and
+      returns its latency in slow cycles: [l0] on a DL0 hit, [l1] on a DL0
+      miss that hits UL1 (filling DL0), [mem] otherwise (filling both). *)
+end

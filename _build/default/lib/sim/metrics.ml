@@ -1,0 +1,65 @@
+type t = {
+  name : string;
+  scheme_name : string;
+  committed : int;
+  ticks : int;
+  copies : int;
+  steered_narrow : int;
+  split_uops : int;
+  wpred_correct : int;
+  wpred_fatal : int;
+  wpred_nonfatal : int;
+  prefetch_copies : int;
+  prefetch_useful : int;
+  nready_w2n : int;
+  nready_n2w : int;
+  issued_total : int;
+  counters : Hc_stats.Counter.t;
+}
+
+let cycles t = float_of_int t.ticks /. 2.
+
+let ipc t = if t.ticks = 0 then 0. else float_of_int t.committed /. cycles t
+
+let pct_of_committed t n =
+  if t.committed = 0 then 0. else 100. *. float_of_int n /. float_of_int t.committed
+
+let copy_pct t = pct_of_committed t t.copies
+
+let steered_pct t = pct_of_committed t t.steered_narrow
+
+let wpred_total t = t.wpred_correct + t.wpred_fatal + t.wpred_nonfatal
+
+let wpred_pct t n =
+  let total = wpred_total t in
+  if total = 0 then 0. else 100. *. float_of_int n /. float_of_int total
+
+let wpred_accuracy_pct t = wpred_pct t t.wpred_correct
+
+let wpred_fatal_pct t = wpred_pct t t.wpred_fatal
+
+let wpred_nonfatal_pct t = wpred_pct t t.wpred_nonfatal
+
+let cp_accuracy_pct t =
+  if t.prefetch_copies = 0 then 0.
+  else 100. *. float_of_int t.prefetch_useful /. float_of_int t.prefetch_copies
+
+let imbalance_pct t n =
+  if t.issued_total = 0 then 0.
+  else 100. *. float_of_int n /. float_of_int t.issued_total
+
+let imbalance_w2n_pct t = imbalance_pct t t.nready_w2n
+
+let imbalance_n2w_pct t = imbalance_pct t t.nready_n2w
+
+let speedup_pct ~baseline t = 100. *. ((ipc t /. ipc baseline) -. 1.)
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>%s [%s]@ committed=%d cycles=%.0f ipc=%.3f@ steered=%.1f%% \
+     copies=%.1f%% splits=%d@ wpred: ok=%.1f%% fatal=%.2f%% nonfatal=%.2f%%@ \
+     cp: %d prefetches, %.1f%% useful@ nready: w2n=%.1f%% n2w=%.1f%%@]"
+    t.name t.scheme_name t.committed (cycles t) (ipc t) (steered_pct t)
+    (copy_pct t) t.split_uops (wpred_accuracy_pct t) (wpred_fatal_pct t)
+    (wpred_nonfatal_pct t) t.prefetch_copies (cp_accuracy_pct t)
+    (imbalance_w2n_pct t) (imbalance_n2w_pct t)

@@ -1,0 +1,57 @@
+(** Per-run simulation results.
+
+    One {!t} is produced per (trace, configuration) simulation and carries
+    every number the paper's figures are built from: IPC, steering and copy
+    percentages, width-prediction outcome breakdown (Fig 5), NREADY
+    imbalance (§3.7), copy-prefetch accuracy (§3.6), and the raw activity
+    counters consumed by the power model. *)
+
+type t = {
+  name : string;  (** trace name *)
+  scheme_name : string;
+  committed : int;  (** trace uops committed *)
+  ticks : int;  (** fast ticks elapsed (2 per wide cycle) *)
+  copies : int;  (** inter-cluster copy uops generated (demand + prefetch) *)
+  steered_narrow : int;  (** committed uops executed in the helper cluster *)
+  split_uops : int;  (** committed uops that were IR-split *)
+  wpred_correct : int;  (** width predictions matching the actual width *)
+  wpred_fatal : int;  (** mispredictions that forced a squash-and-resteer *)
+  wpred_nonfatal : int;  (** missed opportunities: mispredicted but safe *)
+  prefetch_copies : int;  (** CP-injected copies *)
+  prefetch_useful : int;  (** CP copies that a consumer actually used *)
+  nready_w2n : int;  (** NREADY samples: ready in wide, idle slots in narrow *)
+  nready_n2w : int;
+  issued_total : int;  (** issue slots actually used, both clusters *)
+  counters : Hc_stats.Counter.t;  (** raw activity counters for the power model *)
+}
+
+val cycles : t -> float
+(** Elapsed wide-cluster (slow) cycles: [ticks / 2]. *)
+
+val ipc : t -> float
+(** Committed trace uops per slow cycle. *)
+
+val copy_pct : t -> float
+(** Copies as a percentage of committed uops (Figs 7–9). *)
+
+val steered_pct : t -> float
+(** Helper-cluster instructions as a percentage of committed uops. *)
+
+val wpred_accuracy_pct : t -> float
+(** Fig 5: correct predictions over all predictions. *)
+
+val wpred_fatal_pct : t -> float
+val wpred_nonfatal_pct : t -> float
+
+val cp_accuracy_pct : t -> float
+(** §3.6: useful prefetches over issued prefetches; 0 when none issued. *)
+
+val imbalance_w2n_pct : t -> float
+(** NREADY wide→narrow imbalance normalized by used issue slots (§3.7). *)
+
+val imbalance_n2w_pct : t -> float
+
+val speedup_pct : baseline:t -> t -> float
+(** Performance increase over the baseline run, in percent (Figs 6/12/14). *)
+
+val pp : Format.formatter -> t -> unit

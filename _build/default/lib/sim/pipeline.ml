@@ -1,0 +1,1101 @@
+module Opcode = Hc_isa.Opcode
+module Reg = Hc_isa.Reg
+module Uop = Hc_isa.Uop
+module Value = Hc_isa.Value
+module Width = Hc_isa.Width
+module Trace = Hc_trace.Trace
+module Counter = Hc_stats.Counter
+module Bundle = Hc_predictors.Bundle
+module Width_predictor = Hc_predictors.Width_predictor
+module Carry_predictor = Hc_predictors.Carry_predictor
+module Copy_predictor = Hc_predictors.Copy_predictor
+
+type decide = Steer.ctx -> Uop.t -> Steer.decision
+
+let never = max_int
+
+let cluster_index = function Config.Wide -> 0 | Config.Narrow -> 1
+
+let other_cluster = function Config.Wide -> Config.Narrow | Config.Narrow -> Config.Wide
+
+(* ----- renamed values ----- *)
+
+type vstate = {
+  v_pc : Value.t;  (* producer's pc, for predictor training *)
+  v_narrow : bool;  (* ground truth width of the value *)
+  v_pred_narrow : bool;  (* what the width predictor said at rename *)
+  mutable v_epoch : int;  (* bumped on squash so stale references die *)
+  mutable v_done : bool;
+  v_avail : int array;  (* per cluster-index, tick the value is usable *)
+  v_copy_inflight : bool array;  (* a copy toward cluster i is scheduled *)
+  mutable v_demand_copied : bool;  (* a demand copy was needed: CP training *)
+  v_prefetched : bool array;
+  v_prefetch_used : bool array;
+  mutable v_lr : bool;  (* produced by a load that LR will replicate *)
+  mutable v_cluster : Config.cluster;  (* producer's cluster *)
+}
+
+let make_vstate ~pc ~narrow ~pred_narrow ~cluster =
+  {
+    v_pc = pc; v_narrow = narrow; v_pred_narrow = pred_narrow; v_epoch = 0;
+    v_done = false; v_avail = [| never; never |];
+    v_copy_inflight = [| false; false |]; v_demand_copied = false;
+    v_prefetched = [| false; false |]; v_prefetch_used = [| false; false |];
+    v_lr = false; v_cluster = cluster;
+  }
+
+let reset_vstate v =
+  v.v_epoch <- v.v_epoch + 1;
+  v.v_done <- false;
+  v.v_avail.(0) <- never;
+  v.v_avail.(1) <- never;
+  v.v_copy_inflight.(0) <- false;
+  v.v_copy_inflight.(1) <- false;
+  v.v_prefetched.(0) <- false;
+  v.v_prefetched.(1) <- false;
+  v.v_prefetch_used.(0) <- false;
+  v.v_prefetch_used.(1) <- false;
+  v.v_lr <- false
+
+(* ----- pipeline nodes ----- *)
+
+type kind =
+  | Normal
+  | Copy of {
+      cv : vstate;
+      target : Config.cluster;
+      epoch : int;
+      prefetch : bool;
+      publishes : bool;
+          (* IR splits send a burst of four byte copies; only the last one
+             publishes the value in the target register file *)
+    }
+  | Slice of { final : bool }
+      (* one 8-bit lane of an IR-split uop; [final] completes the value *)
+
+type node = {
+  n_id : int;  (* dispatch order, unique *)
+  n_trace_idx : int;  (* position in the trace; -1 for copies *)
+  n_uop : Uop.t option;
+  mutable n_kind : kind;
+  mutable n_cluster : Config.cluster;
+  mutable n_squashed : bool;
+  mutable n_done : bool;
+  mutable n_issued : bool;
+  mutable n_gen : int;
+      (* incremented when the node is squashed-and-resteered so completion
+         events scheduled for its previous incarnation are ignored *)
+  mutable n_deps : (vstate * int) array;  (* value, epoch at dispatch *)
+  n_dest : vstate option;
+  mutable n_reason : Steer.reason option;
+  n_is_mem : bool;
+  n_lr_replicate : bool;  (* LR: replicate the loaded value on completion *)
+  n_br_mispredicted : bool;
+      (* resolved direction-prediction outcome for this dynamic branch:
+         the trace's ground truth under Br_trace_flags, the gshare verdict
+         under Br_gshare (computed in order at dispatch) *)
+  mutable n_alloc : Config.cluster option;
+      (* physical register allocated for the destination, to return at
+         commit *)
+  mutable n_remote_reads : bool;
+      (* CR (Â§3.5): the 8-bit AGU consumes only source low bytes; the wide
+         source's upper 24 bits stay behind the rename tag in the wide
+         register file, so sources need no inter-cluster copy and are
+         readable as soon as they exist anywhere *)
+  mutable n_complete : int;
+}
+
+(* ----- whole-machine state ----- *)
+
+type undo = { un_node : int; un_reg : int; un_prev : vstate option }
+
+type state = {
+  cfg : Config.t;
+  trace : Trace.t;
+  decide : decide;
+  preds : Bundle.t;
+  counters : Counter.t;
+  (* frontend *)
+  mutable fetch_idx : int;  (* next trace index to dispatch *)
+  mutable fetch_resume : int;  (* tick before which dispatch is stalled *)
+  force_wide : (int, unit) Hashtbl.t;  (* trace idx -> must steer wide *)
+  rename : vstate option array;  (* arch reg -> live value *)
+  undo_log : undo Stack.t;
+  (* backends *)
+  iq : node list ref array;  (* per cluster-index, newest first *)
+  iq_count : int array;
+  rob : node Queue.t;
+  mutable rob_count : int;
+  mutable mob_count : int;
+  backlog : int array;  (* per cluster: ready-not-issued in the last round *)
+  backlog_ewma : float array;  (* smoothed, for the IR trigger *)
+  (* structural substrates (active per the config's model selectors) *)
+  memory : Cache.Hierarchy.t;
+  gshare : Branch_predictor.t;
+  tcache : Trace_cache.t;
+  regfile : Regfile.t;
+  (* events *)
+  events : (node * int) list array;  (* (node, generation), tick mod size *)
+  mutable next_node_id : int;
+  mutable now : int;
+  (* results *)
+  mutable committed : int;
+  mutable copies : int;
+  mutable steered_narrow : int;
+  mutable split_uops : int;
+  mutable wpred_correct : int;
+  mutable wpred_fatal : int;
+  mutable wpred_nonfatal : int;
+  mutable prefetch_copies : int;
+  mutable prefetch_useful : int;
+  mutable nready_w2n : int;
+  mutable nready_n2w : int;
+  mutable issued_total : int;
+}
+
+let wheel_size = 4096
+
+let create cfg decide trace =
+  ( match Config.validate cfg with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Pipeline: " ^ msg) );
+  {
+    cfg; trace; decide;
+    preds = Bundle.create ~entries:cfg.Config.wpred_entries ~conf_bits:cfg.Config.conf_bits ();
+    counters = Counter.create ();
+    fetch_idx = 0; fetch_resume = 0;
+    force_wide = Hashtbl.create 16;
+    rename = Array.make Reg.count None;
+    undo_log = Stack.create ();
+    iq = [| ref []; ref [] |];
+    iq_count = [| 0; 0 |];
+    rob = Queue.create ();
+    rob_count = 0;
+    mob_count = 0;
+    backlog = [| 0; 0 |];
+    backlog_ewma = [| 0.; 0. |];
+    memory = Cache.Hierarchy.create ();
+    gshare = Branch_predictor.create ();
+    tcache = Trace_cache.create ();
+    regfile =
+      Regfile.create ~wide_regs:cfg.Config.wide_regs
+        ~narrow_regs:cfg.Config.narrow_regs ();
+    events = Array.make wheel_size [];
+    next_node_id = 0;
+    now = 0;
+    committed = 0; copies = 0; steered_narrow = 0; split_uops = 0;
+    wpred_correct = 0; wpred_fatal = 0; wpred_nonfatal = 0;
+    prefetch_copies = 0; prefetch_useful = 0;
+    nready_w2n = 0; nready_n2w = 0; issued_total = 0;
+  }
+
+let fresh_node_id st =
+  let id = st.next_node_id in
+  st.next_node_id <- id + 1;
+  id
+
+let schedule st node tick =
+  node.n_complete <- tick;
+  let slot = tick mod wheel_size in
+  st.events.(slot) <- (node, node.n_gen) :: st.events.(slot)
+
+(* ----- latency model ----- *)
+
+let mem_time st (u : Uop.t) =
+  let cfg = st.cfg in
+  match cfg.Config.memory_model with
+  | Config.Mem_trace_flags ->
+    if u.Uop.dl0_miss then
+      if u.Uop.ul1_miss then cfg.Config.mem_latency else cfg.Config.ul1_latency
+    else cfg.Config.dl0_latency
+  | Config.Mem_cache_sim ->
+    Cache.Hierarchy.latency st.memory
+      ~latencies:(cfg.Config.dl0_latency, cfg.Config.ul1_latency, cfg.Config.mem_latency)
+      u.Uop.mem_addr
+
+let exec_ticks st cluster (node : node) =
+  let cfg = st.cfg in
+  match node.n_kind with
+  | Copy _ -> 2 * cfg.Config.copy_latency
+  | Slice _ -> 1
+  | Normal ->
+    let u = match node.n_uop with Some u -> u | None -> assert false in
+    let base = Opcode.latency u.Uop.op in
+    ( match cluster with
+    | Config.Wide ->
+      if u.Uop.op = Opcode.Load then (2 * base) + (2 * mem_time st u)
+      else 2 * base
+    | Config.Narrow ->
+      (* the 8-bit backend is clocked 2x: one slow-cycle op takes one tick;
+         memory hierarchy time is absolute and unchanged *)
+      let alu = if cfg.Config.helper_fast_clock then base else 2 * base in
+      if u.Uop.op = Opcode.Load then alu + (2 * mem_time st u) else alu )
+
+(* ----- rename-time width knowledge ----- *)
+
+let source_info st (operand : Uop.operand) =
+  match operand with
+  | Uop.Imm v ->
+    { Steer.si_narrow = Width.is_narrow_bits ~bits:st.cfg.Config.narrow_bits v;
+      si_known = true; si_cluster = None }
+  | Uop.Reg r -> (
+    match st.rename.(Reg.to_index r) with
+    | None ->
+      (* architectural value from before the trace window: a long-ready,
+         conservatively wide register *)
+      { Steer.si_narrow = false; si_known = true; si_cluster = None }
+    | Some v ->
+      if v.v_done then
+        { Steer.si_narrow = v.v_narrow; si_known = true; si_cluster = Some v.v_cluster }
+      else
+        { Steer.si_narrow = v.v_pred_narrow; si_known = false;
+          si_cluster = Some v.v_cluster } )
+
+let flags_in_narrow st () =
+  match st.rename.(Reg.to_index Reg.Eflags) with
+  | Some v -> v.v_cluster = Config.Narrow
+  | None -> false
+
+let occupancy st cluster =
+  float_of_int st.iq_count.(cluster_index cluster)
+  /. float_of_int st.cfg.Config.iq_size
+
+let steer_ctx st =
+  {
+    Steer.cfg = st.cfg;
+    preds = st.preds;
+    source_info = source_info st;
+    flags_in_narrow = flags_in_narrow st;
+    occupancy = occupancy st;
+    ready_backlog = (fun c -> st.backlog.(cluster_index c));
+    backlog_ewma = (fun c -> st.backlog_ewma.(cluster_index c));
+    rob_occupancy =
+      (fun () -> float_of_int st.rob_count /. float_of_int st.cfg.Config.rob_size);
+  }
+
+(* ----- dispatch helpers ----- *)
+
+let reg_deps st (u : Uop.t) =
+  List.filter_map
+    (fun operand ->
+      match operand with
+      | Uop.Reg r -> (
+        match st.rename.(Reg.to_index r) with
+        | Some v -> Some (v, v.v_epoch)
+        | None -> None)
+      | Uop.Imm _ -> None)
+    u.Uop.srcs
+
+(* Dependences that need a copy before they are usable in [cluster]. A
+   value produced in the other cluster needs no copy when one is already
+   in flight, already delivered, or when LR will replicate it. *)
+let copies_needed cluster deps =
+  let i = cluster_index cluster in
+  List.filter
+    (fun ((v : vstate), _) ->
+      v.v_cluster <> cluster
+      && v.v_avail.(i) = never
+      && (not v.v_copy_inflight.(i))
+      && not v.v_lr)
+    deps
+
+let enqueue_iq st cluster node =
+  let i = cluster_index cluster in
+  st.iq.(i) := node :: !(st.iq.(i));
+  st.iq_count.(i) <- st.iq_count.(i) + 1
+
+let iq_free st cluster =
+  st.cfg.Config.iq_size - st.iq_count.(cluster_index cluster)
+
+(* (wide, narrow) issue-queue slots the pending copies will occupy: copies
+   dispatch into the producing value's cluster. *)
+let copy_slot_demand needed =
+  List.fold_left
+    (fun (w, n) ((v : vstate), _) ->
+      match v.v_cluster with Config.Wide -> (w + 1, n) | Config.Narrow -> (w, n + 1))
+    (0, 0) needed
+
+let make_copy st ~(cv : vstate) ~target ~prefetch ~publishes =
+  let source_cluster = cv.v_cluster in
+  let node =
+    {
+      n_id = fresh_node_id st;
+      n_trace_idx = -1;
+      n_uop = None;
+      n_kind = Copy { cv; target; epoch = cv.v_epoch; prefetch; publishes };
+      n_cluster = source_cluster;
+      n_squashed = false; n_done = false; n_issued = false; n_gen = 0;
+      n_deps = [| (cv, cv.v_epoch) |];
+      n_dest = None;
+      n_reason = None;
+      n_is_mem = false;
+      n_lr_replicate = false;
+      n_br_mispredicted = false;
+      n_alloc = None;
+      n_remote_reads = false;
+      n_complete = never;
+    }
+  in
+  cv.v_copy_inflight.(cluster_index target) <- true;
+  if prefetch then begin
+    cv.v_prefetched.(cluster_index target) <- true;
+    st.prefetch_copies <- st.prefetch_copies + 1
+  end
+  else cv.v_demand_copied <- true;
+  st.copies <- st.copies + 1;
+  Counter.incr st.counters "copy_dispatched";
+  enqueue_iq st source_cluster node
+
+(* Record a rename-table overwrite for rollback, and train the CP predictor
+   with the dying value's copy history. *)
+let rename_write st node_id reg (v : vstate) =
+  let i = Reg.to_index reg in
+  let prev = st.rename.(i) in
+  ( match prev with
+  | Some dead when st.cfg.Config.scheme.Config.cp ->
+    Copy_predictor.update st.preds.Bundle.copy dead.v_pc ~copied:dead.v_demand_copied
+  | Some _ | None -> () );
+  Stack.push { un_node = node_id; un_reg = i; un_prev = prev } st.undo_log;
+  st.rename.(i) <- Some v
+
+(* Credit a consumed prefetch, once per (value, cluster). *)
+let credit_prefetch st cluster deps =
+  let i = cluster_index cluster in
+  List.iter
+    (fun ((v : vstate), _) ->
+      if v.v_prefetched.(i) && (not v.v_prefetch_used.(i)) && v.v_cluster <> cluster
+      then begin
+        v.v_prefetch_used.(i) <- true;
+        st.prefetch_useful <- st.prefetch_useful + 1
+      end)
+    deps
+
+exception Dispatch_stall
+
+(* ----- dispatch ----- *)
+
+let dispatch_split st (u : Uop.t) ~trace_idx ~prediction deps =
+  let cfg = st.cfg in
+  let slices = 4 in
+  let produces_value = Uop.has_dest u || Uop.writes_flags u in
+  let result_copies = if Uop.has_dest u then slices else 0 in
+  (* the byte lanes read their sources as 8-bit slices through the same
+     cross-cluster byte paths the CR tag scheme uses, so no source copies
+     are charged - only queue slots, issue slots and the chained latency *)
+  if st.rob_count + slices > cfg.Config.rob_size then raise Dispatch_stall;
+  if iq_free st Config.Narrow < slices + result_copies then raise Dispatch_stall;
+  if produces_value && Regfile.free_count st.regfile Config.Narrow < slices then
+    raise Dispatch_stall;
+  credit_prefetch st Config.Narrow deps;
+  let dest =
+    if produces_value then
+      Some
+        (make_vstate ~pc:u.Uop.pc
+           ~narrow:(Width.is_narrow_bits ~bits:cfg.Config.narrow_bits u.Uop.result)
+           ~pred_narrow:prediction.Width_predictor.narrow ~cluster:Config.Narrow)
+    else None
+  in
+  (* carry-rippling ops chain lane k+1 on lane k's carry-out; bitwise,
+     move and store lanes are independent byte operations *)
+  let ripples =
+    match u.Uop.op with
+    | Opcode.Add | Opcode.Sub | Opcode.Cmp -> true
+    | Opcode.And | Opcode.Or | Opcode.Xor | Opcode.Mov | Opcode.Store
+    | Opcode.Shl | Opcode.Shr | Opcode.Lea | Opcode.Mul | Opcode.Div
+    | Opcode.Load | Opcode.Branch_cond | Opcode.Branch_uncond
+    | Opcode.Fp_add | Opcode.Fp_mul | Opcode.Fp_div | Opcode.Copy
+    | Opcode.Nop -> false
+  in
+  let prev_slice = ref None in
+  for k = 0 to slices - 1 do
+    let final = k = slices - 1 in
+    let chain_deps =
+      match !prev_slice with
+      | Some v when ripples -> Array.of_list ((v, v.v_epoch) :: deps)
+      | Some _ | None -> Array.of_list deps
+    in
+    let slice_dest =
+      if final then dest
+      else
+        Some
+          (make_vstate ~pc:u.Uop.pc ~narrow:true ~pred_narrow:true
+             ~cluster:Config.Narrow)
+    in
+    let node =
+      {
+        n_id = fresh_node_id st;
+        n_trace_idx = trace_idx;
+        n_uop = Some u;
+        n_kind = Slice { final };
+        n_cluster = Config.Narrow;
+        n_squashed = false; n_done = false; n_issued = false; n_gen = 0;
+        n_deps = chain_deps;
+        n_dest = slice_dest;
+        n_reason = Some Steer.Rir;
+        n_is_mem = false;
+        n_lr_replicate = false;
+        n_br_mispredicted = false;
+        n_alloc = None;
+        n_remote_reads = true;
+        n_complete = never;
+      }
+    in
+    if not final then prev_slice := slice_dest;
+    ( match slice_dest with
+    | Some _ ->
+      if Regfile.allocate st.regfile Config.Narrow then
+        node.n_alloc <- Some Config.Narrow
+    | None -> () );
+    enqueue_iq st Config.Narrow node;
+    Queue.add node st.rob;
+    st.rob_count <- st.rob_count + 1
+  done;
+  ( match dest with
+  | Some v ->
+    ( match u.Uop.dst with
+    | Some reg -> rename_write st (st.next_node_id - 1) reg v
+    | None -> () );
+    if Uop.writes_flags u then rename_write st (st.next_node_id - 1) Reg.Eflags v;
+    (* publish the result to the wide cluster as a burst of byte copies;
+       only the last one makes the value visible there (§3.7). A
+       replicated register file publishes through its write ports
+       instead. *)
+    if Uop.has_dest u && not cfg.Config.replicated_regfile then
+      for k = 0 to slices - 1 do
+        make_copy st ~cv:v ~target:Config.Wide ~prefetch:false
+          ~publishes:(k = slices - 1)
+      done
+  | None -> () );
+  Counter.incr st.counters "split_dispatched"
+
+let dispatch_steered st (u : Uop.t) ~trace_idx ~prediction ~cluster ~reason deps =
+  let cfg = st.cfg in
+  let scheme = cfg.Config.scheme in
+  let produces_value = Uop.has_dest u || Uop.writes_flags u in
+  let remote_reads = reason = Some Steer.Rcr in
+  let needed =
+    if remote_reads || cfg.Config.replicated_regfile then []
+    else copies_needed cluster deps
+  in
+  let demand_w, demand_n = copy_slot_demand needed in
+  let own_w, own_n =
+    match cluster with Config.Wide -> (1, 0) | Config.Narrow -> (0, 1)
+  in
+  if st.rob_count >= cfg.Config.rob_size then raise Dispatch_stall;
+  if iq_free st Config.Wide < demand_w + own_w then raise Dispatch_stall;
+  if iq_free st Config.Narrow < demand_n + own_n then raise Dispatch_stall;
+  if produces_value && Regfile.free_count st.regfile cluster = 0 then
+    raise Dispatch_stall;
+  let is_mem = u.Uop.op = Opcode.Load || u.Uop.op = Opcode.Store in
+  if is_mem then begin
+    if st.mob_count >= cfg.Config.mob_size then raise Dispatch_stall;
+    st.mob_count <- st.mob_count + 1
+  end;
+  List.iter
+    (fun ((v : vstate), _) ->
+      make_copy st ~cv:v ~target:cluster ~prefetch:false ~publishes:true)
+    needed;
+  credit_prefetch st cluster deps;
+  let dest =
+    if produces_value then
+      Some
+        (make_vstate ~pc:u.Uop.pc
+           ~narrow:(Width.is_narrow_bits ~bits:cfg.Config.narrow_bits u.Uop.result)
+           ~pred_narrow:prediction.Width_predictor.narrow ~cluster)
+    else None
+  in
+  let lr_replicate =
+    scheme.Config.lr && u.Uop.op = Opcode.Load
+    && prediction.Width_predictor.narrow
+    && ((not cfg.Config.confidence_gate) || prediction.Width_predictor.confident)
+  in
+  (* resolve the direction prediction in program order, here at rename *)
+  let br_mispredicted =
+    if u.Uop.op <> Opcode.Branch_cond then false
+    else
+      match cfg.Config.branch_model with
+      | Config.Br_trace_flags -> u.Uop.branch_mispredicted
+      | Config.Br_gshare ->
+        Branch_predictor.update st.gshare u.Uop.pc ~taken:u.Uop.taken
+  in
+  ( match dest with
+  | Some v -> v.v_lr <- lr_replicate
+  | None -> () );
+  let node =
+    {
+      n_id = fresh_node_id st;
+      n_trace_idx = trace_idx;
+      n_uop = Some u;
+      n_kind = Normal;
+      n_cluster = cluster;
+      n_squashed = false; n_done = false; n_issued = false; n_gen = 0;
+      n_deps = Array.of_list deps;
+      n_dest = dest;
+      n_reason = reason;
+      n_is_mem = is_mem;
+      n_lr_replicate = lr_replicate;
+      n_br_mispredicted = br_mispredicted;
+      n_alloc = None;
+      n_remote_reads = remote_reads;
+      n_complete = never;
+    }
+  in
+  ( match dest with
+  | Some v ->
+    if Regfile.allocate st.regfile cluster then node.n_alloc <- Some cluster;
+    ( match u.Uop.dst with
+    | Some reg -> rename_write st node.n_id reg v
+    | None -> () );
+    if Uop.writes_flags u then rename_write st node.n_id Reg.Eflags v
+  | None -> () );
+  enqueue_iq st cluster node;
+  Queue.add node st.rob;
+  st.rob_count <- st.rob_count + 1;
+  (* CP: producer-side copy prefetching (§3.6). Narrow producers prefetch
+     predicted copies to the wide cluster; wide producers of predicted
+     narrow values prefetch toward the helper. *)
+  ( match dest with
+  | Some v when scheme.Config.cp && Uop.has_dest u ->
+    let cp_hit = Copy_predictor.predict st.preds.Bundle.copy u.Uop.pc in
+    if cluster = Config.Narrow && cp_hit && iq_free st Config.Narrow > 0 then
+      make_copy st ~cv:v ~target:Config.Wide ~prefetch:true ~publishes:true
+    else if
+      cluster = Config.Wide && cp_hit && prediction.Width_predictor.narrow
+      && prediction.Width_predictor.confident
+      && iq_free st Config.Wide > 0
+    then make_copy st ~cv:v ~target:Config.Narrow ~prefetch:true ~publishes:true
+  | Some _ | None -> () );
+  Counter.incr st.counters
+    (match cluster with
+    | Config.Wide -> "dispatch_wide"
+    | Config.Narrow -> "dispatch_narrow")
+
+let dispatch_uop st ~forced_wide (u : Uop.t) ~trace_idx =
+  let scheme = st.cfg.Config.scheme in
+  let prediction = Width_predictor.predict st.preds.Bundle.width u.Uop.pc in
+  Counter.incr st.counters "wpred_lookup";
+  let decision =
+    if forced_wide || not scheme.Config.helper then Steer.Steer Config.Wide
+    else st.decide (steer_ctx st) u
+  in
+  let deps = reg_deps st u in
+  match decision with
+  | Steer.Split -> dispatch_split st u ~trace_idx ~prediction deps
+  | Steer.Steer cluster ->
+    dispatch_steered st u ~trace_idx ~prediction ~cluster ~reason:None deps
+  | Steer.Steer_narrow reason ->
+    dispatch_steered st u ~trace_idx ~prediction ~cluster:Config.Narrow
+      ~reason:(Some reason) deps
+
+exception Fetch_miss
+
+let frontend st =
+  if st.now >= st.fetch_resume then begin
+    let budget = ref st.cfg.Config.decode_width in
+    try
+      while !budget > 0 && st.fetch_idx < Trace.length st.trace do
+        let u = Trace.get st.trace st.fetch_idx in
+        ( match st.cfg.Config.frontend_model with
+        | Config.Fe_ideal -> ()
+        | Config.Fe_trace_cache ->
+          if not (Trace_cache.lookup st.tcache u.Uop.pc) then begin
+            (* build the trace line from the UL1 instruction stream *)
+            st.fetch_resume <- st.now + (2 * st.cfg.Config.ul1_latency);
+            Counter.incr st.counters "tc_miss";
+            raise Fetch_miss
+          end );
+        let forced_wide = Hashtbl.mem st.force_wide st.fetch_idx in
+        dispatch_uop st ~forced_wide u ~trace_idx:st.fetch_idx;
+        st.fetch_idx <- st.fetch_idx + 1;
+        decr budget
+      done
+    with Dispatch_stall | Fetch_miss -> ()
+  end
+
+(* ----- issue ----- *)
+
+(* Readiness is availability alone. A squashed-and-resteered producer
+   resets its value (epoch bump kills in-flight copies, avail returns to
+   never), and every consumer - resteered or not - then waits for the
+   re-execution to publish the value again. *)
+let deps_ready st cluster (node : node) =
+  if node.n_remote_reads then
+    Array.for_all
+      (fun ((v : vstate), _) ->
+        v.v_avail.(0) <= st.now || v.v_avail.(1) <= st.now)
+      node.n_deps
+  else begin
+    let i =
+      match node.n_kind with
+      | Copy { cv; _ } -> cluster_index cv.v_cluster
+      | Normal | Slice _ -> cluster_index cluster
+    in
+    Array.for_all
+      (fun ((v : vstate), _) -> v.v_avail.(i) <= st.now)
+      node.n_deps
+  end
+
+let issue_cluster st cluster =
+  let i = cluster_index cluster in
+  let width = st.cfg.Config.issue_width in
+  let issued = ref 0 in
+  let ready_not_issued = ref 0 in
+  let dead_copy (node : node) =
+    match node.n_kind with
+    | Copy { cv; epoch; _ } -> cv.v_epoch <> epoch
+    | Normal | Slice _ -> false
+  in
+  let remaining =
+    List.filter
+      (fun node ->
+        if node.n_squashed || dead_copy node then false
+        else if !issued < width && deps_ready st cluster node then begin
+          node.n_issued <- true;
+          incr issued;
+          st.issued_total <- st.issued_total + 1;
+          Counter.add st.counters
+            (match cluster with
+            | Config.Wide -> "regread_wide"
+            | Config.Narrow -> "regread_narrow")
+            (Array.length node.n_deps);
+          Counter.incr st.counters
+            (match cluster with
+            | Config.Wide -> "issue_wide"
+            | Config.Narrow -> "issue_narrow");
+          schedule st node (st.now + exec_ticks st cluster node);
+          false
+        end
+        else begin
+          if deps_ready st cluster node then incr ready_not_issued;
+          true
+        end)
+      (List.rev !(st.iq.(i)))
+  in
+  st.iq.(i) := List.rev remaining;
+  st.iq_count.(i) <- List.length remaining;
+  st.backlog.(i) <- !ready_not_issued;
+  st.backlog_ewma.(i) <-
+    (0.9 *. st.backlog_ewma.(i)) +. (0.1 *. float_of_int !ready_not_issued);
+  (!issued, !ready_not_issued)
+
+(* Ready-but-stalled wide uops the helper's integer-only 8-bit units could
+   in principle have hosted — the NREADY eligibility filter. *)
+let count_ready_narrow_capable st =
+  List.fold_left
+    (fun acc (node : node) ->
+      let capable =
+        match node.n_uop with
+        | None -> true
+        | Some u -> (
+          match Opcode.exec_class u.Uop.op with
+          | Opcode.Int_alu | Opcode.Mem | Opcode.Ctrl -> true
+          | Opcode.Int_mul | Opcode.Fp -> false)
+      in
+      if (not node.n_squashed) && (not node.n_issued) && capable
+         && deps_ready st Config.Wide node
+      then acc + 1
+      else acc)
+    0
+    !(st.iq.(cluster_index Config.Wide))
+
+(* ----- width misprediction recovery ----- *)
+
+(* Fatal width misprediction recovery (Â§3.2): squash the offender and
+   every younger uop in the NARROW backend and resteer them into the wide
+   backend. Older work, and younger wide-backend work, is untouched â the
+   resteered uops keep their ROB slots, so no rename rollback or refetch is
+   needed. Their destination values are re-produced in the wide cluster:
+   wide consumers then read them directly, and in-flight copies of the dead
+   incarnations are killed by the value-epoch bump. No narrow-backend
+   consumer of a resteered value can survive the squash, because it would
+   itself be younger and in the narrow backend. *)
+let flush_from st (offender : node) =
+  let cfg = st.cfg in
+  let resteered = ref [] in
+  Queue.iter
+    (fun (node : node) ->
+      if node.n_id >= offender.n_id && node.n_cluster = Config.Narrow then begin
+        match node.n_kind with
+        | Copy _ -> ()
+        | Normal | Slice _ -> resteered := node :: !resteered
+      end)
+    st.rob;
+  let resteered = List.rev !resteered in
+  (* purge the narrow issue queue of the squashed incarnations, and of
+     copies whose value is about to die *)
+  let reset_node (node : node) =
+    node.n_gen <- node.n_gen + 1;
+    node.n_issued <- false;
+    (* a completed memory uop re-enters the memory order buffer *)
+    if node.n_is_mem && node.n_done then st.mob_count <- st.mob_count + 1;
+    (* the destination register moves to the wide file; tolerate a full
+       pool (resteer cannot stall) by keeping the old entry *)
+    ( match node.n_alloc with
+    | Some Config.Narrow when Regfile.allocate st.regfile Config.Wide ->
+      Regfile.release st.regfile Config.Narrow;
+      node.n_alloc <- Some Config.Wide
+    | Some _ | None -> () );
+    node.n_done <- false;
+    node.n_cluster <- Config.Wide;
+    node.n_remote_reads <- false;
+    ( match node.n_dest with
+    | Some v ->
+      reset_vstate v;
+      v.v_cluster <- Config.Wide
+    | None -> () )
+  in
+  List.iter reset_node resteered;
+  Array.iteri
+    (fun i q ->
+      let kept =
+        List.filter
+          (fun (node : node) ->
+            (not (List.memq node resteered))
+            &&
+            match node.n_kind with
+            | Copy { cv; epoch; _ } -> cv.v_epoch = epoch
+            | Normal | Slice _ -> true)
+          !q
+      in
+      q := kept;
+      st.iq_count.(i) <- List.length kept)
+    st.iq;
+  (* collapse resteered IR slice groups: the final slice becomes the whole
+     wide uop again, its three byte-lane companions become no-ops *)
+  List.iter
+    (fun (node : node) ->
+      match node.n_kind with
+      | Slice { final } ->
+        if final then begin
+          node.n_kind <- Normal;
+          node.n_reason <- None;
+          (* drop the intra-group chain dependences: re-derive register
+             dependences from the rename state captured at dispatch is not
+             possible, so keep only deps on values that still exist *)
+          node.n_deps <-
+            Array.of_list
+              (List.filter
+                 (fun ((v : vstate), epoch) -> v.v_epoch = epoch)
+                 (Array.to_list node.n_deps))
+        end
+        else begin
+          node.n_kind <- Slice { final = false };
+          node.n_done <- true
+        end
+      | Normal | Copy _ -> ())
+    resteered;
+  (* re-dispatch into the wide backend (a transient resteer-buffer overflow
+     of the issue queue is allowed), creating the copies the new cluster
+     placement needs *)
+  let wide = cluster_index Config.Wide in
+  List.iter
+    (fun (node : node) ->
+      if not node.n_done then begin
+        if not st.cfg.Config.replicated_regfile then
+          Array.iter
+            (fun ((v : vstate), epoch) ->
+              if
+                v.v_epoch = epoch && v.v_cluster = Config.Narrow
+                && v.v_avail.(wide) = never
+                && not v.v_copy_inflight.(wide)
+              then make_copy st ~cv:v ~target:Config.Wide ~prefetch:false
+                  ~publishes:true)
+            node.n_deps;
+        st.iq.(wide) := node :: !(st.iq.(wide));
+        st.iq_count.(wide) <- st.iq_count.(wide) + 1
+      end)
+    resteered;
+  st.fetch_resume <- max st.fetch_resume (st.now + (2 * cfg.Config.width_flush_penalty));
+  Counter.incr st.counters "width_flush"
+
+(* ICS'05-style replay: only the offending uop re-executes, in the wide
+   cluster; consumers simply wait for the value to be re-produced. Much
+   cheaper than the flushing scheme - the trade-off section 4 discusses. *)
+let replay st (node : node) =
+  node.n_gen <- node.n_gen + 1;
+  node.n_issued <- false;
+  if node.n_is_mem then st.mob_count <- st.mob_count + 1;
+  node.n_done <- false;
+  node.n_cluster <- Config.Wide;
+  node.n_remote_reads <- false;
+  ( match node.n_dest with
+  | Some v ->
+    reset_vstate v;
+    v.v_cluster <- Config.Wide
+  | None -> () );
+  ( match node.n_alloc with
+  | Some Config.Narrow when Regfile.allocate st.regfile Config.Wide ->
+    Regfile.release st.regfile Config.Narrow;
+    node.n_alloc <- Some Config.Wide
+  | Some _ | None -> () );
+  let wide = cluster_index Config.Wide in
+  (* re-executing in the wide cluster needs the sources there; without a
+     replicated file some may live only in the narrow one *)
+  if not st.cfg.Config.replicated_regfile then
+    Array.iter
+      (fun ((v : vstate), epoch) ->
+        if
+          v.v_epoch = epoch && v.v_cluster = Config.Narrow
+          && v.v_avail.(wide) = never
+          && not v.v_copy_inflight.(wide)
+        then
+          make_copy st ~cv:v ~target:Config.Wide ~prefetch:false ~publishes:true)
+      node.n_deps;
+  st.iq.(wide) := node :: !(st.iq.(wide));
+  st.iq_count.(wide) <- st.iq_count.(wide) + 1;
+  (* without a replicated register file the re-produced value lands in the
+     wide file only, but narrow consumers dispatched before the replay were
+     wired copy-free (the value used to live beside them) - send it back *)
+  ( match node.n_dest with
+  | Some v when not st.cfg.Config.replicated_regfile ->
+    make_copy st ~cv:v ~target:Config.Narrow ~prefetch:false ~publishes:true
+  | Some _ | None -> () );
+  Counter.incr st.counters "replay"
+
+(* Did this narrow-steered uop actually need the wide datapath? *)
+let narrow_execution_wrong st (node : node) =
+  let bits = st.cfg.Config.narrow_bits in
+  match node.n_uop, node.n_reason with
+  | Some u, Some Steer.R888 -> not (Uop.is_888_bits ~bits u)
+  | Some u, Some Steer.Rcr ->
+    if u.Uop.op = Opcode.Load then
+      (not (Uop.carry_not_propagated_bits ~bits u))
+      || not (Width.is_narrow_bits ~bits u.Uop.result)
+    else not (Uop.carry_not_propagated_bits ~bits u)
+  | Some _, (Some Steer.Rbr | Some Steer.Rir | None) | None, _ -> false
+
+(* ----- writeback / completion ----- *)
+
+let train_predictors st (u : Uop.t) =
+  let bits = st.cfg.Config.narrow_bits in
+  if Uop.has_dest u || Uop.writes_flags u then begin
+    Width_predictor.update st.preds.Bundle.width u.Uop.pc
+      ~narrow:(Width.is_narrow_bits ~bits u.Uop.result);
+    Counter.incr st.counters "wpred_update"
+  end;
+  if st.cfg.Config.scheme.Config.cr && Opcode.carry_eligible u.Uop.op
+     && List.length u.Uop.src_vals = 2
+  then
+    Carry_predictor.update st.preds.Bundle.carry u.Uop.pc
+      ~carry_local:(Uop.carry_not_propagated_bits ~bits u)
+
+let classify_prediction st (node : node) (u : Uop.t) ~fatal =
+  if Uop.has_dest u || Uop.writes_flags u then begin
+    let narrow = Width.is_narrow_bits ~bits:st.cfg.Config.narrow_bits u.Uop.result in
+    let predicted =
+      match node.n_dest with Some v -> v.v_pred_narrow | None -> narrow
+    in
+    if fatal then st.wpred_fatal <- st.wpred_fatal + 1
+    else if predicted = narrow then st.wpred_correct <- st.wpred_correct + 1
+    else st.wpred_nonfatal <- st.wpred_nonfatal + 1
+  end
+
+let regwrite_counter cluster =
+  match cluster with
+  | Config.Wide -> "regwrite_wide"
+  | Config.Narrow -> "regwrite_narrow"
+
+let complete_copy st (node : node) ~cv ~target ~epoch ~publishes =
+  if cv.v_epoch = epoch then begin
+    let i = cluster_index target in
+    if publishes then cv.v_avail.(i) <- min cv.v_avail.(i) st.now;
+    Counter.incr st.counters "copy_completed";
+    Counter.incr st.counters (regwrite_counter target)
+  end;
+  ignore node
+
+let complete_slice st (node : node) ~final =
+  ( match node.n_dest with
+  | Some v ->
+    v.v_done <- true;
+    v.v_avail.(cluster_index Config.Narrow) <- st.now;
+    if final && st.cfg.Config.replicated_regfile then begin
+      let wide = cluster_index Config.Wide in
+      v.v_avail.(wide) <- min v.v_avail.(wide) (st.now + 2);
+      Counter.incr st.counters (regwrite_counter Config.Wide)
+    end
+  | None -> () );
+  if final then begin
+    match node.n_uop with
+    | Some u ->
+      classify_prediction st node u ~fatal:false;
+      train_predictors st u
+    | None -> ()
+  end;
+  Counter.incr st.counters "alu_narrow";
+  Counter.incr st.counters (regwrite_counter Config.Narrow)
+
+let complete_normal st (node : node) =
+  let u = match node.n_uop with Some u -> u | None -> assert false in
+  if node.n_is_mem then begin
+    st.mob_count <- st.mob_count - 1;
+    Counter.incr st.counters
+      (if u.Uop.dl0_miss then if u.Uop.ul1_miss then "mem_main" else "mem_ul1"
+       else "mem_dl0")
+  end;
+  let fatal = node.n_cluster = Config.Narrow && narrow_execution_wrong st node in
+  classify_prediction st node u ~fatal;
+  train_predictors st u;
+  if fatal then begin
+    if st.cfg.Config.replay_recovery then replay st node
+    else
+      (* the offender is squashed together with everything younger *)
+      flush_from st node
+  end
+  else begin
+    ( match node.n_dest with
+    | Some v ->
+      v.v_done <- true;
+      let own = cluster_index node.n_cluster in
+      v.v_avail.(own) <- st.now;
+      (* ICS'05 register replication: the result is also written to the
+         other cluster's file, one cycle later, with no copy uop *)
+      if st.cfg.Config.replicated_regfile then begin
+        let oth = cluster_index (other_cluster node.n_cluster) in
+        v.v_avail.(oth) <- min v.v_avail.(oth) (st.now + 2);
+        Counter.incr st.counters (regwrite_counter (other_cluster node.n_cluster))
+      end;
+      (* LR (§3.4): the shared MOB fills both register files. The replica of
+         an actually-wide value carries a truncated pattern; a narrow
+         consumer that reads it discovers the width violation at its own
+         execution and recovers through the ordinary flush path. *)
+      if node.n_lr_replicate then begin
+        let oth = cluster_index (other_cluster node.n_cluster) in
+        v.v_avail.(oth) <- st.now + 2;
+        if v.v_narrow then Counter.incr st.counters "lr_replicated";
+        Counter.incr st.counters (regwrite_counter (other_cluster node.n_cluster))
+      end
+    | None -> () );
+    Counter.incr st.counters (regwrite_counter node.n_cluster);
+    ( match Opcode.exec_class u.Uop.op with
+    | Opcode.Int_alu | Opcode.Ctrl ->
+      Counter.incr st.counters
+        (match node.n_cluster with
+        | Config.Wide -> "alu_wide"
+        | Config.Narrow -> "alu_narrow")
+    | Opcode.Int_mul -> Counter.incr st.counters "mul_wide"
+    | Opcode.Mem ->
+      Counter.incr st.counters
+        (match node.n_cluster with
+        | Config.Wide -> "agu_wide"
+        | Config.Narrow -> "agu_narrow")
+    | Opcode.Fp -> Counter.incr st.counters "fpu_wide" );
+    if node.n_br_mispredicted then
+      st.fetch_resume <-
+        max st.fetch_resume (st.now + (2 * st.cfg.Config.branch_penalty))
+  end
+
+let complete_node st (node : node) =
+  if not node.n_squashed then begin
+    node.n_done <- true;
+    match node.n_kind with
+    | Copy { cv; target; epoch; prefetch = _; publishes } ->
+      complete_copy st node ~cv ~target ~epoch ~publishes
+    | Slice { final } -> complete_slice st node ~final
+    | Normal -> complete_normal st node
+  end
+
+let process_completions st =
+  let slot = st.now mod wheel_size in
+  let due, later =
+    List.partition
+      (fun (node, gen) -> node.n_complete = st.now && node.n_gen = gen)
+      st.events.(slot)
+  in
+  let later = List.filter (fun (node, gen) -> node.n_gen = gen) later in
+  st.events.(slot) <- later;
+  (* oldest first: a fatal flush must squash younger completions sharing
+     this tick *)
+  let due = List.sort (fun (a, _) (b, _) -> Int.compare a.n_id b.n_id) due in
+  List.iter (fun (node, gen) -> if node.n_gen = gen then complete_node st node) due
+
+(* ----- commit ----- *)
+
+let commit st =
+  let budget = ref st.cfg.Config.commit_width in
+  let stop = ref false in
+  while (not !stop) && !budget > 0 && not (Queue.is_empty st.rob) do
+    let head = Queue.peek st.rob in
+    if head.n_done && not head.n_squashed then begin
+      ignore (Queue.pop st.rob);
+      st.rob_count <- st.rob_count - 1;
+      decr budget;
+      ( match head.n_alloc with
+      | Some c -> Regfile.release st.regfile c
+      | None -> () );
+      ( match head.n_kind with
+      | Normal ->
+        st.committed <- st.committed + 1;
+        if head.n_cluster = Config.Narrow then
+          st.steered_narrow <- st.steered_narrow + 1
+      | Slice { final } ->
+        if final then begin
+          st.committed <- st.committed + 1;
+          st.steered_narrow <- st.steered_narrow + 1;
+          st.split_uops <- st.split_uops + 1
+        end
+      | Copy _ -> assert false );
+      Counter.incr st.counters "committed"
+    end
+    else stop := true
+  done
+
+(* ----- main loop ----- *)
+
+let finished st =
+  st.fetch_idx >= Trace.length st.trace && Queue.is_empty st.rob
+
+let run ?(max_ticks = 200_000_000) ~cfg ~decide ~scheme_name trace =
+  let st = create cfg decide trace in
+  let helper = cfg.Config.scheme.Config.helper in
+  while not (finished st) do
+    if st.now > max_ticks then
+      failwith
+        (Printf.sprintf "Pipeline.run: exceeded %d ticks at trace index %d"
+           max_ticks st.fetch_idx);
+    process_completions st;
+    let even = st.now mod 2 = 0 in
+    if even then begin
+      commit st;
+      frontend st;
+      let issued_w, leftover_w = issue_cluster st Config.Wide in
+      if helper then begin
+        let issued_n, leftover_n = issue_cluster st Config.Narrow in
+        (* NREADY (§3.7): ready uops stalled here while the other backend
+           had idle slots this cycle *)
+        let spare_n = cfg.Config.issue_width - issued_n in
+        let spare_w = cfg.Config.issue_width - issued_w in
+        if spare_n > 0 && leftover_w > 0 then begin
+          let capable = count_ready_narrow_capable st in
+          st.nready_w2n <- st.nready_w2n + min capable spare_n
+        end;
+        if spare_w > 0 && leftover_n > 0 then
+          st.nready_n2w <- st.nready_n2w + min leftover_n spare_w
+      end
+    end
+    else if helper && cfg.Config.helper_fast_clock then
+      ignore (issue_cluster st Config.Narrow);
+    Counter.incr st.counters "tick";
+    if even then Counter.incr st.counters "cycle_wide";
+    if helper && (even || cfg.Config.helper_fast_clock) then
+      Counter.incr st.counters "cycle_narrow";
+    st.now <- st.now + 1
+  done;
+  {
+    Metrics.name = trace.Trace.name;
+    scheme_name;
+    committed = st.committed;
+    ticks = st.now;
+    copies = st.copies;
+    steered_narrow = st.steered_narrow;
+    split_uops = st.split_uops;
+    wpred_correct = st.wpred_correct;
+    wpred_fatal = st.wpred_fatal;
+    wpred_nonfatal = st.wpred_nonfatal;
+    prefetch_copies = st.prefetch_copies;
+    prefetch_useful = st.prefetch_useful;
+    nready_w2n = st.nready_w2n;
+    nready_n2w = st.nready_n2w;
+    issued_total = st.issued_total;
+    counters = st.counters;
+  }

@@ -1,0 +1,58 @@
+type t = {
+  cap : int array;  (* per cluster-index *)
+  mutable free : int array;
+}
+
+let cluster_index = function Config.Wide -> 0 | Config.Narrow -> 1
+
+let create ?(wide_regs = 128) ?(narrow_regs = 128) () =
+  if wide_regs <= 0 || narrow_regs <= 0 then
+    invalid_arg "Regfile.create: non-positive capacity";
+  { cap = [| wide_regs; narrow_regs |]; free = [| wide_regs; narrow_regs |] }
+
+let capacity t c = t.cap.(cluster_index c)
+
+let free_count t c = t.free.(cluster_index c)
+
+let allocate t c =
+  let i = cluster_index c in
+  if t.free.(i) = 0 then false
+  else begin
+    t.free.(i) <- t.free.(i) - 1;
+    true
+  end
+
+let release t c =
+  let i = cluster_index c in
+  if t.free.(i) >= t.cap.(i) then invalid_arg "Regfile.release: pool already full";
+  t.free.(i) <- t.free.(i) + 1
+
+let in_use t c = t.cap.(cluster_index c) - t.free.(cluster_index c)
+
+module Tags = struct
+  type t = int array
+
+  let create ?(wide_regs = 128) () =
+    if wide_regs <= 0 then invalid_arg "Regfile.Tags.create: non-positive size";
+    Array.make wide_regs 0
+
+  let check t r =
+    if r < 0 || r >= Array.length t then invalid_arg "Regfile.Tags: register out of range"
+
+  let link t r =
+    check t r;
+    t.(r) <- t.(r) + 1
+
+  let unlink t r =
+    check t r;
+    if t.(r) = 0 then invalid_arg "Regfile.Tags.unlink: counter already zero";
+    t.(r) <- t.(r) - 1
+
+  let links t r =
+    check t r;
+    t.(r)
+
+  let can_deallocate t r ~renamer_committed =
+    check t r;
+    renamer_committed && t.(r) = 0
+end

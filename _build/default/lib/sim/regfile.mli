@@ -1,0 +1,53 @@
+(** Per-cluster physical register files, plus the CR tag machinery.
+
+    Each backend owns its integer register file (§2.1); renaming a
+    destination allocates an entry in the target cluster's file and the
+    entry returns to the free pool when its definition leaves the machine.
+    With Table-1-sized files (one entry per ROB slot) there is never
+    pressure; shrinking them in an ablation makes rename stall visible.
+
+    {!Tags} models §3.5's upper-24-bit reconstruction bookkeeping: the
+    rename entry of an 8-32-32 instruction's destination points at the
+    wide register holding the upper 24 bits, and that wide register can
+    only be deallocated when its renamer has committed {e and} its
+    link counter is zero. *)
+
+type t
+
+val create : ?wide_regs:int -> ?narrow_regs:int -> unit -> t
+(** Default 128 entries per cluster (one per ROB slot: no pressure).
+    @raise Invalid_argument unless both are positive. *)
+
+val capacity : t -> Config.cluster -> int
+
+val free_count : t -> Config.cluster -> int
+
+val allocate : t -> Config.cluster -> bool
+(** Take one entry; [false] when the file is exhausted (rename must
+    stall). *)
+
+val release : t -> Config.cluster -> unit
+(** Return one entry. @raise Invalid_argument when the pool is already
+    full — a double release is a simulator bug. *)
+
+val in_use : t -> Config.cluster -> int
+
+module Tags : sig
+  type t
+
+  val create : ?wide_regs:int -> unit -> t
+
+  val link : t -> int -> unit
+  (** An 8-32-32 condition was detected: the destination's rename entry
+      now points at wide register [r]; its counter increments. *)
+
+  val unlink : t -> int -> unit
+  (** The 8-32-32 destination's definition was deallocated by the renamer:
+      decrement. @raise Invalid_argument below zero. *)
+
+  val links : t -> int -> int
+
+  val can_deallocate : t -> int -> renamer_committed:bool -> bool
+  (** §3.5: "the 32-bit register is deallocated only when its renamer
+      commits and the counter associated with it is zero." *)
+end

@@ -1,0 +1,34 @@
+type src_info = {
+  si_narrow : bool;
+  si_known : bool;
+  si_cluster : Config.cluster option;
+}
+
+type ctx = {
+  cfg : Config.t;
+  preds : Hc_predictors.Bundle.t;
+  source_info : Hc_isa.Uop.operand -> src_info;
+  flags_in_narrow : unit -> bool;
+  occupancy : Config.cluster -> float;
+  ready_backlog : Config.cluster -> int;
+  backlog_ewma : Config.cluster -> float;
+  rob_occupancy : unit -> float;
+}
+
+type reason = R888 | Rbr | Rcr | Rir
+
+type decision =
+  | Steer of Config.cluster
+  | Steer_narrow of reason
+  | Split
+
+let reason_to_string = function
+  | R888 -> "888"
+  | Rbr -> "br"
+  | Rcr -> "cr"
+  | Rir -> "ir"
+
+let pp_decision ppf = function
+  | Steer c -> Format.fprintf ppf "steer:%s" (Config.cluster_to_string c)
+  | Steer_narrow r -> Format.fprintf ppf "steer:narrow(%s)" (reason_to_string r)
+  | Split -> Format.pp_print_string ppf "split"

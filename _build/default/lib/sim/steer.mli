@@ -1,0 +1,52 @@
+(** The interface between the rename stage and a steering policy.
+
+    At rename time the policy sees only what the hardware would see: the
+    prediction tables, the rename width table (actual widths for already
+    written-back producers, predictions otherwise), where each source value
+    currently lives, where the last flags writer went, and the issue-queue
+    occupancies. Ground-truth uop fields must not be consulted — the
+    pipeline discovers mispredictions at execute, not the policy. *)
+
+type src_info = {
+  si_narrow : bool;
+      (** believed width of the operand: actual for immediates and
+          written-back producers (§3.2: "the actual width is read if the
+          producer instruction has already written back"), predicted
+          otherwise *)
+  si_known : bool;  (** [true] when [si_narrow] is the actual width *)
+  si_cluster : Config.cluster option;
+      (** cluster whose register file will hold the value, when renamed *)
+}
+
+type ctx = {
+  cfg : Config.t;
+  preds : Hc_predictors.Bundle.t;
+  source_info : Hc_isa.Uop.operand -> src_info;
+  flags_in_narrow : unit -> bool;
+      (** did the most recent flags-writing uop steer to the helper
+          cluster (the BR condition of §3.3) *)
+  occupancy : Config.cluster -> float;  (** IQ occupancy fraction in [0,1] *)
+  ready_backlog : Config.cluster -> int;
+      (** NREADY signal from the most recent issue round of that cluster:
+          how many ready uops could not issue for lack of slots *)
+  backlog_ewma : Config.cluster -> float;
+      (** exponentially smoothed ready backlog: distinguishes sustained
+          congestion from a single-cycle blip *)
+  rob_occupancy : unit -> float;
+      (** reorder-buffer fill fraction: near 1.0 the machine is
+          commit-blocked (typically on memory) and issue-bandwidth tricks
+          like IR splitting cannot help *)
+}
+
+type reason =
+  | R888  (** steered by the all-narrow rule *)
+  | Rbr  (** flag-dependent branch *)
+  | Rcr  (** carry width prediction *)
+  | Rir  (** split for imbalance reduction *)
+
+type decision =
+  | Steer of Config.cluster
+  | Steer_narrow of reason
+  | Split  (** IR: crack into four chained 8-bit slices in the helper *)
+
+val pp_decision : Format.formatter -> decision -> unit

@@ -1,0 +1,32 @@
+(* Reuses the generic set-associative machinery at trace-line granularity:
+   a "line" is [line_uops] consecutive uops (4-byte pcs). *)
+
+type t = {
+  cache : Cache.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?(uop_capacity = 32 * 1024) ?(ways = 4) ?(line_uops = 6) () =
+  if uop_capacity <= 0 || ways <= 0 || line_uops <= 0 then
+    invalid_arg "Trace_cache.create: non-positive geometry";
+  (* express the geometry in bytes for the generic cache: one uop = 4
+     pc-bytes; round the line up to a power of two *)
+  let pow2_at_least n =
+    let rec go p = if p >= n then p else go (p * 2) in
+    go 1
+  in
+  let line_bytes = pow2_at_least (line_uops * 4) in
+  let size_bytes = pow2_at_least (uop_capacity * 4) in
+  { cache = Cache.create ~line_bytes ~size_bytes ~ways (); hits = 0; misses = 0 }
+
+let lookup t pc =
+  let hit = Cache.access t.cache pc in
+  if hit then t.hits <- t.hits + 1 else t.misses <- t.misses + 1;
+  hit
+
+let stats t = (t.hits, t.misses)
+
+let hit_rate t =
+  let total = t.hits + t.misses in
+  if total = 0 then 0. else float_of_int t.hits /. float_of_int total

@@ -1,0 +1,22 @@
+(** The Pentium-4-style trace cache of Table 1 (32 K uops, 4-way).
+
+    Models frontend supply: uops are delivered from trace-cache lines of
+    consecutive-pc uops; a lookup miss means the line must be built from
+    the UL1 instruction stream, stalling decode for the build penalty.
+    Select with {!Config.t.frontend_model}. *)
+
+type t
+
+val create : ?uop_capacity:int -> ?ways:int -> ?line_uops:int -> unit -> t
+(** Defaults: Table 1's 32 K uops, 4-way, with 6-uop trace lines.
+    @raise Invalid_argument unless all are positive and the geometry is a
+    power of two in sets. *)
+
+val lookup : t -> Hc_isa.Value.t -> bool
+(** [lookup t pc] — is the trace line containing [pc] present? Allocates
+    it on miss. *)
+
+val stats : t -> int * int
+(** [(hits, misses)] since creation. *)
+
+val hit_rate : t -> float

@@ -1,0 +1,34 @@
+type t = (string, int ref) Hashtbl.t
+
+let create () : t = Hashtbl.create 64
+
+let cell t name =
+  match Hashtbl.find_opt t name with
+  | Some r -> r
+  | None ->
+    let r = ref 0 in
+    Hashtbl.add t name r;
+    r
+
+let incr t name = Stdlib.incr (cell t name)
+
+let add t name n =
+  let r = cell t name in
+  r := !r + n
+
+let get t name = match Hashtbl.find_opt t name with Some r -> !r | None -> 0
+
+let ratio t num den =
+  let d = get t den in
+  if d = 0 then 0. else float_of_int (get t num) /. float_of_int d
+
+let names t = Hashtbl.fold (fun k _ acc -> k :: acc) t [] |> List.sort String.compare
+
+let reset t = Hashtbl.reset t
+
+let merge_into ~dst src = Hashtbl.iter (fun k r -> add dst k !r) src
+
+let pp ppf t =
+  Format.pp_open_vbox ppf 0;
+  List.iter (fun n -> Format.fprintf ppf "%-40s %d@," n (get t n)) (names t);
+  Format.pp_close_box ppf ()

@@ -1,0 +1,34 @@
+(** Named event counters.
+
+    A counter set is the simulator's instrumentation backbone: every
+    structural event (uop steered, copy generated, flush, issue slot used…)
+    bumps a named counter, and the experiment layer reads ratios out of the
+    final set. *)
+
+type t
+(** A mutable set of named counters. *)
+
+val create : unit -> t
+
+val incr : t -> string -> unit
+(** [incr t name] adds 1 to [name], creating it at 0 first if needed. *)
+
+val add : t -> string -> int -> unit
+(** [add t name n] adds [n] (which may be negative) to [name]. *)
+
+val get : t -> string -> int
+(** [get t name] is the current count, 0 if never touched. *)
+
+val ratio : t -> string -> string -> float
+(** [ratio t num den] is [get t num / get t den] as a float; [0.] when the
+    denominator is zero. *)
+
+val names : t -> string list
+(** All touched counter names, sorted. *)
+
+val reset : t -> unit
+
+val merge_into : dst:t -> t -> unit
+(** [merge_into ~dst src] adds every counter of [src] into [dst]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,52 @@
+type t = {
+  cells : (int, int ref) Hashtbl.t;
+  mutable total : int;
+}
+
+let create () = { cells = Hashtbl.create 32; total = 0 }
+
+let observe_n t k n =
+  ( match Hashtbl.find_opt t.cells k with
+  | Some r -> r := !r + n
+  | None -> Hashtbl.add t.cells k (ref n) );
+  t.total <- t.total + n
+
+let observe t k = observe_n t k 1
+
+let count t k = match Hashtbl.find_opt t.cells k with Some r -> !r | None -> 0
+
+let total t = t.total
+
+let keys t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.cells [] |> List.sort Int.compare
+
+let fold f t init =
+  List.fold_left (fun acc k -> f k (count t k) acc) init (keys t)
+
+let mean t =
+  if t.total = 0 then 0.
+  else
+    let sum = fold (fun k c acc -> acc + (k * c)) t 0 in
+    float_of_int sum /. float_of_int t.total
+
+let percentile t p =
+  if t.total = 0 then invalid_arg "Histogram.percentile: empty";
+  if p < 0. || p > 1. then invalid_arg "Histogram.percentile: p out of [0,1]";
+  let target = int_of_float (ceil (p *. float_of_int t.total)) in
+  let rec scan acc = function
+    | [] -> invalid_arg "Histogram.percentile: unreachable"
+    | [ k ] -> k
+    | k :: rest -> if acc + count t k >= target then k else scan (acc + count t k) rest
+  in
+  scan 0 (keys t)
+
+let fraction_le t k =
+  if t.total = 0 then 0.
+  else
+    let le = fold (fun key c acc -> if key <= k then acc + c else acc) t 0 in
+    float_of_int le /. float_of_int t.total
+
+let pp ppf t =
+  Format.pp_open_vbox ppf 0;
+  List.iter (fun k -> Format.fprintf ppf "%6d: %d@," k (count t k)) (keys t);
+  Format.pp_close_box ppf ()

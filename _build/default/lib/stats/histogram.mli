@@ -1,0 +1,39 @@
+(** Integer-keyed histograms.
+
+    Used for distance distributions (Fig 13), issue-queue occupancies and
+    value-width profiles. *)
+
+type t
+
+val create : unit -> t
+
+val observe : t -> int -> unit
+(** [observe t k] adds one sample at key [k]. *)
+
+val observe_n : t -> int -> int -> unit
+(** [observe_n t k n] adds [n] samples at key [k]. *)
+
+val count : t -> int -> int
+(** Samples recorded at exactly key [k]. *)
+
+val total : t -> int
+(** Total number of samples. *)
+
+val mean : t -> float
+(** Mean key, weighted by counts; [0.] when empty. *)
+
+val percentile : t -> float -> int
+(** [percentile t p] with [p] in [0,1] is the smallest key [k] such that at
+    least [p * total] samples have key [<= k].
+    @raise Invalid_argument on an empty histogram or [p] outside [0,1]. *)
+
+val fold : (int -> int -> 'a -> 'a) -> t -> 'a -> 'a
+(** [fold f t init] folds [f key count] over keys in increasing order. *)
+
+val keys : t -> int list
+(** Keys with nonzero counts, increasing. *)
+
+val fraction_le : t -> int -> float
+(** [fraction_le t k] is the fraction of samples with key [<= k]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,51 @@
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable min_v : float;
+  mutable max_v : float;
+}
+
+let create () = { n = 0; mean = 0.; m2 = 0.; min_v = infinity; max_v = neg_infinity }
+
+let add t x =
+  t.n <- t.n + 1;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if x < t.min_v then t.min_v <- x;
+  if x > t.max_v then t.max_v <- x
+
+let n t = t.n
+
+let mean t = if t.n = 0 then 0. else t.mean
+
+let variance t = if t.n < 2 then 0. else t.m2 /. float_of_int t.n
+
+let stddev t = sqrt (variance t)
+
+let min_value t =
+  if t.n = 0 then invalid_arg "Summary.min_value: empty";
+  t.min_v
+
+let max_value t =
+  if t.n = 0 then invalid_arg "Summary.max_value: empty";
+  t.max_v
+
+let arithmetic_mean = function
+  | [] -> 0.
+  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let geometric_mean = function
+  | [] -> invalid_arg "Summary.geometric_mean: empty"
+  | xs ->
+    if List.exists (fun x -> x <= 0.) xs then
+      invalid_arg "Summary.geometric_mean: non-positive element";
+    let log_sum = List.fold_left (fun acc x -> acc +. log x) 0. xs in
+    exp (log_sum /. float_of_int (List.length xs))
+
+let speedup ~baseline x =
+  if baseline <= 0. then invalid_arg "Summary.speedup: non-positive baseline";
+  (x /. baseline) -. 1.
+
+let pct f = 100. *. f

@@ -1,0 +1,40 @@
+(** Streaming summaries of float series (Welford online moments) plus
+    aggregate helpers used in experiment reports. *)
+
+type t
+(** Mutable accumulator of a float series. *)
+
+val create : unit -> t
+
+val add : t -> float -> unit
+
+val n : t -> int
+
+val mean : t -> float
+(** [0.] when empty. *)
+
+val variance : t -> float
+(** Population variance; [0.] when fewer than two samples. *)
+
+val stddev : t -> float
+
+val min_value : t -> float
+(** @raise Invalid_argument when empty. *)
+
+val max_value : t -> float
+(** @raise Invalid_argument when empty. *)
+
+val arithmetic_mean : float list -> float
+(** [0.] on the empty list. *)
+
+val geometric_mean : float list -> float
+(** Geometric mean of positive values.
+    @raise Invalid_argument on empty input or non-positive elements. *)
+
+val speedup : baseline:float -> float -> float
+(** [speedup ~baseline x] is the relative improvement [(x /. baseline) - 1.]
+    of a rate metric (e.g. IPC) over the baseline.
+    @raise Invalid_argument when [baseline <= 0.]. *)
+
+val pct : float -> float
+(** [pct f] scales a fraction to percent. *)

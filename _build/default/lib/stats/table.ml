@@ -1,0 +1,63 @@
+type align = Left | Right
+
+type row = Cells of string list | Rule
+
+type t = {
+  headers : string list;
+  aligns : align list;
+  mutable rows : row list;  (* reversed *)
+}
+
+let create ?aligns headers =
+  let aligns =
+    match aligns with
+    | Some a ->
+      if List.length a <> List.length headers then
+        invalid_arg "Table.create: aligns length mismatch";
+      a
+    | None -> List.mapi (fun i _ -> if i = 0 then Left else Right) headers
+  in
+  { headers; aligns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg "Table.add_row: width mismatch";
+  t.rows <- Cells cells :: t.rows
+
+let add_float_row t label xs =
+  add_row t (label :: List.map (Printf.sprintf "%.2f") xs)
+
+let add_separator t = t.rows <- Rule :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let cell_rows = List.filter_map (function Cells c -> Some c | Rule -> None) rows in
+  let widths =
+    List.fold_left
+      (fun ws cells -> List.map2 (fun w c -> max w (String.length c)) ws cells)
+      (List.map String.length t.headers)
+      cell_rows
+  in
+  let pad align width s =
+    let fill = String.make (width - String.length s) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+  in
+  let render_cells cells =
+    let padded =
+      List.map2 (fun (w, a) c -> pad a w c)
+        (List.combine widths t.aligns)
+        cells
+    in
+    String.concat "  " padded
+  in
+  let rule =
+    String.concat "--" (List.map (fun w -> String.make w '-') widths)
+  in
+  let body =
+    List.map (function Cells c -> render_cells c | Rule -> rule) rows
+  in
+  String.concat "\n" (render_cells t.headers :: rule :: body)
+
+let print t =
+  print_string (render t);
+  print_newline ()

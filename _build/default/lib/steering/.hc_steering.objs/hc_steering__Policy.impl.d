@@ -1,0 +1,1 @@
+lib/steering/policy.ml: Hc_isa Hc_predictors Hc_sim List

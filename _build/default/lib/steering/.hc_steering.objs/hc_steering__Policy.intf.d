@@ -1,0 +1,1 @@
+lib/steering/policy.mli: Hc_isa Hc_sim

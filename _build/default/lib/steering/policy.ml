@@ -1,0 +1,116 @@
+module Opcode = Hc_isa.Opcode
+module Uop = Hc_isa.Uop
+module Config = Hc_sim.Config
+module Steer = Hc_sim.Steer
+module Width_predictor = Hc_predictors.Width_predictor
+module Carry_predictor = Hc_predictors.Carry_predictor
+module Bundle = Hc_predictors.Bundle
+
+let helper_capable (u : Uop.t) =
+  match Opcode.exec_class u.Uop.op with
+  | Opcode.Int_alu | Opcode.Mem | Opcode.Ctrl -> true
+  | Opcode.Int_mul | Opcode.Fp -> false
+
+(* The believed widths of a uop's sources, as the rename stage sees them
+   (actual when known, predicted otherwise). *)
+let source_beliefs (ctx : Steer.ctx) (u : Uop.t) =
+  List.map ctx.Steer.source_info u.Uop.srcs
+
+let all_sources_narrow beliefs =
+  List.for_all (fun (si : Steer.src_info) -> si.Steer.si_narrow) beliefs
+
+(* §3.2: every source believed narrow, result predicted narrow with high
+   confidence. Uops with no observable result only need narrow sources. *)
+let decide_888 (ctx : Steer.ctx) (u : Uop.t) beliefs =
+  let cfg = ctx.Steer.cfg in
+  if not (all_sources_narrow beliefs) then false
+  else if not (Uop.has_dest u || Uop.writes_flags u) then true
+  else begin
+    let p = Width_predictor.predict ctx.Steer.preds.Bundle.width u.Uop.pc in
+    p.Width_predictor.narrow
+    && ((not cfg.Config.confidence_gate) || p.Width_predictor.confident)
+  end
+
+(* §3.5: 8-32-32 shape as believed at rename — exactly one wide source —
+   plus a confident carry-local prediction. Loads also need the loaded
+   value predicted narrow: the helper register file is 8 bits wide and
+   there is no upper-24 reconstruction tag for memory data. *)
+let decide_cr (ctx : Steer.ctx) (u : Uop.t) beliefs =
+  let cfg = ctx.Steer.cfg in
+  if not (Opcode.carry_eligible u.Uop.op) then false
+  else
+    match beliefs with
+    | [ a; b ] ->
+      let wide_count =
+        (if a.Steer.si_narrow then 0 else 1) + if b.Steer.si_narrow then 0 else 1
+      in
+      if wide_count <> 1 then false
+      else begin
+        let c = Carry_predictor.predict ctx.Steer.preds.Bundle.carry u.Uop.pc in
+        let carry_ok =
+          c.Carry_predictor.carry_local
+          && ((not cfg.Config.confidence_gate) || c.Carry_predictor.confident)
+        in
+        if not carry_ok then false
+        else if u.Uop.op = Opcode.Load then begin
+          let p = Width_predictor.predict ctx.Steer.preds.Bundle.width u.Uop.pc in
+          p.Width_predictor.narrow
+          && ((not cfg.Config.confidence_gate) || p.Width_predictor.confident)
+        end
+        else true
+      end
+    | [] | [ _ ] | _ :: _ :: _ -> false
+
+(* §3.7: the wide backend is congested relative to the helper, and this uop
+   can be cracked into byte lanes. *)
+let decide_ir (ctx : Steer.ctx) (u : Uop.t) =
+  let cfg = ctx.Steer.cfg in
+  let eligible =
+    match cfg.Config.scheme.Config.ir with
+    | Config.Ir_off -> false
+    | Config.Ir_all ->
+      (* carry-rippling splits serialize their four lanes and delay any
+         consumer (a flags-dependent branch for cmp); the profitable
+         splits are the independent byte-lane ones *)
+      (match u.Uop.op with
+       | Opcode.And | Opcode.Or | Opcode.Xor | Opcode.Mov | Opcode.Store
+       | Opcode.Add | Opcode.Sub -> true
+       | _ -> false)
+    | Config.Ir_no_dest -> u.Uop.op = Opcode.Store
+  in
+  (* splitting trades eight helper issue slots for one wide slot plus four
+     copies: worth it exactly when the wide scheduler has a ready backlog
+     (the NREADY signal of section 3.7) while the helper has headroom *)
+  ignore cfg;
+  let occ_n = ctx.Steer.occupancy Config.Narrow in
+  eligible
+  && ctx.Steer.backlog_ewma Config.Wide > 1.0
+  && ctx.Steer.ready_backlog Config.Narrow = 0
+  && occ_n < 0.35
+  && ctx.Steer.rob_occupancy () < 0.8
+
+let decide (ctx : Steer.ctx) (u : Uop.t) =
+  let scheme = ctx.Steer.cfg.Config.scheme in
+  if not scheme.Config.helper then Steer.Steer Config.Wide
+  else if not (helper_capable u) then Steer.Steer Config.Wide
+  else if Opcode.is_branch u.Uop.op then begin
+    (* §3.3: follow the flags producer into the helper cluster (the branch
+       target was resolved in the frontend, so the flags value is the only
+       input the backend needs) *)
+    if scheme.Config.br && Uop.reads_flags u && ctx.Steer.flags_in_narrow ()
+    then Steer.Steer_narrow Steer.Rbr
+    else Steer.Steer Config.Wide
+  end
+  else if u.Uop.op = Opcode.Store then
+    if decide_ir ctx u then Steer.Split else Steer.Steer Config.Wide
+  else begin
+    let beliefs = source_beliefs ctx u in
+    if scheme.Config.s888 && decide_888 ctx u beliefs then
+      Steer.Steer_narrow Steer.R888
+    else if scheme.Config.cr && decide_cr ctx u beliefs then
+      Steer.Steer_narrow Steer.Rcr
+    else if decide_ir ctx u then Steer.Split
+    else Steer.Steer Config.Wide
+  end
+
+let stack = ("baseline", Config.monolithic) :: Config.scheme_stack

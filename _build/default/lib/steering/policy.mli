@@ -1,0 +1,33 @@
+(** The paper's data-width aware steering policies (§3).
+
+    [decide] implements the full technique stack; which techniques are
+    active comes from the scheme flags inside the machine configuration
+    carried by the context. The rules, in priority order:
+
+    + floating-point, multiply and divide uops always go wide — the helper
+      cluster has 8-bit integer units only (§2.1);
+    + BR (§3.3): a conditional branch whose flags producer was steered to
+      the helper cluster follows it there, avoiding a flags copy;
+    + 8-8-8 (§3.2): if every source is believed narrow (actual width for
+      immediates and written-back producers, prediction otherwise) and the
+      result is predicted narrow with high confidence, steer narrow;
+    + CR (§3.5): carry-eligible two-source uops shaped 8-32-32 whose carry
+      predictor says (with confidence) that the carry will not leave the
+      low byte steer narrow; loads additionally need a narrow-predicted
+      loaded value, since the helper register file cannot hold a wide one;
+    + IR (§3.7): when the wide backend's issue-queue occupancy exceeds the
+      helper's by the configured threshold, otherwise-wide splittable uops
+      are split into four 8-bit slices ([Ir_no_dest] restricts this to
+      uops without a destination register);
+    + everything else goes wide.
+
+    Stores always steer wide (the MOB lives there); loads may steer narrow
+    through 8-8-8 or CR. *)
+
+val decide : Hc_sim.Steer.ctx -> Hc_isa.Uop.t -> Hc_sim.Steer.decision
+(** The policy used by every experiment; reads the scheme from
+    [ctx.cfg.scheme]. *)
+
+val stack : (string * Hc_sim.Config.scheme) list
+(** [Config.scheme_stack] re-exported with the baseline prepended: the
+    run order of the paper's evaluation. *)

@@ -1,0 +1,1 @@
+lib/trace/analysis.ml: Array Hc_isa Hc_stats List Trace

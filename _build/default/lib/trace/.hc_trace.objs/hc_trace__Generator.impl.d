@@ -1,0 +1,1 @@
+lib/trace/generator.ml: Array Float Hc_isa List Profile Rng Trace

@@ -1,0 +1,1 @@
+lib/trace/generator.mli: Hc_isa Profile Trace

@@ -1,0 +1,1 @@
+lib/trace/profile.ml: Format Hc_stats List Printf

@@ -1,0 +1,1 @@
+lib/trace/trace_io.ml: Array Fun Hc_isa List Printf Profile String Trace

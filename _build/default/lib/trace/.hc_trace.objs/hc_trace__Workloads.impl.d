@@ -1,0 +1,1 @@
+lib/trace/workloads.ml: Float Hashtbl Int64 List Printf Profile Rng

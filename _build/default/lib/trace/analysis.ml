@@ -1,0 +1,116 @@
+module Opcode = Hc_isa.Opcode
+module Reg = Hc_isa.Reg
+module Uop = Hc_isa.Uop
+module Width = Hc_isa.Width
+module Histogram = Hc_stats.Histogram
+
+let reg_source_values ?(include_flags = false) (u : Uop.t) =
+  List.filter_map
+    (fun (src, v) ->
+      match src with
+      | Uop.Reg r when (not (Reg.equal r Reg.Eflags)) || include_flags -> Some v
+      | Uop.Reg _ | Uop.Imm _ -> None)
+    (List.combine u.Uop.srcs u.Uop.src_vals)
+
+(* Fig 1 counts the register operands of regular (integer-ALU) uops: the
+   paper pairs the figure with its ALU operand-width breakdown (39.4% one
+   narrow / 3.3% + 43.5% two narrow), and the levels only line up under
+   that reading. Address bases of loads/stores, flags reads and FP operands
+   are outside the figure's scope. *)
+let narrow_dependence_pct t =
+  let total = ref 0 and narrow = ref 0 in
+  Trace.iter
+    (fun u ->
+      if Opcode.exec_class u.Uop.op = Opcode.Int_alu
+         && u.Uop.op <> Opcode.Copy && u.Uop.op <> Opcode.Nop then
+        List.iter
+          (fun v ->
+            incr total;
+            if Width.is_narrow v then incr narrow)
+          (reg_source_values u))
+    t;
+  if !total = 0 then 0. else 100. *. float_of_int !narrow /. float_of_int !total
+
+type operand_mix = {
+  one_narrow : float;
+  two_narrow_wide_result : float;
+  two_narrow_narrow_result : float;
+}
+
+let operand_mix t =
+  let total = ref 0 and one = ref 0 and two_wide = ref 0 and two_narrow = ref 0 in
+  Trace.iter
+    (fun u ->
+      match Opcode.exec_class u.Uop.op, u.Uop.src_vals with
+      | Opcode.Int_alu, [ a; b ] when u.Uop.op <> Opcode.Copy && u.Uop.op <> Opcode.Nop ->
+        incr total;
+        let na = Width.is_narrow a and nb = Width.is_narrow b in
+        if na && nb then
+          if Width.is_narrow u.Uop.result then incr two_narrow else incr two_wide
+        else if na || nb then incr one
+      | (Opcode.Int_alu | Opcode.Int_mul | Opcode.Mem | Opcode.Ctrl | Opcode.Fp), _ ->
+        ())
+    t;
+  let pct c = if !total = 0 then 0. else 100. *. float_of_int c /. float_of_int !total in
+  {
+    one_narrow = pct !one;
+    two_narrow_wide_result = pct !two_wide;
+    two_narrow_narrow_result = pct !two_narrow;
+  }
+
+let carry_not_propagated_pct t ~arith =
+  let wanted (u : Uop.t) =
+    if arith then
+      Opcode.carry_eligible u.Uop.op && not (Opcode.is_memory u.Uop.op)
+    else u.Uop.op = Opcode.Load
+  in
+  let total = ref 0 and local = ref 0 in
+  Trace.iter
+    (fun u ->
+      if wanted u && Uop.is_8_32_32 u && Opcode.carry_eligible u.Uop.op then begin
+        incr total;
+        if Uop.carry_not_propagated u then incr local
+      end)
+    t;
+  if !total = 0 then 0. else 100. *. float_of_int !local /. float_of_int !total
+
+(* Producer -> first consumer: the distance that matters for copy
+   prefetching (§3.6) is how long a freshly produced value waits before its
+   first use. Later re-reads of long-lived registers (stack/frame pointers)
+   are irrelevant to the prefetch window and would swamp the tail. *)
+let distance_histogram t =
+  let h = Histogram.create () in
+  let pending = Array.make Reg.count (-1) in
+  Trace.iter
+    (fun u ->
+      List.iter
+        (fun src ->
+          match src with
+          | Uop.Reg r when not (Reg.equal r Reg.Eflags) ->
+            let i = Reg.to_index r in
+            if pending.(i) >= 0 then begin
+              Histogram.observe h (u.Uop.id - pending.(i));
+              pending.(i) <- -1
+            end
+          | Uop.Reg _ | Uop.Imm _ -> ())
+        u.Uop.srcs;
+      match u.Uop.dst with
+      | Some d -> pending.(Reg.to_index d) <- u.Uop.id
+      | None -> ())
+    t;
+  h
+
+let mean_distance t = Histogram.mean (distance_histogram t)
+
+let mix_digest t =
+  let n = float_of_int (max 1 (Trace.length t)) in
+  let count pred = float_of_int (Trace.fold (fun acc u -> if pred u then acc + 1 else acc) 0 t) /. n in
+  [
+    ("load", count (fun u -> u.Uop.op = Opcode.Load));
+    ("store", count (fun u -> u.Uop.op = Opcode.Store));
+    ("branch", count (fun u -> Opcode.is_branch u.Uop.op));
+    ("mul_div", count (fun u -> u.Uop.op = Opcode.Mul || u.Uop.op = Opcode.Div));
+    ("fp", count (fun u -> Opcode.is_fp u.Uop.op));
+    ("alu", count (fun u ->
+         Opcode.exec_class u.Uop.op = Opcode.Int_alu && not (Opcode.is_branch u.Uop.op)));
+  ]

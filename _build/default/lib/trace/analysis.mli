@@ -1,0 +1,46 @@
+(** Trace-level measurements.
+
+    Everything here is computed by walking a finished trace — no simulator
+    involved. These are the paper's workload-characterization artifacts:
+    Fig 1 (narrow data-width dependence), the §1 operand-width mix, Fig 11
+    (carry-not-propagated potential for the CR scheme) and Fig 13
+    (producer–consumer distance, the CP feasibility argument). *)
+
+val narrow_dependence_pct : Trace.t -> float
+(** Percentage (0-100) of regular integer-ALU register source operands
+    whose producer value is narrow - the paper's "narrow data-width
+    dependent" consumers (Fig 1). Flags reads, memory address bases and FP
+    operands fall outside the figure's scope. *)
+
+type operand_mix = {
+  one_narrow : float;
+      (** %% of regular ALU uops with exactly one narrow source (§1: 39.4%) *)
+  two_narrow_wide_result : float;
+      (** %% with two narrow sources and a wide result (§1: 3.3%) *)
+  two_narrow_narrow_result : float;
+      (** %% with two narrow sources and a narrow result (§1: 43.5%) *)
+}
+
+val operand_mix : Trace.t -> operand_mix
+(** Measured over two-source integer-ALU uops ("regular ALU instructions"). *)
+
+val carry_not_propagated_pct : Trace.t -> arith:bool -> float
+(** Fig 11: among carry-eligible uops of the 8-32-32 shape (two sources,
+    one narrow and one wide, wide result), the percentage whose execution
+    leaves the upper 24 bits of the wide source intact. [arith:true]
+    selects add/sub-class uops, [arith:false] loads. Returns 0 when no uop
+    qualifies. *)
+
+val distance_histogram : Trace.t -> Hc_stats.Histogram.t
+(** Producer–consumer register distances in dynamic uops (Fig 13): for
+    every value-producing uop, the distance to the {e first} consumer of
+    that value — the window copy prefetching has to work with. Values never
+    consumed, and flags dependences, are skipped. *)
+
+val mean_distance : Trace.t -> float
+(** Mean of {!distance_histogram}; the Fig 13 bar for one application. *)
+
+val mix_digest : Trace.t -> (string * float) list
+(** Measured dynamic opcode-class mix, as (class, fraction) pairs — a
+    sanity check that the generator honours the profile. Classes:
+    "load", "store", "branch", "mul_div", "fp", "alu". *)

@@ -1,0 +1,290 @@
+module Summary = Hc_stats.Summary
+
+type category =
+  | Spec_int
+  | Spec_fp
+  | Encoder
+  | Kernels
+  | Multimedia
+  | Office
+  | Productivity
+  | Workstation
+
+let category_to_string = function
+  | Spec_int -> "specint"
+  | Spec_fp -> "sfp"
+  | Encoder -> "enc"
+  | Kernels -> "kernels"
+  | Multimedia -> "mm"
+  | Office -> "office"
+  | Productivity -> "prod"
+  | Workstation -> "ws"
+
+let category_of_string = function
+  | "specint" -> Some Spec_int
+  | "sfp" -> Some Spec_fp
+  | "enc" -> Some Encoder
+  | "kernels" -> Some Kernels
+  | "mm" -> Some Multimedia
+  | "office" -> Some Office
+  | "prod" -> Some Productivity
+  | "ws" -> Some Workstation
+  | _ -> None
+
+let all_categories =
+  [ Spec_int; Spec_fp; Encoder; Kernels; Multimedia; Office; Productivity; Workstation ]
+
+let pp_category ppf c = Format.pp_print_string ppf (category_to_string c)
+
+type width_character =
+  | Stable_narrow
+  | Stable_wide
+  | Mixed of float
+
+type t = {
+  name : string;
+  category : category;
+  seed : int64;
+  static_size : int;
+  f_load : float;
+  f_store : float;
+  f_cond_branch : float;
+  f_uncond_branch : float;
+  f_mul : float;
+  f_div : float;
+  f_fp : float;
+  f_shift : float;
+  p_narrow_load : float;
+  p_narrow_imm : float;
+  p_narrow_chain : float;
+  p_extra_operand : float;
+  p_mixed_width : float;
+  mixed_flip : float;
+  dep_distance_mean : float;
+  p_second_src_imm : float;
+  p_narrow_index : float;
+  p_carry_local_load : float;
+  p_carry_local_arith : float;
+  p_dl0_miss : float;
+  p_ul1_miss : float;
+  p_taken : float;
+  p_mispredict : float;
+  loop_back_mean : float;
+}
+
+let fraction_fields p =
+  [ ("f_load", p.f_load); ("f_store", p.f_store); ("f_cond_branch", p.f_cond_branch);
+    ("f_uncond_branch", p.f_uncond_branch); ("f_mul", p.f_mul); ("f_div", p.f_div);
+    ("f_fp", p.f_fp); ("f_shift", p.f_shift); ("p_narrow_load", p.p_narrow_load);
+    ("p_narrow_imm", p.p_narrow_imm); ("p_narrow_chain", p.p_narrow_chain);
+    ("p_extra_operand", p.p_extra_operand); ("p_mixed_width", p.p_mixed_width);
+    ("mixed_flip", p.mixed_flip); ("p_second_src_imm", p.p_second_src_imm);
+    ("p_narrow_index", p.p_narrow_index); ("p_carry_local_load", p.p_carry_local_load);
+    ("p_carry_local_arith", p.p_carry_local_arith); ("p_dl0_miss", p.p_dl0_miss);
+    ("p_ul1_miss", p.p_ul1_miss); ("p_taken", p.p_taken);
+    ("p_mispredict", p.p_mispredict) ]
+
+let validate p =
+  let bad =
+    List.find_opt (fun (_, v) -> v < 0. || v > 1.) (fraction_fields p)
+  in
+  match bad with
+  | Some (name, v) -> Error (Printf.sprintf "%s: %s=%g out of [0,1]" p.name name v)
+  | None ->
+    let mix =
+      p.f_load +. p.f_store +. p.f_cond_branch +. p.f_uncond_branch +. p.f_mul
+      +. p.f_div +. p.f_fp +. p.f_shift
+    in
+    if mix >= 1. then Error (Printf.sprintf "%s: instruction mix sums to %g >= 1" p.name mix)
+    else if p.static_size <= 0 then Error (Printf.sprintf "%s: static_size <= 0" p.name)
+    else if p.dep_distance_mean < 1. then
+      Error (Printf.sprintf "%s: dep_distance_mean < 1" p.name)
+    else if p.loop_back_mean < 1. then
+      Error (Printf.sprintf "%s: loop_back_mean < 1" p.name)
+    else Ok ()
+
+(* Baseline SPEC-Int-2000-like personality; each benchmark overrides the
+   knobs that give it its published character. *)
+let spec_int_base =
+  {
+    name = "specint-base";
+    category = Spec_int;
+    seed = 0x5EED_0001L;
+    static_size = 2400;
+    f_load = 0.24;
+    f_store = 0.10;
+    f_cond_branch = 0.07;
+    f_uncond_branch = 0.03;
+    f_mul = 0.010;
+    f_div = 0.002;
+    f_fp = 0.0;
+    f_shift = 0.05;
+    p_narrow_load = 0.72;
+    p_narrow_imm = 0.90;
+    p_narrow_chain = 0.60;
+    p_extra_operand = 0.30;
+    p_mixed_width = 0.05;
+    mixed_flip = 0.20;
+    dep_distance_mean = 5.25;
+    p_second_src_imm = 0.40;
+    p_narrow_index = 0.45;
+    p_carry_local_load = 0.70;
+    p_carry_local_arith = 0.50;
+    p_dl0_miss = 0.04;
+    p_ul1_miss = 0.10;
+    p_taken = 0.62;
+    p_mispredict = 0.06;
+    loop_back_mean = 30.;
+  }
+
+let spec_int =
+  [
+    { spec_int_base with
+      name = "bzip2"; p_narrow_chain = 0.62; seed = 0x5EED_0B21L;
+      p_narrow_load = 0.78; p_narrow_index = 0.85; dep_distance_mean = 3.90;
+      p_carry_local_load = 0.62; p_carry_local_arith = 0.42;
+      p_dl0_miss = 0.05; p_mispredict = 0.07 };
+    { spec_int_base with
+      name = "crafty"; p_narrow_chain = 0.55; seed = 0x5EED_0C4AL;
+      p_narrow_load = 0.68; f_shift = 0.10; p_narrow_index = 0.55;
+      dep_distance_mean = 4.80; p_carry_local_load = 0.66;
+      p_carry_local_arith = 0.46; p_mispredict = 0.05 };
+    { spec_int_base with
+      name = "eon"; p_narrow_chain = 0.40; seed = 0x5EED_0E07L;
+      p_narrow_load = 0.66; f_fp = 0.06; f_mul = 0.02; p_narrow_index = 0.50;
+      dep_distance_mean = 6.00; p_carry_local_load = 0.58;
+      p_carry_local_arith = 0.40; p_mispredict = 0.04 };
+    { spec_int_base with
+      name = "gap"; p_narrow_chain = 0.68; seed = 0x5EED_0A90L;
+      p_narrow_load = 0.76; p_narrow_index = 0.40; dep_distance_mean = 5.10;
+      p_carry_local_load = 0.72; p_carry_local_arith = 0.52 };
+    { spec_int_base with
+      name = "gcc"; p_narrow_chain = 0.78; seed = 0x5EED_06CCL; static_size = 6000;
+      p_narrow_load = 0.86; p_narrow_index = 0.20; dep_distance_mean = 6.60;
+      p_carry_local_load = 0.78; p_carry_local_arith = 0.58;
+      p_dl0_miss = 0.06; p_mispredict = 0.07 };
+    { spec_int_base with
+      name = "gzip"; p_narrow_chain = 0.72; seed = 0x5EED_0619L;
+      p_narrow_load = 0.90; p_narrow_index = 0.60; dep_distance_mean = 4.20;
+      p_carry_local_load = 0.80; p_carry_local_arith = 0.60;
+      p_mispredict = 0.06 };
+    { spec_int_base with
+      name = "mcf"; p_narrow_chain = 0.85; seed = 0x5EED_03CFL;
+      p_narrow_load = 0.90; p_narrow_index = 0.30; dep_distance_mean = 7.50;
+      p_carry_local_load = 0.64; p_carry_local_arith = 0.50;
+      p_dl0_miss = 0.18; p_ul1_miss = 0.45; p_mispredict = 0.08 };
+    { spec_int_base with
+      name = "parser"; p_narrow_chain = 0.72; seed = 0x5EED_0AA5L;
+      p_narrow_load = 0.80; p_narrow_index = 0.42; dep_distance_mean = 5.40;
+      p_carry_local_load = 0.74; p_carry_local_arith = 0.54;
+      p_mispredict = 0.07 };
+    { spec_int_base with
+      name = "perlbmk"; p_narrow_chain = 0.58; seed = 0x5EED_0BECL; static_size = 4500;
+      p_narrow_load = 0.80; p_narrow_index = 0.38; dep_distance_mean = 5.70;
+      p_carry_local_load = 0.68; p_carry_local_arith = 0.48 };
+    { spec_int_base with
+      name = "twolf"; p_narrow_chain = 0.58; seed = 0x5EED_0207FL;
+      p_narrow_load = 0.70; f_fp = 0.03; p_narrow_index = 0.48;
+      dep_distance_mean = 5.85; p_carry_local_load = 0.60;
+      p_carry_local_arith = 0.44; p_dl0_miss = 0.08 };
+    { spec_int_base with
+      name = "vortex"; p_narrow_chain = 0.62; seed = 0x5EED_00E8L; static_size = 5000;
+      p_narrow_load = 0.80; p_narrow_index = 0.35; dep_distance_mean = 5.55;
+      p_carry_local_load = 0.70; p_carry_local_arith = 0.50;
+      p_dl0_miss = 0.06 };
+    { spec_int_base with
+      name = "vpr"; p_narrow_chain = 0.65; seed = 0x5EED_0B26L;
+      p_narrow_load = 0.66; f_fp = 0.04; p_narrow_index = 0.47;
+      dep_distance_mean = 5.25; p_carry_local_load = 0.63;
+      p_carry_local_arith = 0.45; p_mispredict = 0.08 };
+  ]
+
+let spec_int_names = List.map (fun p -> p.name) spec_int
+
+let find_spec_int name =
+  match List.find_opt (fun p -> p.name = name) spec_int with
+  | Some p -> p
+  | None -> raise Not_found
+
+let mean_of field = Summary.arithmetic_mean (List.map field spec_int)
+
+(* Category archetypes for the Table-2 suite. Multimedia/kernels/encoders
+   are narrow-friendly with regular control; office/productivity are
+   branchy, wide and irregular (paper §3.8: they benefit least). *)
+let archetype = function
+  | Spec_int ->
+    { spec_int_base with
+      name = "specint-arch";
+      p_narrow_load = mean_of (fun p -> p.p_narrow_load);
+      p_narrow_chain = mean_of (fun p -> p.p_narrow_chain);
+      p_narrow_index = mean_of (fun p -> p.p_narrow_index);
+      dep_distance_mean = mean_of (fun p -> p.dep_distance_mean);
+      p_carry_local_load = mean_of (fun p -> p.p_carry_local_load);
+      p_carry_local_arith = mean_of (fun p -> p.p_carry_local_arith) }
+  | Spec_fp ->
+    { spec_int_base with
+      name = "sfp-arch"; category = Spec_fp; p_narrow_chain = 0.45;
+      f_load = 0.28; f_store = 0.09; f_cond_branch = 0.035; f_uncond_branch = 0.01;
+      f_fp = 0.30; f_mul = 0.02; f_shift = 0.02;
+      p_narrow_load = 0.55; p_narrow_index = 0.30; dep_distance_mean = 6.75;
+      p_carry_local_load = 0.80; p_carry_local_arith = 0.62;
+      p_taken = 0.80; p_mispredict = 0.02; p_dl0_miss = 0.07; p_ul1_miss = 0.20 }
+  | Encoder ->
+    { spec_int_base with
+      name = "enc-arch"; category = Encoder; p_narrow_chain = 0.75;
+      f_load = 0.26; f_store = 0.12; f_cond_branch = 0.05; f_shift = 0.10;
+      f_mul = 0.03;
+      p_narrow_load = 0.78; p_narrow_index = 0.45; dep_distance_mean = 4.20;
+      p_carry_local_load = 0.82; p_carry_local_arith = 0.64;
+      p_taken = 0.72; p_mispredict = 0.035 }
+  | Kernels ->
+    { spec_int_base with
+      name = "kernels-arch"; category = Kernels; p_narrow_chain = 0.72;
+      f_load = 0.30; f_store = 0.14; f_cond_branch = 0.04; f_uncond_branch = 0.01;
+      f_fp = 0.12; f_shift = 0.06;
+      p_narrow_load = 0.74; p_narrow_index = 0.40; dep_distance_mean = 3.60;
+      p_carry_local_load = 0.86; p_carry_local_arith = 0.70;
+      p_taken = 0.85; p_mispredict = 0.015; static_size = 800 }
+  | Multimedia ->
+    { spec_int_base with
+      name = "mm-arch"; category = Multimedia; p_narrow_chain = 0.78;
+      f_load = 0.27; f_store = 0.12; f_cond_branch = 0.045; f_shift = 0.09;
+      f_mul = 0.025; f_fp = 0.05;
+      p_narrow_load = 0.80; p_narrow_index = 0.42; dep_distance_mean = 3.90;
+      p_carry_local_load = 0.84; p_carry_local_arith = 0.66;
+      p_taken = 0.75; p_mispredict = 0.03 }
+  | Office ->
+    { spec_int_base with
+      name = "office-arch"; category = Office; static_size = 7000; p_narrow_chain = 0.50;
+      f_load = 0.25; f_store = 0.11; f_cond_branch = 0.09; f_uncond_branch = 0.05;
+      p_narrow_load = 0.55; p_narrow_index = 0.40; dep_distance_mean = 6.30;
+      p_carry_local_load = 0.60; p_carry_local_arith = 0.42;
+      p_dl0_miss = 0.07; p_ul1_miss = 0.15; p_mispredict = 0.075 }
+  | Productivity ->
+    { spec_int_base with
+      name = "prod-arch"; category = Productivity; static_size = 6000; p_narrow_chain = 0.48;
+      f_load = 0.24; f_store = 0.10; f_cond_branch = 0.10; f_uncond_branch = 0.05;
+      p_narrow_load = 0.52; p_narrow_index = 0.45; dep_distance_mean = 6.00;
+      p_carry_local_load = 0.58; p_carry_local_arith = 0.40;
+      p_dl0_miss = 0.08; p_ul1_miss = 0.18; p_mispredict = 0.08 }
+  | Workstation ->
+    { spec_int_base with
+      name = "ws-arch"; category = Workstation; p_narrow_chain = 0.70;
+      f_load = 0.28; f_store = 0.12; f_cond_branch = 0.045; f_fp = 0.10;
+      p_narrow_load = 0.70; p_narrow_index = 0.40; dep_distance_mean = 4.20;
+      p_carry_local_load = 0.80; p_carry_local_arith = 0.62;
+      p_taken = 0.80; p_mispredict = 0.02; static_size = 1500 }
+
+let with_seed p seed = { p with seed }
+
+let pp ppf p =
+  Format.fprintf ppf
+    "@[<v>%s (%a)@ mix: ld=%.2f st=%.2f jcc=%.2f jmp=%.2f mul=%.3f div=%.3f \
+     fp=%.2f sh=%.2f@ width: narrow_load=%.2f narrow_imm=%.2f mixed=%.2f \
+     flip=%.2f@ dep: dist=%.1f imm2=%.2f narrow_index=%.2f@ carry: ld=%.2f \
+     ar=%.2f@ mem: dl0=%.3f ul1=%.3f@ ctrl: taken=%.2f misp=%.3f@]"
+    p.name pp_category p.category p.f_load p.f_store p.f_cond_branch
+    p.f_uncond_branch p.f_mul p.f_div p.f_fp p.f_shift p.p_narrow_load
+    p.p_narrow_imm p.p_mixed_width p.mixed_flip p.dep_distance_mean
+    p.p_second_src_imm p.p_narrow_index p.p_carry_local_load
+    p.p_carry_local_arith p.p_dl0_miss p.p_ul1_miss p.p_taken p.p_mispredict

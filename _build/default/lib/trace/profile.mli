@@ -1,0 +1,108 @@
+(** Workload profiles — the statistical personality of one application.
+
+    The paper evaluates on proprietary IA-32 traces (12 SPEC Int 2000
+    slices for the detailed studies, 412 application traces for the final
+    sweep). Those traces are not available, so each application becomes a
+    {e profile}: instruction mix, value-width behaviour, dependence
+    structure, carry locality, memory behaviour and control behaviour. The
+    {!Generator} expands a profile into a concrete uop trace with real
+    32-bit values; every simulator statistic is then {e measured}, never
+    copied from the profile. *)
+
+type category =
+  | Spec_int
+  | Spec_fp
+  | Encoder
+  | Kernels
+  | Multimedia
+  | Office
+  | Productivity
+  | Workstation
+
+val category_to_string : category -> string
+val category_of_string : string -> category option
+val all_categories : category list
+val pp_category : Format.formatter -> category -> unit
+
+type width_character =
+  | Stable_narrow  (** this static uop's result is narrow on every instance *)
+  | Stable_wide
+  | Mixed of float
+      (** alternates; the float is the per-instance probability of flipping
+          away from the last width — what defeats a last-width predictor *)
+
+type t = {
+  name : string;
+  category : category;
+  seed : int64;  (** root seed; the whole trace derives from it *)
+  static_size : int;  (** static program footprint in uops *)
+  (* instruction mix (fractions of the dynamic stream; remainder = ALU) *)
+  f_load : float;
+  f_store : float;
+  f_cond_branch : float;
+  f_uncond_branch : float;
+  f_mul : float;
+  f_div : float;
+  f_fp : float;
+  f_shift : float;
+  (* value-width behaviour *)
+  p_narrow_load : float;  (** prob. a static load has [Stable_narrow] character *)
+  p_narrow_imm : float;  (** prob. an immediate operand is narrow *)
+  p_narrow_chain : float;
+      (** prob. an ALU static belongs to a narrow computation chain (loop
+          counters, byte crunching) rather than a wide one (pointer and
+          large-magnitude arithmetic) - real code keeps such chains
+          width-coherent, which is what a last-width predictor learns *)
+  p_extra_operand : float;
+      (** prob. an ALU uop carries an implicit extra source operand (an
+          IA-32 internal-state register: segment base, flags merge). The
+          paper's explanation for why only 15% of instructions satisfy the
+          all-narrow 8-8-8 condition despite 65% narrow dependence: "all
+          the input operands (which can be more than 2 in the IA-32
+          internal machine state) ... must be narrow". Implicit operands
+          are mostly wide. *)
+  p_mixed_width : float;  (** fraction of value-producing statics that are [Mixed] *)
+  mixed_flip : float;  (** flip rate of [Mixed] statics *)
+  (* dependence structure *)
+  dep_distance_mean : float;
+      (** mean producer–consumer distance in dynamic uops (Fig 13) *)
+  p_second_src_imm : float;  (** ALU second operand is an immediate *)
+  p_narrow_index : float;
+      (** prob. a load/store address uses a recently produced (narrow)
+          index register — the narrow→wide pressure that generates copies *)
+  (* carry locality (§3.5) *)
+  p_carry_local_load : float;
+      (** prob. a base+offset address add stays within the low byte *)
+  p_carry_local_arith : float;
+  (* memory system *)
+  p_dl0_miss : float;
+  p_ul1_miss : float;
+  (* control *)
+  p_taken : float;
+  p_mispredict : float;
+  loop_back_mean : float;  (** mean backward-jump distance in static uops *)
+}
+
+val validate : t -> (unit, string) result
+(** Checks every fraction lies in [0,1], the mix sums below 1, and sizes
+    are positive. *)
+
+val spec_int : t list
+(** The 12 SPEC Int 2000 personalities (bzip2, crafty, eon, gap, gcc, gzip,
+    mcf, parser, perlbmk, twolf, vortex, vpr), calibrated so the published
+    first-order statistics (Fig 1, Fig 11, Fig 13, §1 operand-width mix)
+    hold on the generated traces. *)
+
+val spec_int_names : string list
+
+val find_spec_int : string -> t
+(** @raise Not_found for an unknown name. *)
+
+val archetype : category -> t
+(** The category-level archetype used by {!Workloads} to derive the 412-app
+    suite. The [Spec_int] and [Spec_fp] archetypes are averages of their
+    member personalities. *)
+
+val with_seed : t -> int64 -> t
+
+val pp : Format.formatter -> t -> unit

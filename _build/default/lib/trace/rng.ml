@@ -1,0 +1,61 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = seed }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+(* splitmix64 finalizer (Steele, Lea, Flood 2014). *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t = create (next_int64 t)
+
+let copy t = { state = t.state }
+
+let float t =
+  (* 53 high bits to a double in [0,1) *)
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits /. 9007199254740992.0
+
+let bool t p = float t < p
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* rejection-free modulo is fine for simulation purposes; keep 62 bits so
+     the Int64->int conversion stays non-negative on 64-bit OCaml *)
+  let v = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  v mod n
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Rng.int_in: empty range";
+  lo + int t (hi - lo + 1)
+
+let geometric t mean =
+  if mean < 1. then invalid_arg "Rng.geometric: mean must be >= 1";
+  if mean = 1. then 1
+  else
+    let p = 1. /. mean in
+    let u = float t in
+    let k = 1 + int_of_float (log1p (-.u) /. log1p (-.p)) in
+    max 1 k
+
+let choice t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.choice: empty array";
+  arr.(int t (Array.length arr))
+
+let weighted t choices =
+  let total = List.fold_left (fun acc (w, _) -> acc +. w) 0. choices in
+  if total <= 0. then invalid_arg "Rng.weighted: non-positive weight sum";
+  let target = float t *. total in
+  let rec pick acc = function
+    | [] -> invalid_arg "Rng.weighted: unreachable"
+    | [ (_, x) ] -> x
+    | (w, x) :: rest -> if acc +. w > target then x else pick (acc +. w) rest
+  in
+  pick 0. choices

@@ -1,0 +1,35 @@
+module Uop = Hc_isa.Uop
+module Width = Hc_isa.Width
+
+type t = {
+  name : string;
+  profile : Profile.t;
+  uops : Uop.t array;
+}
+
+let length t = Array.length t.uops
+
+let get t i =
+  if i < 0 || i >= Array.length t.uops then invalid_arg "Trace.get: out of bounds";
+  t.uops.(i)
+
+let iter f t = Array.iter f t.uops
+
+let fold f init t = Array.fold_left f init t.uops
+
+let sub t ~pos ~len = { t with uops = Array.sub t.uops pos len }
+
+let narrow_result_fraction t =
+  let producing = ref 0 and narrow = ref 0 in
+  iter
+    (fun u ->
+      if Uop.has_dest u then begin
+        incr producing;
+        if Width.is_narrow u.Uop.result then incr narrow
+      end)
+    t;
+  if !producing = 0 then 0. else float_of_int !narrow /. float_of_int !producing
+
+let pp_summary ppf t =
+  Format.fprintf ppf "%s: %d uops, %.1f%% narrow results" t.name (length t)
+    (100. *. narrow_result_fraction t)

@@ -1,0 +1,31 @@
+(** Materialized uop traces.
+
+    A trace is the unit fed to the simulator: a named, finite sequence of
+    dynamic uops with concrete values (the ground truth produced by
+    {!Generator}). *)
+
+type t = {
+  name : string;
+  profile : Profile.t;  (** the profile the trace was generated from *)
+  uops : Hc_isa.Uop.t array;
+}
+
+val length : t -> int
+
+val get : t -> int -> Hc_isa.Uop.t
+(** [get t i] is the [i]-th dynamic uop. @raise Invalid_argument when out
+    of bounds. *)
+
+val iter : (Hc_isa.Uop.t -> unit) -> t -> unit
+
+val fold : ('a -> Hc_isa.Uop.t -> 'a) -> 'a -> t -> 'a
+
+val sub : t -> pos:int -> len:int -> t
+(** Contiguous sub-trace (uop ids are preserved, not renumbered). *)
+
+val narrow_result_fraction : t -> float
+(** Fraction of destination-producing uops whose ground-truth result is
+    narrow — the headline statistic behind Fig 1. *)
+
+val pp_summary : Format.formatter -> t -> unit
+(** One-line description: name, length, mix digest. *)

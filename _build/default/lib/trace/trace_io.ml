@@ -1,0 +1,139 @@
+module Uop = Hc_isa.Uop
+module Reg = Hc_isa.Reg
+module Opcode = Hc_isa.Opcode
+
+let reg_names =
+  List.init Reg.count (fun i ->
+      let r = Reg.of_index i in
+      (Reg.to_string r, r))
+
+let reg_of_string name =
+  match List.assoc_opt name reg_names with
+  | Some r -> r
+  | None -> failwith (Printf.sprintf "unknown register %S" name)
+
+let op_names = List.map (fun op -> (Opcode.to_string op, op)) Opcode.all
+
+let op_of_string name =
+  match List.assoc_opt name op_names with
+  | Some op -> op
+  | None -> failwith (Printf.sprintf "unknown opcode %S" name)
+
+let operand_to_string = function
+  | Uop.Reg r -> "r:" ^ Reg.to_string r
+  | Uop.Imm _ -> "i"
+
+let bool_field b = if b then "1" else "0"
+
+let uop_to_line (u : Uop.t) =
+  let srcs =
+    String.concat ","
+      (List.map2
+         (fun src v -> Printf.sprintf "%s:%x" (operand_to_string src) v)
+         u.Uop.srcs u.Uop.src_vals)
+  in
+  Printf.sprintf
+    "%d %x %s dst=%s srcs=%s res=%x addr=%x taken=%s misp=%s dl0=%s ul1=%s"
+    u.Uop.id u.Uop.pc (Opcode.to_string u.Uop.op)
+    (match u.Uop.dst with Some r -> Reg.to_string r | None -> "-")
+    srcs u.Uop.result u.Uop.mem_addr (bool_field u.Uop.taken)
+    (bool_field u.Uop.branch_mispredicted)
+    (bool_field u.Uop.dl0_miss) (bool_field u.Uop.ul1_miss)
+
+let save (t : Trace.t) path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "helper-cluster-trace v1 %s %d\n" t.Trace.name
+        (Trace.length t);
+      Trace.iter (fun u -> output_string oc (uop_to_line u ^ "\n")) t)
+
+let split_kv field =
+  match String.index_opt field '=' with
+  | Some i ->
+    ( String.sub field 0 i,
+      String.sub field (i + 1) (String.length field - i - 1) )
+  | None -> failwith (Printf.sprintf "expected key=value, got %S" field)
+
+let parse_bool = function
+  | "0" -> false
+  | "1" -> true
+  | s -> failwith (Printf.sprintf "expected 0/1, got %S" s)
+
+let parse_operand part =
+  (* "r:<reg>:<hexvalue>" or "i:<hexvalue>" *)
+  match String.split_on_char ':' part with
+  | [ "r"; reg; v ] ->
+    let value = int_of_string ("0x" ^ v) in
+    (Uop.Reg (reg_of_string reg), value)
+  | [ "i"; v ] ->
+    let value = int_of_string ("0x" ^ v) in
+    (Uop.Imm value, value)
+  | _ -> failwith (Printf.sprintf "malformed operand %S" part)
+
+let uop_of_line line =
+  match String.split_on_char ' ' line with
+  | [ id; pc; op; dst; srcs; res; addr; taken; misp; dl0; ul1 ] ->
+    let field expect s =
+      let k, v = split_kv s in
+      if k <> expect then failwith (Printf.sprintf "expected %s=, got %s=" expect k);
+      v
+    in
+    let dst = field "dst" dst in
+    let srcs = field "srcs" srcs in
+    let operands =
+      if srcs = "" then []
+      else List.map parse_operand (String.split_on_char ',' srcs)
+    in
+    Uop.make ~id:(int_of_string id)
+      ~pc:(int_of_string ("0x" ^ pc))
+      ~op:(op_of_string op)
+      ~srcs:(List.map fst operands)
+      ~dst:(if dst = "-" then None else Some (reg_of_string dst))
+      ~src_vals:(List.map snd operands)
+      ~result:(int_of_string ("0x" ^ field "res" res))
+      ~mem_addr:(int_of_string ("0x" ^ field "addr" addr))
+      ~taken:(parse_bool (field "taken" taken))
+      ~branch_mispredicted:(parse_bool (field "misp" misp))
+      ~dl0_miss:(parse_bool (field "dl0" dl0))
+      ~ul1_miss:(parse_bool (field "ul1" ul1))
+      ()
+  | _ -> failwith "wrong field count"
+
+let load ?profile path =
+  let profile =
+    match profile with Some p -> p | None -> List.hd Profile.spec_int
+  in
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let header = input_line ic in
+      let name, count =
+        match String.split_on_char ' ' header with
+        | [ "helper-cluster-trace"; "v1"; name; count ] -> (
+          match int_of_string_opt count with
+          | Some n when n >= 0 -> (name, n)
+          | Some _ | None -> failwith "bad header count")
+        | _ -> failwith "bad header (expected helper-cluster-trace v1 ...)"
+      in
+      let uops =
+        Array.init count (fun i ->
+            let line = try input_line ic with End_of_file ->
+              failwith (Printf.sprintf "truncated at uop %d" i)
+            in
+            try uop_of_line line
+            with Failure msg ->
+              failwith (Printf.sprintf "line %d: %s" (i + 2) msg))
+      in
+      { Trace.name; profile; uops })
+
+let roundtrip_equal (a : Trace.t) (b : Trace.t) =
+  Trace.length a = Trace.length b
+  &&
+  let equal = ref true in
+  for i = 0 to Trace.length a - 1 do
+    if Trace.get a i <> Trace.get b i then equal := false
+  done;
+  !equal

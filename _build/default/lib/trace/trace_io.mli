@@ -1,0 +1,29 @@
+(** Trace serialization.
+
+    A plain-text, line-oriented format so traces can be saved, diffed,
+    versioned, and — most importantly — {e brought from outside}: anyone
+    with real IA-32 uop traces can convert them to this format and run the
+    full evaluation on them instead of the synthetic workloads.
+
+    Format: a header line [helper-cluster-trace v1 <name> <count>]
+    followed by one uop per line:
+
+    {v
+    <id> <pc> <op> dst=<reg|-> srcs=<operand:value,...> res=<value>
+         addr=<value> taken=<0|1> misp=<0|1> dl0=<0|1> ul1=<0|1>
+    v}
+
+    where an operand is [r:<regname>] or [i] (immediate — its value is in
+    the value slot). All values are hexadecimal. *)
+
+val save : Trace.t -> string -> unit
+(** [save t path] writes the trace. @raise Sys_error on I/O failure. *)
+
+val load : ?profile:Profile.t -> string -> Trace.t
+(** [load path] parses a trace saved by {!save} (or produced by an
+    external converter). The attached profile defaults to the first SPEC
+    personality and only matters for regeneration metadata.
+    @raise Failure with a line number on malformed input. *)
+
+val roundtrip_equal : Trace.t -> Trace.t -> bool
+(** Structural equality of the uop streams (names may differ). *)

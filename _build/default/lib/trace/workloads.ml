@@ -1,0 +1,80 @@
+type entry = {
+  category : Profile.category;
+  count : int;
+  description : string;
+}
+
+let table2 =
+  [
+    { category = Profile.Encoder; count = 62; description = "Audio/video encode" };
+    { category = Profile.Spec_fp; count = 41; description = "Spec FP's" };
+    { category = Profile.Kernels; count = 52; description = "VectorAdd, FIRs" };
+    { category = Profile.Multimedia; count = 85; description = "WMedia, photoshop" };
+    { category = Profile.Office; count = 75; description = "Excel, word, ppt" };
+    { category = Profile.Productivity; count = 45; description = "Internet content" };
+    { category = Profile.Workstation; count = 49; description = "VectorAdd, FIRs" };
+  ]
+
+let suite_size = List.fold_left (fun acc e -> acc + e.count) 0 table2
+
+let clamp lo hi v = Float.max lo (Float.min hi v)
+
+let scale rng v = v *. (0.75 +. (0.5 *. Rng.float rng))
+
+let jitter rng (a : Profile.t) =
+  let s v = clamp 0.0 0.95 (scale rng v) in
+  let p =
+    { a with
+      Profile.f_load = s a.Profile.f_load;
+      f_store = s a.f_store;
+      f_cond_branch = s a.f_cond_branch;
+      f_uncond_branch = s a.f_uncond_branch;
+      f_mul = s a.f_mul;
+      f_div = s a.f_div;
+      f_fp = s a.f_fp;
+      f_shift = s a.f_shift;
+      p_narrow_load = s a.p_narrow_load;
+      p_narrow_imm = s a.p_narrow_imm;
+      p_narrow_chain = s a.p_narrow_chain;
+      p_extra_operand = s a.p_extra_operand;
+      p_mixed_width = s a.p_mixed_width;
+      mixed_flip = s a.mixed_flip;
+      dep_distance_mean = Float.max 1.2 (scale rng a.dep_distance_mean);
+      p_second_src_imm = s a.p_second_src_imm;
+      p_narrow_index = s a.p_narrow_index;
+      p_carry_local_load = s a.p_carry_local_load;
+      p_carry_local_arith = s a.p_carry_local_arith;
+      p_dl0_miss = s a.p_dl0_miss;
+      p_ul1_miss = s a.p_ul1_miss;
+      p_taken = clamp 0.05 0.95 (scale rng a.p_taken);
+      p_mispredict = s a.p_mispredict;
+      loop_back_mean = Float.max 2. (scale rng a.loop_back_mean);
+      static_size = max 200 (int_of_float (scale rng (float_of_int a.static_size)));
+    }
+  in
+  (* jitter must never produce an invalid profile; renormalize the mix if
+     the scaled fractions collide *)
+  let mix =
+    p.f_load +. p.f_store +. p.f_cond_branch +. p.f_uncond_branch +. p.f_mul
+    +. p.f_div +. p.f_fp +. p.f_shift
+  in
+  if mix < 0.9 then p
+  else
+    let k = 0.85 /. mix in
+    { p with
+      f_load = p.f_load *. k; f_store = p.f_store *. k;
+      f_cond_branch = p.f_cond_branch *. k; f_uncond_branch = p.f_uncond_branch *. k;
+      f_mul = p.f_mul *. k; f_div = p.f_div *. k; f_fp = p.f_fp *. k;
+      f_shift = p.f_shift *. k }
+
+let category_apps category =
+  let entry = List.find (fun e -> e.category = category) table2 in
+  let arch = Profile.archetype category in
+  let rng = Rng.create (Int64.of_int (0x7AB2 + Hashtbl.hash (Profile.category_to_string category))) in
+  List.init entry.count (fun i ->
+      let app_rng = Rng.split rng in
+      let p = jitter app_rng arch in
+      let name = Printf.sprintf "%s-%03d" (Profile.category_to_string category) (i + 1) in
+      { p with Profile.name; seed = Rng.next_int64 app_rng })
+
+let suite () = List.concat_map (fun e -> category_apps e.category) table2

@@ -1,0 +1,32 @@
+(** The Table-2 application suite.
+
+    The paper's final study (§3.8, Fig 14) runs 7 workload categories
+    totalling 409 traces (the table's counts; the text's "412 apps"
+    headline does not match its own table — we follow the table and note
+    the discrepancy in EXPERIMENTS.md). Each application is a jittered
+    instance of its category archetype with its own seed, so the suite is
+    deterministic yet no two applications are identical. *)
+
+type entry = {
+  category : Profile.category;
+  count : int;
+  description : string;
+}
+
+val table2 : entry list
+(** The seven rows of Table 2 (enc 62, sfp 41, kernels 52, mm 85,
+    office 75, prod 45, ws 49). *)
+
+val suite_size : int
+(** Total application count (409). *)
+
+val category_apps : Profile.category -> Profile.t list
+(** The applications of one category, named ["<cat>-001"…]. *)
+
+val suite : unit -> Profile.t list
+(** All applications in category order. *)
+
+val jitter : Rng.t -> Profile.t -> Profile.t
+(** One derived application: every behavioural knob of the archetype is
+    scaled by a uniform factor in [0.75, 1.25] (clamped to stay a valid
+    profile). Exposed for property tests. *)

@@ -1,0 +1,1 @@
+test/test_ablations.ml: Alcotest Float Hc_core Hc_isa Hc_sim Hc_steering Hc_trace List Printf String

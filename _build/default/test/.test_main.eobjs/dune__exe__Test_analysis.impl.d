@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Array Hc_isa Hc_stats Hc_trace List Printf

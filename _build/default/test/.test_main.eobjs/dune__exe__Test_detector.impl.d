@@ -1,0 +1,1 @@
+test/test_detector.ml: Alcotest Hc_isa QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Float Hc_core Hc_sim Hc_stats Hc_trace Lazy List Printf String

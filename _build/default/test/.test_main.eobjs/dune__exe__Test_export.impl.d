@@ -1,0 +1,1 @@
+test/test_export.ml: Alcotest Filename Hc_core List String Sys

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Format Hashtbl Hc_sim Hc_stats Hc_steering Hc_trace List QCheck QCheck_alcotest

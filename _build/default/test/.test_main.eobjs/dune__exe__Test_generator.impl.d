@@ -1,0 +1,1 @@
+test/test_generator.ml: Alcotest Array Float Hashtbl Hc_isa Hc_trace List Printf

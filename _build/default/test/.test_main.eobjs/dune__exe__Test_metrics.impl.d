@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Format Hc_sim Hc_stats String

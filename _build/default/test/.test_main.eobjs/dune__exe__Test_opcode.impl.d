@@ -1,0 +1,1 @@
+test/test_opcode.ml: Alcotest Hc_isa List String

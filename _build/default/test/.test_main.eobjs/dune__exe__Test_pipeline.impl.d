@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Hc_isa Hc_sim Hc_stats Hc_steering Hc_trace List Printf

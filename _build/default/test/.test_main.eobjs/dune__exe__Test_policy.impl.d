@@ -1,0 +1,1 @@
+test/test_policy.ml: Alcotest Format Hc_isa Hc_predictors Hc_sim Hc_steering List

@@ -1,0 +1,1 @@
+test/test_power.ml: Alcotest Float Hc_power Hc_sim Hc_stats Hc_steering Hc_trace Lazy List Printf

@@ -1,0 +1,1 @@
+test/test_predictors.ml: Alcotest Gen Hashtbl Hc_predictors List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_profile.ml: Alcotest Hc_trace Int64 List

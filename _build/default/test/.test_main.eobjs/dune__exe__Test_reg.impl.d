@@ -1,0 +1,1 @@
+test/test_reg.ml: Alcotest Hc_isa List Printf String

@@ -1,0 +1,1 @@
+test/test_related.ml: Alcotest Hc_sim Hc_stats Hc_steering Hc_trace Lazy Printf

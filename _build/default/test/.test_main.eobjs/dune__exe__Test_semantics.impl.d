@@ -1,0 +1,1 @@
+test/test_semantics.ml: Alcotest Hc_isa List QCheck QCheck_alcotest

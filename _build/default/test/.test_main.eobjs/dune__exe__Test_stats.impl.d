@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Float Gen Hc_stats List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_trace_io.ml: Alcotest Filename Hc_sim Hc_steering Hc_trace List

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Hc_trace List Printf String

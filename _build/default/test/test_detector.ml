@@ -1,0 +1,59 @@
+(* Tests for the consecutive zero/one detection circuits (Fig 3). *)
+
+module Detector = Hc_isa.Detector
+
+let check_bool = Alcotest.(check bool)
+
+let test_zeros_above () =
+  check_bool "zero value" true (Detector.zeros_above 0 0);
+  check_bool "bit below anchor ignored" true (Detector.zeros_above 8 0xFF);
+  check_bool "bit at anchor detected" false (Detector.zeros_above 8 0x100);
+  check_bool "high bit detected" false (Detector.zeros_above 8 0x8000_0000);
+  check_bool "anchor 32 always true" true (Detector.zeros_above 32 0xFFFF_FFFF)
+
+let test_ones_above () =
+  check_bool "all ones" true (Detector.ones_above 0 0xFFFF_FFFF);
+  check_bool "low bits ignored" true (Detector.ones_above 8 0xFFFF_FF00);
+  check_bool "hole detected" false (Detector.ones_above 8 0xFFFF_0000);
+  check_bool "anchor 32 always true" true (Detector.ones_above 32 0)
+
+let test_narrow8_boundaries () =
+  check_bool "0 narrow" true (Detector.narrow8 0);
+  check_bool "0xFF narrow (leading zeros)" true (Detector.narrow8 0xFF);
+  check_bool "0x100 wide" false (Detector.narrow8 0x100);
+  check_bool "-1 pattern narrow (leading ones)" true (Detector.narrow8 0xFFFF_FFFF);
+  check_bool "0xFFFFFF00 narrow" true (Detector.narrow8 0xFFFF_FF00);
+  check_bool "0xFFFFFE00 wide" false (Detector.narrow8 0xFFFF_FE00);
+  check_bool "0x80000000 wide" false (Detector.narrow8 0x8000_0000)
+
+let test_narrow8_unsigned () =
+  check_bool "0xFF narrow" true (Detector.narrow8_unsigned 0xFF);
+  check_bool "negative pattern wide" false (Detector.narrow8_unsigned 0xFFFF_FFFF)
+
+let gen32 = QCheck.map (fun v -> v land 0xFFFF_FFFF) (QCheck.int_range 0 max_int)
+
+let prop_narrow8_spec =
+  QCheck.Test.make ~name:"narrow8 = upper 24 bits are a sign run" gen32 (fun v ->
+      Detector.narrow8 v = (v lsr 8 = 0 || v lsr 8 = 0xFF_FFFF))
+
+let prop_unsigned_spec =
+  QCheck.Test.make ~name:"narrow8_unsigned = value < 256" gen32 (fun v ->
+      Detector.narrow8_unsigned v = (v < 0x100))
+
+let prop_zeros_monotone =
+  QCheck.Test.make ~name:"zeros_above monotone in anchor"
+    (QCheck.pair gen32 (QCheck.int_range 0 31))
+    (fun (v, k) ->
+      (not (Detector.zeros_above k v)) || Detector.zeros_above (k + 1) v)
+
+let suite =
+  ( "detector",
+    [
+      Alcotest.test_case "zeros above" `Quick test_zeros_above;
+      Alcotest.test_case "ones above" `Quick test_ones_above;
+      Alcotest.test_case "narrow8 boundaries" `Quick test_narrow8_boundaries;
+      Alcotest.test_case "narrow8 unsigned" `Quick test_narrow8_unsigned;
+      QCheck_alcotest.to_alcotest prop_narrow8_spec;
+      QCheck_alcotest.to_alcotest prop_unsigned_spec;
+      QCheck_alcotest.to_alcotest prop_zeros_monotone;
+    ] )

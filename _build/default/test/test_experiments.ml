@@ -1,0 +1,129 @@
+(* Integration tests over the experiment layer: every figure/table renders,
+   headlines are well-formed, and the paper's qualitative claims hold on
+   the reproduction. Short traces keep this suite fast; the bench harness
+   runs the full-size versions. *)
+
+module Experiments = Hc_core.Experiments
+module Runs = Hc_core.Runs
+module Profile = Hc_trace.Profile
+module Metrics = Hc_sim.Metrics
+
+let runs = lazy (Runs.create ~length:6_000 ())
+
+let test_runs_cache () =
+  let r = Lazy.force runs in
+  Alcotest.(check int) "length recorded" 6_000 (Runs.length r);
+  let gcc = Profile.find_spec_int "gcc" in
+  let a = Runs.metrics r ~scheme:"8_8_8" gcc in
+  let b = Runs.metrics r ~scheme:"8_8_8" gcc in
+  Alcotest.(check bool) "memoized (same physical result)" true (a == b);
+  Alcotest.check_raises "unknown scheme" Not_found (fun () ->
+      ignore (Runs.metrics r ~scheme:"nonesuch" gcc))
+
+let test_all_experiments_render () =
+  let r = Lazy.force runs in
+  List.iter
+    (fun (e : Experiments.t) ->
+      let text, headlines = e.Experiments.run r in
+      Alcotest.(check bool) (e.Experiments.id ^ " renders") true
+        (String.length text > 0);
+      Alcotest.(check bool) (e.Experiments.id ^ " has headlines") true
+        (headlines <> []);
+      List.iter
+        (fun (h : Experiments.headline) ->
+          Alcotest.(check bool)
+            (e.Experiments.id ^ ": " ^ h.Experiments.label ^ " finite")
+            true
+            (Float.is_finite h.Experiments.measured))
+        headlines)
+    Experiments.all
+
+let test_find () =
+  Alcotest.(check string) "find fig6" "fig6" (Experiments.find "fig6").Experiments.id;
+  Alcotest.check_raises "unknown" Not_found (fun () ->
+      ignore (Experiments.find "fig99"))
+
+let test_fig1_rows_in_range () =
+  let rows = Experiments.fig1_rows (Lazy.force runs) in
+  Alcotest.(check int) "twelve rows" 12 (List.length rows);
+  List.iter
+    (fun (name, v) ->
+      Alcotest.(check bool) (name ^ " in range") true (v >= 0. && v <= 100.))
+    rows
+
+let test_fig5_accuracy_high () =
+  let rows = Experiments.fig5_rows (Lazy.force runs) in
+  List.iter
+    (fun (name, correct, fatal, nonfatal) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s outcome classes sum to 100 (%.1f)" name
+           (correct +. fatal +. nonfatal))
+        true
+        (Float.abs (correct +. fatal +. nonfatal -. 100.) < 0.5);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s accuracy dominates (%.1f%%)" name correct)
+        true (correct > 75.))
+    rows
+
+let test_copy_trajectory () =
+  (* the paper's central copy story: BR reduces copies below 8_8_8, LR
+     reduces them further (Figs 8 and 9) *)
+  let r = Lazy.force runs in
+  let avg scheme =
+    let rows = Experiments.copies_by_scheme r scheme in
+    Hc_stats.Summary.arithmetic_mean (List.map snd rows)
+  in
+  let s888 = avg "8_8_8" and br = avg "+BR" and lr = avg "+LR" in
+  Alcotest.(check bool)
+    (Printf.sprintf "BR < 8_8_8 (%.1f < %.1f)" br s888)
+    true (br < s888);
+  Alcotest.(check bool) (Printf.sprintf "LR < BR (%.1f < %.1f)" lr br) true
+    (lr < br)
+
+let test_steering_grows_along_stack () =
+  let r = Lazy.force runs in
+  let avg scheme =
+    Hc_stats.Summary.arithmetic_mean
+      (List.map
+         (fun p -> Metrics.steered_pct (Runs.metrics r ~scheme p))
+         Runs.spec_profiles)
+  in
+  Alcotest.(check bool) "BR steers more than 8_8_8" true (avg "+BR" > avg "8_8_8");
+  Alcotest.(check bool) "CR steers more than BR" true (avg "+CR" > avg "+BR")
+
+let test_helper_beats_baseline_on_average () =
+  let r = Lazy.force runs in
+  let avg scheme =
+    Hc_stats.Summary.arithmetic_mean
+      (List.map (fun p -> Runs.speedup_pct r ~scheme p) Runs.spec_profiles)
+  in
+  Alcotest.(check bool) "8_8_8 positive on average" true (avg "8_8_8" > 0.);
+  Alcotest.(check bool) "+CR above 8_8_8" true (avg "+CR" > avg "8_8_8")
+
+let test_fig14_subsample () =
+  let rows = Experiments.fig14_category_rows ~apps_per_category:2 ~length:2_000 () in
+  Alcotest.(check int) "seven categories" 7 (List.length rows);
+  List.iter
+    (fun (cat, v) ->
+      Alcotest.(check bool) (cat ^ " finite") true (Float.is_finite v))
+    rows;
+  let curve = Experiments.fig14_curve ~apps_per_category:2 ~length:2_000 () in
+  Alcotest.(check int) "curve covers apps" 14 (List.length curve);
+  let sorted = List.sort Float.compare curve in
+  Alcotest.(check bool) "curve ascending" true (curve = sorted)
+
+let suite =
+  ( "experiments",
+    [
+      Alcotest.test_case "runs cache" `Quick test_runs_cache;
+      Alcotest.test_case "all experiments render" `Slow test_all_experiments_render;
+      Alcotest.test_case "find" `Quick test_find;
+      Alcotest.test_case "fig1 ranges" `Quick test_fig1_rows_in_range;
+      Alcotest.test_case "fig5 accuracy" `Quick test_fig5_accuracy_high;
+      Alcotest.test_case "copy trajectory (Figs 8-9)" `Quick test_copy_trajectory;
+      Alcotest.test_case "steering grows along stack" `Quick
+        test_steering_grows_along_stack;
+      Alcotest.test_case "helper beats baseline" `Quick
+        test_helper_beats_baseline_on_average;
+      Alcotest.test_case "fig14 subsample" `Slow test_fig14_subsample;
+    ] )

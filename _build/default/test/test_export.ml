@@ -1,0 +1,38 @@
+(* Tests for the CSV export. *)
+
+module Export = Hc_core.Export
+module Runs = Hc_core.Runs
+
+let test_csv_line () =
+  Alcotest.(check string) "plain" "a,b,c" (Export.csv_line [ "a"; "b"; "c" ]);
+  Alcotest.(check string) "comma quoted" "\"a,b\",c"
+    (Export.csv_line [ "a,b"; "c" ]);
+  Alcotest.(check string) "quote doubled" "\"say \"\"hi\"\"\""
+    (Export.csv_line [ "say \"hi\"" ]);
+  Alcotest.(check string) "empty field" "a,,c" (Export.csv_line [ "a"; ""; "c" ])
+
+let test_write_all () =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "hc_export_test" in
+  let runs = Runs.create ~length:1_500 () in
+  let written = Export.write_all runs ~dir in
+  Alcotest.(check int) "ten files" 10 (List.length written);
+  List.iter
+    (fun path ->
+      Alcotest.(check bool) (path ^ " exists") true (Sys.file_exists path);
+      let ic = open_in path in
+      let header = input_line ic in
+      let first = input_line ic in
+      close_in ic;
+      Alcotest.(check bool) (path ^ " has header") true (String.length header > 0);
+      Alcotest.(check bool) (path ^ " has data") true (String.length first > 0);
+      (* consistent column counts *)
+      let cols s = List.length (String.split_on_char ',' s) in
+      Alcotest.(check int) (path ^ " column count") (cols header) (cols first))
+    written
+
+let suite =
+  ( "export",
+    [
+      Alcotest.test_case "csv quoting" `Quick test_csv_line;
+      Alcotest.test_case "write all figures" `Slow test_write_all;
+    ] )

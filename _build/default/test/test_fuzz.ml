@@ -1,0 +1,104 @@
+(* Property-based fuzzing of the whole simulator: random (but valid)
+   machine configurations and workload profiles must always complete the
+   trace while preserving the structural invariants. This is the
+   pipeline's crash-and-deadlock net. *)
+
+module Config = Hc_sim.Config
+module Pipeline = Hc_sim.Pipeline
+module Metrics = Hc_sim.Metrics
+module Counter = Hc_stats.Counter
+module Profile = Hc_trace.Profile
+module Generator = Hc_trace.Generator
+
+let config_gen =
+  let open QCheck.Gen in
+  let* iq_size = int_range 6 48 in
+  let* issue_width = int_range 1 4 in
+  let* decode_width = int_range 2 8 in
+  let* rob_size = int_range 24 160 in
+  let* mob_size = int_range 6 64 in
+  let* copy_latency = int_range 1 4 in
+  let* branch_penalty = int_range 0 20 in
+  let* width_flush_penalty = int_range 0 12 in
+  let* narrow_bits = int_range 4 24 in
+  let* confidence_gate = bool in
+  let* helper_fast_clock = bool in
+  let* replicated = bool in
+  let* replay = bool in
+  let* regs = int_range 16 160 in
+  let* scheme_idx = int_range 0 (List.length Config.scheme_stack - 1) in
+  let scheme = snd (List.nth Config.scheme_stack scheme_idx) in
+  return
+    { Config.default with
+      Config.iq_size; issue_width; decode_width; rob_size; mob_size;
+      copy_latency; branch_penalty; width_flush_penalty; narrow_bits;
+      confidence_gate; helper_fast_clock;
+      replicated_regfile = replicated; replay_recovery = replay;
+      wide_regs = regs; narrow_regs = regs; scheme }
+
+let bench_gen =
+  QCheck.Gen.oneofl [ "bzip2"; "gcc"; "mcf"; "gzip"; "eon"; "twolf" ]
+
+let print_case (cfg, bench) =
+  Format.asprintf "%s under iq=%d issue=%d rob=%d mob=%d bits=%d repl=%b replay=%b"
+    bench cfg.Config.iq_size cfg.Config.issue_width cfg.Config.rob_size
+    cfg.Config.mob_size cfg.Config.narrow_bits cfg.Config.replicated_regfile
+    cfg.Config.replay_recovery
+
+let arb =
+  QCheck.make ~print:print_case QCheck.Gen.(pair config_gen bench_gen)
+
+let trace_cache = Hashtbl.create 8
+
+let trace_of bench =
+  match Hashtbl.find_opt trace_cache bench with
+  | Some t -> t
+  | None ->
+    let t = Generator.generate_sliced ~length:1_500 (Profile.find_spec_int bench) in
+    Hashtbl.add trace_cache bench t;
+    t
+
+let prop_simulator_total =
+  QCheck.Test.make ~name:"any valid machine completes any trace" ~count:60 arb
+    (fun (cfg, bench) ->
+      ( match Config.validate cfg with
+      | Ok () -> ()
+      | Error msg -> QCheck.Test.fail_reportf "generated invalid config: %s" msg );
+      let trace = trace_of bench in
+      let m =
+        Pipeline.run ~cfg ~decide:Hc_steering.Policy.decide ~scheme_name:"fuzz"
+          trace
+      in
+      let fatal_recoveries =
+        Counter.get m.Metrics.counters "width_flush"
+        + Counter.get m.Metrics.counters "replay"
+      in
+      m.Metrics.committed = Hc_trace.Trace.length trace
+      && m.Metrics.steered_narrow <= m.Metrics.committed
+      && m.Metrics.prefetch_useful <= m.Metrics.prefetch_copies
+      && m.Metrics.wpred_fatal = fatal_recoveries
+      && (not cfg.Config.replicated_regfile || m.Metrics.copies = 0)
+      && m.Metrics.ticks > 0)
+
+let prop_monolithic_ignores_helper_knobs =
+  (* with the helper disabled, narrow-side knobs must not change results *)
+  QCheck.Test.make ~name:"baseline invariant to helper knobs" ~count:20
+    (QCheck.make QCheck.Gen.(pair (int_range 4 24) bool))
+    (fun (bits, fast) ->
+      let trace = trace_of "gcc" in
+      let run cfg =
+        (Pipeline.run ~cfg ~decide:Hc_steering.Policy.decide
+           ~scheme_name:"baseline" trace)
+          .Metrics.ticks
+      in
+      run Config.baseline
+      = run
+          { Config.baseline with
+            Config.narrow_bits = bits; helper_fast_clock = fast })
+
+let suite =
+  ( "fuzz",
+    [
+      QCheck_alcotest.to_alcotest prop_simulator_total;
+      QCheck_alcotest.to_alcotest prop_monolithic_ignores_helper_knobs;
+    ] )

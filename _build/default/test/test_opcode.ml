@@ -1,0 +1,92 @@
+(* Table-driven consistency tests over every opcode. *)
+
+module Opcode = Hc_isa.Opcode
+
+let all = Opcode.all
+
+let test_latency_positive () =
+  List.iter
+    (fun op ->
+      Alcotest.(check bool)
+        (Opcode.to_string op ^ " latency > 0")
+        true
+        (Opcode.latency op > 0))
+    all
+
+let test_exec_class_consistency () =
+  List.iter
+    (fun op ->
+      let cls = Opcode.exec_class op in
+      Alcotest.(check bool)
+        (Opcode.to_string op ^ " memory class iff is_memory")
+        (Opcode.is_memory op)
+        (cls = Opcode.Mem);
+      Alcotest.(check bool)
+        (Opcode.to_string op ^ " branch class iff is_branch")
+        (Opcode.is_branch op)
+        (cls = Opcode.Ctrl);
+      Alcotest.(check bool)
+        (Opcode.to_string op ^ " fp class iff is_fp")
+        (Opcode.is_fp op)
+        (cls = Opcode.Fp))
+    all
+
+let test_carry_eligibility () =
+  (* §3.5: multiply and divide are explicitly excluded *)
+  Alcotest.(check bool) "mul excluded" false (Opcode.carry_eligible Opcode.Mul);
+  Alcotest.(check bool) "div excluded" false (Opcode.carry_eligible Opcode.Div);
+  Alcotest.(check bool) "add eligible" true (Opcode.carry_eligible Opcode.Add);
+  Alcotest.(check bool) "load eligible" true (Opcode.carry_eligible Opcode.Load);
+  List.iter
+    (fun op ->
+      if Opcode.carry_eligible op then
+        Alcotest.(check bool)
+          (Opcode.to_string op ^ " carry-eligible ops are additive classes")
+          true
+          (Opcode.exec_class op = Opcode.Int_alu || Opcode.is_memory op))
+    all
+
+let test_splittable_subset () =
+  List.iter
+    (fun op ->
+      if Opcode.splittable op then
+        Alcotest.(check bool)
+          (Opcode.to_string op ^ " splittable implies single-cycle int ALU")
+          true
+          (Opcode.exec_class op = Opcode.Int_alu && Opcode.latency op = 1))
+    all
+
+let test_flags () =
+  Alcotest.(check bool) "cmp writes flags" true (Opcode.writes_flags Opcode.Cmp);
+  Alcotest.(check bool) "mov does not" false (Opcode.writes_flags Opcode.Mov);
+  Alcotest.(check bool) "jcc reads flags" true (Opcode.reads_flags Opcode.Branch_cond);
+  List.iter
+    (fun op ->
+      if Opcode.reads_flags op then
+        Alcotest.(check bool)
+          (Opcode.to_string op ^ " only conditional branches read flags")
+          true (op = Opcode.Branch_cond))
+    all
+
+let test_names_unique () =
+  let names = List.map Opcode.to_string all in
+  Alcotest.(check int) "unique" (List.length all)
+    (List.length (List.sort_uniq String.compare names))
+
+let test_long_latency () =
+  Alcotest.(check bool) "div slowest int" true
+    (Opcode.latency Opcode.Div > Opcode.latency Opcode.Mul);
+  Alcotest.(check bool) "mul slower than add" true
+    (Opcode.latency Opcode.Mul > Opcode.latency Opcode.Add)
+
+let suite =
+  ( "opcode",
+    [
+      Alcotest.test_case "latency positive" `Quick test_latency_positive;
+      Alcotest.test_case "exec class consistency" `Quick test_exec_class_consistency;
+      Alcotest.test_case "carry eligibility" `Quick test_carry_eligibility;
+      Alcotest.test_case "splittable subset" `Quick test_splittable_subset;
+      Alcotest.test_case "flags" `Quick test_flags;
+      Alcotest.test_case "names unique" `Quick test_names_unique;
+      Alcotest.test_case "latency ordering" `Quick test_long_latency;
+    ] )

@@ -1,0 +1,221 @@
+(* Integration tests: whole-trace simulations under every scheme, checking
+   the structural invariants a correct pipeline must keep. *)
+
+module Config = Hc_sim.Config
+module Pipeline = Hc_sim.Pipeline
+module Metrics = Hc_sim.Metrics
+module Counter = Hc_stats.Counter
+module Generator = Hc_trace.Generator
+module Profile = Hc_trace.Profile
+module Trace = Hc_trace.Trace
+
+let trace_of ?(length = 4_000) name =
+  Generator.generate_sliced ~length (Profile.find_spec_int name)
+
+let run ?cfg scheme trace =
+  let cfg =
+    match cfg with
+    | Some c -> c
+    | None -> Config.with_scheme Config.default (Config.find_scheme scheme)
+  in
+  Pipeline.run ~cfg ~decide:Hc_steering.Policy.decide ~scheme_name:scheme trace
+
+let all_schemes = List.map fst Hc_steering.Policy.stack
+
+let test_commits_whole_trace () =
+  let t = trace_of "gcc" in
+  List.iter
+    (fun scheme ->
+      let m = run scheme t in
+      Alcotest.(check int)
+        (scheme ^ " commits every trace uop")
+        (Trace.length t) m.Metrics.committed)
+    all_schemes
+
+let test_baseline_is_monolithic () =
+  let t = trace_of "gzip" in
+  let m = run "baseline" t in
+  Alcotest.(check int) "no copies" 0 m.Metrics.copies;
+  Alcotest.(check int) "nothing steered" 0 m.Metrics.steered_narrow;
+  Alcotest.(check int) "no splits" 0 m.Metrics.split_uops;
+  Alcotest.(check int) "no fatal mispredictions" 0 m.Metrics.wpred_fatal;
+  Alcotest.(check int) "no narrow issues" 0
+    (Counter.get m.Metrics.counters "issue_narrow");
+  Alcotest.(check int) "no imbalance samples" 0
+    (m.Metrics.nready_w2n + m.Metrics.nready_n2w)
+
+let test_helper_schemes_steer () =
+  let t = trace_of "gcc" in
+  List.iter
+    (fun scheme ->
+      if scheme <> "baseline" then begin
+        let m = run scheme t in
+        Alcotest.(check bool) (scheme ^ " steers some uops") true
+          (m.Metrics.steered_narrow > 0)
+      end)
+    all_schemes
+
+let test_determinism () =
+  let t = trace_of "vpr" in
+  let a = run "+CR" t and b = run "+CR" t in
+  Alcotest.(check int) "same ticks" a.Metrics.ticks b.Metrics.ticks;
+  Alcotest.(check int) "same copies" a.Metrics.copies b.Metrics.copies;
+  Alcotest.(check int) "same fatal count" a.Metrics.wpred_fatal b.Metrics.wpred_fatal
+
+let test_fatal_matches_flushes () =
+  let t = trace_of "crafty" in
+  List.iter
+    (fun scheme ->
+      let m = run scheme t in
+      Alcotest.(check int)
+        (scheme ^ " one flush per fatal misprediction")
+        m.Metrics.wpred_fatal
+        (Counter.get m.Metrics.counters "width_flush"))
+    [ "8_8_8"; "+CR"; "+IR" ]
+
+let test_prefetch_accounting () =
+  let t = trace_of "gcc" in
+  let m = run "+CP" t in
+  Alcotest.(check bool) "some prefetches issued" true (m.Metrics.prefetch_copies > 0);
+  Alcotest.(check bool) "useful <= issued" true
+    (m.Metrics.prefetch_useful <= m.Metrics.prefetch_copies);
+  Alcotest.(check bool) "prefetches are copies" true
+    (m.Metrics.prefetch_copies <= m.Metrics.copies);
+  let no_cp = run "+CR" t in
+  Alcotest.(check int) "CR stack has no prefetches" 0 no_cp.Metrics.prefetch_copies
+
+let test_splits_only_with_ir () =
+  let t = trace_of "bzip2" in
+  List.iter
+    (fun scheme ->
+      let m = run scheme t in
+      let expect_splits =
+        scheme = "+IR" || scheme = "+IR(nodest)"
+      in
+      if not expect_splits then
+        Alcotest.(check int) (scheme ^ " no splits") 0 m.Metrics.split_uops)
+    all_schemes
+
+let test_cycles_positive_and_bounded () =
+  let t = trace_of "mcf" in
+  List.iter
+    (fun scheme ->
+      let m = run scheme t in
+      Alcotest.(check bool) (scheme ^ " progress") true (m.Metrics.ticks > 0);
+      Alcotest.(check bool)
+        (scheme ^ " ipc sane")
+        true
+        (Metrics.ipc m > 0.01 && Metrics.ipc m <= 6.))
+    all_schemes
+
+let test_steered_le_committed () =
+  let t = trace_of "parser" in
+  List.iter
+    (fun scheme ->
+      let m = run scheme t in
+      Alcotest.(check bool) (scheme ^ " steered <= committed") true
+        (m.Metrics.steered_narrow <= m.Metrics.committed))
+    all_schemes
+
+let test_wpred_outcomes_cover_value_producers () =
+  let t = trace_of "gap" in
+  let m = run "8_8_8" t in
+  let outcomes =
+    m.Metrics.wpred_correct + m.Metrics.wpred_fatal + m.Metrics.wpred_nonfatal
+  in
+  (* every committed value-producing uop is classified at least once;
+     resteered uops classify twice, so outcomes >= producers *)
+  let producers =
+    Trace.fold
+      (fun acc u ->
+        if Hc_isa.Uop.has_dest u || Hc_isa.Uop.writes_flags u then acc + 1 else acc)
+      0 t
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "classifications (%d) cover producers (%d)" outcomes producers)
+    true
+    (outcomes >= producers)
+
+let test_confidence_gate_reduces_fatal () =
+  (* the paper's 2.11% -> 0.83% claim, as a direction *)
+  let t = trace_of ~length:8_000 "gcc" in
+  let gated = run "+CR" t in
+  let cfg =
+    { (Config.with_scheme Config.default (Config.find_scheme "+CR")) with
+      Config.confidence_gate = false }
+  in
+  let ungated = run ~cfg "+CR" t in
+  Alcotest.(check bool)
+    (Printf.sprintf "gated fatal (%.2f%%) < ungated (%.2f%%)"
+       (Metrics.wpred_fatal_pct gated)
+       (Metrics.wpred_fatal_pct ungated))
+    true
+    (Metrics.wpred_fatal_pct gated < Metrics.wpred_fatal_pct ungated)
+
+let test_lr_reduces_copies () =
+  let t = trace_of ~length:8_000 "gcc" in
+  let br = run "+BR" t in
+  let lr = run "+LR" t in
+  Alcotest.(check bool)
+    (Printf.sprintf "LR cuts copies (%.1f%% -> %.1f%%)" (Metrics.copy_pct br)
+       (Metrics.copy_pct lr))
+    true
+    (Metrics.copy_pct lr < Metrics.copy_pct br)
+
+let test_br_reduces_copies_and_steers_more () =
+  let t = trace_of ~length:8_000 "gcc" in
+  let base = run "8_8_8" t in
+  let br = run "+BR" t in
+  Alcotest.(check bool) "BR steers more" true
+    (Metrics.steered_pct br > Metrics.steered_pct base);
+  Alcotest.(check bool) "BR cuts copies" true
+    (Metrics.copy_pct br < Metrics.copy_pct base)
+
+let test_cr_steers_more () =
+  let t = trace_of ~length:8_000 "gcc" in
+  let lr = run "+LR" t in
+  let cr = run "+CR" t in
+  Alcotest.(check bool) "CR steers more than LR" true
+    (Metrics.steered_pct cr > Metrics.steered_pct lr)
+
+let test_custom_machine () =
+  (* a helper with no confidence gating still completes correctly *)
+  let t = trace_of ~length:2_000 "eon" in
+  let cfg =
+    { (Config.with_scheme Config.default (Config.find_scheme "+IR")) with
+      Config.confidence_gate = false; iq_size = 8; rob_size = 32;
+      decode_width = 2; commit_width = 2; mob_size = 8 }
+  in
+  let m = run ~cfg "+IR" t in
+  Alcotest.(check int) "tiny machine still commits all" (Trace.length t)
+    m.Metrics.committed
+
+let test_invalid_config_rejected () =
+  let t = trace_of ~length:100 "eon" in
+  let cfg = { Config.default with Config.issue_width = 0 } in
+  Alcotest.check_raises "invalid config"
+    (Invalid_argument "Pipeline: issue_width = 0 must be positive") (fun () ->
+      ignore (run ~cfg "+IR" t))
+
+let suite =
+  ( "pipeline",
+    [
+      Alcotest.test_case "commits whole trace" `Quick test_commits_whole_trace;
+      Alcotest.test_case "baseline is monolithic" `Quick test_baseline_is_monolithic;
+      Alcotest.test_case "helper schemes steer" `Quick test_helper_schemes_steer;
+      Alcotest.test_case "determinism" `Quick test_determinism;
+      Alcotest.test_case "fatal = flush count" `Quick test_fatal_matches_flushes;
+      Alcotest.test_case "prefetch accounting" `Quick test_prefetch_accounting;
+      Alcotest.test_case "splits only with IR" `Quick test_splits_only_with_ir;
+      Alcotest.test_case "cycles sane" `Quick test_cycles_positive_and_bounded;
+      Alcotest.test_case "steered <= committed" `Quick test_steered_le_committed;
+      Alcotest.test_case "prediction coverage" `Quick
+        test_wpred_outcomes_cover_value_producers;
+      Alcotest.test_case "confidence gate reduces fatal" `Quick
+        test_confidence_gate_reduces_fatal;
+      Alcotest.test_case "LR reduces copies" `Quick test_lr_reduces_copies;
+      Alcotest.test_case "BR trajectory" `Quick test_br_reduces_copies_and_steers_more;
+      Alcotest.test_case "CR steers more" `Quick test_cr_steers_more;
+      Alcotest.test_case "tiny custom machine" `Quick test_custom_machine;
+      Alcotest.test_case "invalid config rejected" `Quick test_invalid_config_rejected;
+    ] )

@@ -1,0 +1,94 @@
+(* Tests for workload profiles. *)
+
+module Profile = Hc_trace.Profile
+
+let test_spec_count () =
+  Alcotest.(check int) "twelve benchmarks" 12 (List.length Profile.spec_int);
+  Alcotest.(check (list string)) "paper order"
+    [ "bzip2"; "crafty"; "eon"; "gap"; "gcc"; "gzip"; "mcf"; "parser";
+      "perlbmk"; "twolf"; "vortex"; "vpr" ]
+    Profile.spec_int_names
+
+let test_all_valid () =
+  List.iter
+    (fun p ->
+      match Profile.validate p with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "%s: %s" p.Profile.name msg)
+    Profile.spec_int
+
+let test_archetypes_valid () =
+  List.iter
+    (fun cat ->
+      let a = Profile.archetype cat in
+      match Profile.validate a with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "%s: %s" a.Profile.name msg)
+    Profile.all_categories
+
+let test_find () =
+  let p = Profile.find_spec_int "gcc" in
+  Alcotest.(check string) "found" "gcc" p.Profile.name;
+  Alcotest.check_raises "unknown" Not_found (fun () ->
+      ignore (Profile.find_spec_int "nonesuch"))
+
+let test_category_strings () =
+  List.iter
+    (fun cat ->
+      let s = Profile.category_to_string cat in
+      Alcotest.(check bool)
+        (s ^ " roundtrips")
+        true
+        (Profile.category_of_string s = Some cat))
+    Profile.all_categories;
+  Alcotest.(check bool) "unknown string" true
+    (Profile.category_of_string "xyzzy" = None)
+
+let test_validate_rejects () =
+  let base = List.hd Profile.spec_int in
+  let expect_error name p =
+    match Profile.validate p with
+    | Ok () -> Alcotest.failf "%s: expected rejection" name
+    | Error _ -> ()
+  in
+  expect_error "negative fraction" { base with Profile.f_load = -0.1 };
+  expect_error "fraction above one" { base with Profile.p_narrow_load = 1.5 };
+  expect_error "mix overflow"
+    { base with Profile.f_load = 0.6; f_store = 0.5 };
+  expect_error "zero statics" { base with Profile.static_size = 0 };
+  expect_error "sub-unit distance" { base with Profile.dep_distance_mean = 0.5 };
+  expect_error "loop back" { base with Profile.loop_back_mean = 0.0 }
+
+let test_with_seed () =
+  let base = List.hd Profile.spec_int in
+  let p = Profile.with_seed base 99L in
+  Alcotest.(check int64) "seed replaced" 99L p.Profile.seed;
+  Alcotest.(check string) "rest untouched" base.Profile.name p.Profile.name
+
+let test_seeds_distinct () =
+  let seeds = List.map (fun p -> p.Profile.seed) Profile.spec_int in
+  Alcotest.(check int) "unique seeds" 12
+    (List.length (List.sort_uniq Int64.compare seeds))
+
+let test_personalities_differ () =
+  let gcc = Profile.find_spec_int "gcc" in
+  let mcf = Profile.find_spec_int "mcf" in
+  Alcotest.(check bool) "mcf misses more than gcc" true
+    (mcf.Profile.p_ul1_miss > gcc.Profile.p_ul1_miss);
+  let bzip2 = Profile.find_spec_int "bzip2" in
+  Alcotest.(check bool) "bzip2 more narrow-index pressure than gcc" true
+    (bzip2.Profile.p_narrow_index > gcc.Profile.p_narrow_index)
+
+let suite =
+  ( "profile",
+    [
+      Alcotest.test_case "spec benchmark set" `Quick test_spec_count;
+      Alcotest.test_case "all profiles valid" `Quick test_all_valid;
+      Alcotest.test_case "archetypes valid" `Quick test_archetypes_valid;
+      Alcotest.test_case "find" `Quick test_find;
+      Alcotest.test_case "category strings" `Quick test_category_strings;
+      Alcotest.test_case "validate rejects" `Quick test_validate_rejects;
+      Alcotest.test_case "with_seed" `Quick test_with_seed;
+      Alcotest.test_case "seeds distinct" `Quick test_seeds_distinct;
+      Alcotest.test_case "personalities differ" `Quick test_personalities_differ;
+    ] )

@@ -1,0 +1,46 @@
+(* Tests for architectural register encoding. *)
+
+module Reg = Hc_isa.Reg
+
+let test_roundtrip () =
+  for i = 0 to Reg.count - 1 do
+    Alcotest.(check int)
+      (Printf.sprintf "index %d" i)
+      i
+      (Reg.to_index (Reg.of_index i))
+  done
+
+let test_out_of_range () =
+  Alcotest.check_raises "negative" (Invalid_argument "Reg.of_index: -1")
+    (fun () -> ignore (Reg.of_index (-1)));
+  Alcotest.check_raises "too large"
+    (Invalid_argument (Printf.sprintf "Reg.of_index: %d" Reg.count))
+    (fun () -> ignore (Reg.of_index Reg.count))
+
+let test_gprs () =
+  Alcotest.(check int) "eight GPRs" 8 (List.length Reg.gprs);
+  List.iteri
+    (fun i r -> Alcotest.(check int) (Reg.to_string r) i (Reg.to_index r))
+    Reg.gprs
+
+let test_equality () =
+  Alcotest.(check bool) "equal" true (Reg.equal Reg.Eax Reg.Eax);
+  Alcotest.(check bool) "distinct" false (Reg.equal Reg.Eax Reg.Ecx);
+  Alcotest.(check bool) "tmp equal" true (Reg.equal (Reg.Tmp 3) (Reg.Tmp 3));
+  Alcotest.(check bool) "tmp distinct" false (Reg.equal (Reg.Tmp 3) (Reg.Tmp 4));
+  Alcotest.(check int) "compare reflexive" 0 (Reg.compare Reg.Esi Reg.Esi)
+
+let test_names_unique () =
+  let names = List.init Reg.count (fun i -> Reg.to_string (Reg.of_index i)) in
+  let sorted = List.sort_uniq String.compare names in
+  Alcotest.(check int) "unique names" Reg.count (List.length sorted)
+
+let suite =
+  ( "reg",
+    [
+      Alcotest.test_case "index roundtrip" `Quick test_roundtrip;
+      Alcotest.test_case "out of range" `Quick test_out_of_range;
+      Alcotest.test_case "gprs" `Quick test_gprs;
+      Alcotest.test_case "equality" `Quick test_equality;
+      Alcotest.test_case "names unique" `Quick test_names_unique;
+    ] )

@@ -1,0 +1,76 @@
+(* Tests for opcode evaluation. *)
+
+module Semantics = Hc_isa.Semantics
+module Opcode = Hc_isa.Opcode
+
+let ev op vals = Semantics.eval op vals
+
+let check_some name expected got =
+  Alcotest.(check (option int)) name (Some expected) got
+
+let test_arith () =
+  check_some "add" 7 (ev Opcode.Add [ 3; 4 ]);
+  check_some "add wraps" 0 (ev Opcode.Add [ 0xFFFF_FFFF; 1 ]);
+  check_some "sub" 0xFFFF_FFFF (ev Opcode.Sub [ 3; 4 ]);
+  check_some "cmp like sub" 1 (ev Opcode.Cmp [ 5; 4 ]);
+  check_some "lea like add" 9 (ev Opcode.Lea [ 4; 5 ]);
+  check_some "mul" 12 (ev Opcode.Mul [ 3; 4 ]);
+  check_some "mul wraps" 0xFFFF_FFFE (ev Opcode.Mul [ 2; 0xFFFF_FFFF ]);
+  check_some "div" 3 (ev Opcode.Div [ 13; 4 ]);
+  check_some "div by zero" 0 (ev Opcode.Div [ 13; 0 ])
+
+let test_logic () =
+  check_some "and" 0x0F (ev Opcode.And [ 0xFF; 0x0F ]);
+  check_some "or" 0xFF (ev Opcode.Or [ 0xF0; 0x0F ]);
+  check_some "xor" 0xFF (ev Opcode.Xor [ 0xF0; 0x0F ]);
+  check_some "shl" 0x100 (ev Opcode.Shl [ 0x80; 1 ]);
+  check_some "shl wraps" 0xFFFF_FF00 (ev Opcode.Shl [ 0xFFFF_FFFF; 8 ]);
+  check_some "shr" 0x7F (ev Opcode.Shr [ 0xFF; 1 ])
+
+let test_moves () =
+  check_some "mov" 42 (ev Opcode.Mov [ 42 ]);
+  check_some "copy" 42 (ev Opcode.Copy [ 42 ])
+
+let test_no_result () =
+  let none name op vals =
+    Alcotest.(check (option int)) name None (ev op vals)
+  in
+  none "load" Opcode.Load [ 1; 2 ];
+  none "store" Opcode.Store [ 1; 2; 3 ];
+  none "jcc" Opcode.Branch_cond [ 1 ];
+  none "jmp" Opcode.Branch_uncond [];
+  none "fadd" Opcode.Fp_add [ 1; 2 ];
+  none "nop" Opcode.Nop [];
+  none "add missing sources" Opcode.Add [ 1 ];
+  none "mov missing source" Opcode.Mov []
+
+let gen32 = QCheck.map (fun v -> v land 0xFFFF_FFFF) (QCheck.int_range 0 max_int)
+
+let prop_results_in_range =
+  QCheck.Test.make ~name:"all results fit 32 bits"
+    (QCheck.pair gen32 gen32)
+    (fun (a, b) ->
+      List.for_all
+        (fun op ->
+          match ev op [ a; b ] with
+          | Some r -> r >= 0 && r <= 0xFFFF_FFFF
+          | None -> true)
+        Opcode.all)
+
+let prop_xor_involution =
+  QCheck.Test.make ~name:"xor twice is identity" (QCheck.pair gen32 gen32)
+    (fun (a, b) ->
+      match ev Opcode.Xor [ a; b ] with
+      | Some x -> ev Opcode.Xor [ x; b ] = Some a
+      | None -> false)
+
+let suite =
+  ( "semantics",
+    [
+      Alcotest.test_case "arithmetic" `Quick test_arith;
+      Alcotest.test_case "logic" `Quick test_logic;
+      Alcotest.test_case "moves" `Quick test_moves;
+      Alcotest.test_case "no result" `Quick test_no_result;
+      QCheck_alcotest.to_alcotest prop_results_in_range;
+      QCheck_alcotest.to_alcotest prop_xor_involution;
+    ] )

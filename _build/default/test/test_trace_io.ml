@@ -1,0 +1,78 @@
+(* Tests for trace serialization. *)
+
+module Generator = Hc_trace.Generator
+module Profile = Hc_trace.Profile
+module Trace = Hc_trace.Trace
+module Trace_io = Hc_trace.Trace_io
+
+let temp name = Filename.concat (Filename.get_temp_dir_name ()) name
+
+let test_roundtrip () =
+  let t = Generator.generate_sliced ~length:2_000 (Profile.find_spec_int "mcf") in
+  let path = temp "hc_roundtrip.trace" in
+  Trace_io.save t path;
+  let t' = Trace_io.load path in
+  Alcotest.(check string) "name preserved" "mcf" t'.Trace.name;
+  Alcotest.(check bool) "uops identical" true (Trace_io.roundtrip_equal t t')
+
+let test_roundtrip_simulates_identically () =
+  let t = Generator.generate_sliced ~length:2_000 (Profile.find_spec_int "vpr") in
+  let path = temp "hc_sim.trace" in
+  Trace_io.save t path;
+  let t' = Trace_io.load path in
+  let run trace =
+    let cfg =
+      Hc_sim.Config.with_scheme Hc_sim.Config.default
+        (Hc_sim.Config.find_scheme "+CR")
+    in
+    Hc_sim.Pipeline.run ~cfg ~decide:Hc_steering.Policy.decide
+      ~scheme_name:"+CR" trace
+  in
+  let a = run t and b = run t' in
+  Alcotest.(check int) "identical ticks" a.Hc_sim.Metrics.ticks
+    b.Hc_sim.Metrics.ticks;
+  Alcotest.(check int) "identical copies" a.Hc_sim.Metrics.copies
+    b.Hc_sim.Metrics.copies
+
+let test_malformed () =
+  let write path lines =
+    let oc = open_out path in
+    List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+    close_out oc;
+    path
+  in
+  let expect_failure name path =
+    match Trace_io.load path with
+    | _ -> Alcotest.failf "%s: expected failure" name
+    | exception Failure _ -> ()
+  in
+  expect_failure "bad header"
+    (write (temp "bad1.trace") [ "not-a-trace" ]);
+  expect_failure "truncated"
+    (write (temp "bad2.trace") [ "helper-cluster-trace v1 x 2" ]);
+  expect_failure "bad uop line"
+    (write (temp "bad3.trace")
+       [ "helper-cluster-trace v1 x 1"; "0 0 add garbage" ]);
+  expect_failure "unknown opcode"
+    (write (temp "bad4.trace")
+       [ "helper-cluster-trace v1 x 1";
+         "0 400000 frobnicate dst=- srcs= res=0 addr=0 taken=0 misp=0 dl0=0 ul1=0" ])
+
+let test_empty_trace () =
+  let t =
+    { Trace.name = "empty"; profile = List.hd Profile.spec_int; uops = [||] }
+  in
+  let path = temp "hc_empty.trace" in
+  Trace_io.save t path;
+  let t' = Trace_io.load path in
+  Alcotest.(check int) "zero uops" 0 (Trace.length t')
+
+let suite =
+  ( "trace_io",
+    [
+      Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+      Alcotest.test_case "roundtrip simulates identically" `Quick
+        test_roundtrip_simulates_identically;
+      Alcotest.test_case "malformed inputs" `Quick test_malformed;
+      Alcotest.test_case "empty trace" `Quick test_empty_trace;
+    ] )

@@ -1,0 +1,115 @@
+(* Unit and property tests for Hc_isa.Value: 32-bit value arithmetic and
+   the carry-propagation primitives the CR scheme rests on. *)
+
+module Value = Hc_isa.Value
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_mask32 () =
+  check "in range untouched" 0x1234_5678 (Value.mask32 0x1234_5678);
+  check "truncates" 0x0000_0001 (Value.mask32 0x1_0000_0001);
+  check "zero" 0 (Value.mask32 0);
+  check "max" 0xFFFF_FFFF (Value.mask32 0xFFFF_FFFF);
+  check "negative input wraps" 0xFFFF_FFFF (Value.mask32 (-1))
+
+let test_signed_roundtrip () =
+  check "positive" 5 (Value.to_signed (Value.of_signed 5));
+  check "negative" (-5) (Value.to_signed (Value.of_signed (-5)));
+  check "min32" (-0x8000_0000) (Value.to_signed (Value.of_signed (-0x8000_0000)));
+  check "max32" 0x7FFF_FFFF (Value.to_signed (Value.of_signed 0x7FFF_FFFF));
+  check "minus one pattern" 0xFFFF_FFFF (Value.of_signed (-1))
+
+let test_bytes () =
+  let v = 0xDEAD_BEEF in
+  check "byte 0" 0xEF (Value.byte 0 v);
+  check "byte 1" 0xBE (Value.byte 1 v);
+  check "byte 2" 0xAD (Value.byte 2 v);
+  check "byte 3" 0xDE (Value.byte 3 v);
+  check "reassemble" v (Value.of_bytes 0xEF 0xBE 0xAD 0xDE)
+
+let test_add_sub () =
+  check "add" 3 (Value.add 1 2);
+  check "add wraps" 0 (Value.add 0xFFFF_FFFF 1);
+  check "sub" 1 (Value.sub 3 2);
+  check "sub wraps" 0xFFFF_FFFF (Value.sub 0 1)
+
+let test_carry_out_low8 () =
+  check_bool "no carry" false (Value.carry_out_low8 0x10 0x20);
+  check_bool "carry" true (Value.carry_out_low8 0xF0 0x20);
+  check_bool "boundary no" false (Value.carry_out_low8 0xFF 0x00);
+  check_bool "boundary yes" true (Value.carry_out_low8 0xFF 0x01);
+  check_bool "only low bytes matter" false (Value.carry_out_low8 0xFF00 0xFF00)
+
+let test_carry_propagates_paper_example () =
+  (* Fig 10: R2 = FFFC4A02, R3 = 1C; FFFC4A02 + 1C = FFFC4A1E, the upper
+     24 bits of the base are untouched *)
+  check_bool "paper example stays local" false
+    (Value.carry_propagates 0xFFFC_4A02 0x1C);
+  check_bool "forced carry" true (Value.carry_propagates 0xFFFC_40FF 0x01);
+  check_bool "upper24 comparison" true
+    (Value.upper24_equal 0xFFFC_4A02 0xFFFC_4A1E);
+  check_bool "upper24 differ" false (Value.upper24_equal 0xFFFC_4A02 0xFFFD_4A02)
+
+let test_hex () =
+  Alcotest.(check string) "hex" "0xFFFC4A1E" (Value.to_hex 0xFFFC_4A1E);
+  Alcotest.(check string) "zero" "0x00000000" (Value.to_hex 0)
+
+(* properties *)
+
+let gen32 = QCheck.map Value.mask32 (QCheck.int_range 0 max_int)
+
+let prop_mask_idempotent =
+  QCheck.Test.make ~name:"mask32 idempotent" gen32 (fun v ->
+      Value.mask32 v = v)
+
+let prop_signed_roundtrip =
+  QCheck.Test.make ~name:"signed roundtrip" gen32 (fun v ->
+      Value.of_signed (Value.to_signed v) = v)
+
+let prop_bytes_roundtrip =
+  QCheck.Test.make ~name:"byte decompose/reassemble" gen32 (fun v ->
+      Value.of_bytes (Value.byte 0 v) (Value.byte 1 v) (Value.byte 2 v)
+        (Value.byte 3 v)
+      = v)
+
+let prop_add_commutative =
+  QCheck.Test.make ~name:"add commutative" (QCheck.pair gen32 gen32)
+    (fun (a, b) -> Value.add a b = Value.add b a)
+
+let prop_add_sub_inverse =
+  QCheck.Test.make ~name:"sub undoes add" (QCheck.pair gen32 gen32)
+    (fun (a, b) -> Value.sub (Value.add a b) b = a)
+
+let prop_carry_definition =
+  QCheck.Test.make ~name:"carry_propagates matches upper24 change"
+    (QCheck.pair gen32 (QCheck.int_range 0 0xFF))
+    (fun (base, off) ->
+      Value.carry_propagates base off
+      = not (Value.upper24_equal (Value.add base off) base))
+
+let prop_carry_iff_low_byte_overflow =
+  QCheck.Test.make ~name:"narrow offset carry iff low-byte overflow"
+    (QCheck.pair gen32 (QCheck.int_range 0 0xFF))
+    (fun (base, off) ->
+      Value.carry_propagates base off = Value.carry_out_low8 base off)
+
+let suite =
+  ( "value",
+    [
+      Alcotest.test_case "mask32" `Quick test_mask32;
+      Alcotest.test_case "signed roundtrip" `Quick test_signed_roundtrip;
+      Alcotest.test_case "bytes" `Quick test_bytes;
+      Alcotest.test_case "add/sub wrap" `Quick test_add_sub;
+      Alcotest.test_case "carry out of low byte" `Quick test_carry_out_low8;
+      Alcotest.test_case "Fig 10 carry example" `Quick
+        test_carry_propagates_paper_example;
+      Alcotest.test_case "hex printing" `Quick test_hex;
+      QCheck_alcotest.to_alcotest prop_mask_idempotent;
+      QCheck_alcotest.to_alcotest prop_signed_roundtrip;
+      QCheck_alcotest.to_alcotest prop_bytes_roundtrip;
+      QCheck_alcotest.to_alcotest prop_add_commutative;
+      QCheck_alcotest.to_alcotest prop_add_sub_inverse;
+      QCheck_alcotest.to_alcotest prop_carry_definition;
+      QCheck_alcotest.to_alcotest prop_carry_iff_low_byte_overflow;
+    ] )

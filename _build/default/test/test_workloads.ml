@@ -1,0 +1,90 @@
+(* Tests for the Table-2 application suite. *)
+
+module Workloads = Hc_trace.Workloads
+module Profile = Hc_trace.Profile
+
+let test_table2 () =
+  Alcotest.(check int) "seven categories" 7 (List.length Workloads.table2);
+  let count cat =
+    (List.find (fun e -> e.Workloads.category = cat) Workloads.table2)
+      .Workloads.count
+  in
+  Alcotest.(check int) "enc" 62 (count Profile.Encoder);
+  Alcotest.(check int) "sfp" 41 (count Profile.Spec_fp);
+  Alcotest.(check int) "kernels" 52 (count Profile.Kernels);
+  Alcotest.(check int) "mm" 85 (count Profile.Multimedia);
+  Alcotest.(check int) "office" 75 (count Profile.Office);
+  Alcotest.(check int) "prod" 45 (count Profile.Productivity);
+  Alcotest.(check int) "ws" 49 (count Profile.Workstation);
+  Alcotest.(check int) "total (the table sums to 409)" 409 Workloads.suite_size
+
+let test_suite_complete () =
+  let suite = Workloads.suite () in
+  Alcotest.(check int) "all apps present" Workloads.suite_size (List.length suite);
+  let names = List.map (fun p -> p.Profile.name) suite in
+  Alcotest.(check int) "names unique" Workloads.suite_size
+    (List.length (List.sort_uniq String.compare names))
+
+let test_all_apps_valid () =
+  List.iter
+    (fun p ->
+      match Profile.validate p with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "%s: %s" p.Profile.name msg)
+    (Workloads.suite ())
+
+let test_deterministic () =
+  let a = Workloads.suite () and b = Workloads.suite () in
+  List.iter2
+    (fun (x : Profile.t) (y : Profile.t) ->
+      Alcotest.(check bool) (x.Profile.name ^ " reproducible") true (x = y))
+    a b
+
+let test_apps_differ_within_category () =
+  let apps = Workloads.category_apps Profile.Multimedia in
+  match apps with
+  | a :: b :: _ ->
+    Alcotest.(check bool) "distinct seeds" true (a.Profile.seed <> b.Profile.seed);
+    Alcotest.(check bool) "distinct knobs" true
+      (a.Profile.p_narrow_load <> b.Profile.p_narrow_load
+      || a.Profile.f_load <> b.Profile.f_load)
+  | _ -> Alcotest.fail "expected at least two multimedia apps"
+
+let test_jitter_preserves_validity () =
+  let rng = Hc_trace.Rng.create 31L in
+  let arch = Profile.archetype Profile.Office in
+  for i = 1 to 200 do
+    let p = Workloads.jitter rng arch in
+    match Profile.validate p with
+    | Ok () -> ()
+    | Error msg -> Alcotest.failf "jitter %d: %s" i msg
+  done
+
+let test_categories_keep_character () =
+  (* multimedia apps must stay more narrow-friendly than office apps on
+     average — the paper's Fig 14 ordering depends on it *)
+  let mean f cat =
+    let apps = Workloads.category_apps cat in
+    List.fold_left (fun acc p -> acc +. f p) 0. apps
+    /. float_of_int (List.length apps)
+  in
+  let mm = mean (fun p -> p.Profile.p_narrow_chain) Profile.Multimedia in
+  let office = mean (fun p -> p.Profile.p_narrow_chain) Profile.Office in
+  Alcotest.(check bool)
+    (Printf.sprintf "mm narrower than office (%.2f vs %.2f)" mm office)
+    true (mm > office)
+
+let suite =
+  ( "workloads",
+    [
+      Alcotest.test_case "table 2" `Quick test_table2;
+      Alcotest.test_case "suite complete" `Quick test_suite_complete;
+      Alcotest.test_case "all apps valid" `Quick test_all_apps_valid;
+      Alcotest.test_case "deterministic" `Quick test_deterministic;
+      Alcotest.test_case "apps differ within category" `Quick
+        test_apps_differ_within_category;
+      Alcotest.test_case "jitter preserves validity" `Quick
+        test_jitter_preserves_validity;
+      Alcotest.test_case "categories keep character" `Quick
+        test_categories_keep_character;
+    ] )
