@@ -1,19 +1,30 @@
 (* The benchmark harness.
 
-   Two parts, both keyed to the paper's evaluation artifacts:
+   Three parts, all keyed to the paper's evaluation artifacts:
 
    1. Regeneration - every table and figure of the paper is recomputed at
       full size and printed with paper-vs-measured headline comparisons
-      (the same tables EXPERIMENTS.md quotes).
+      (the same tables EXPERIMENTS.md quotes). With --json the wall-clock
+      is measured twice - sequentially and on the domain pool - so the
+      parallel engine's speedup is recorded alongside.
 
    2. Micro-benchmarks - one Bechamel [Test.make] per table/figure timing
       the computational kernel behind that artifact (trace analysis for the
       characterization figures, a scaled-down simulation for the
       performance figures), so regressions in simulator speed show up per
-      experiment. *)
+      experiment. Every fig*:sim-* kernel runs over the SAME memoized
+      2k-uop gcc trace, so the kernels measure simulation, not generation.
+
+   3. --json <path> - machine-readable results (kernel name -> ns/run plus
+      the regenerate() wall-clocks) for tracking the perf trajectory
+      across PRs (BENCH_<n>.json at the repo root).
+
+   Flags: --micro (kernels only), --tables (regeneration only),
+   --json <path>, --jobs <n> (domain-pool size; HC_JOBS works too). *)
 
 module Experiments = Hc_core.Experiments
 module Runs = Hc_core.Runs
+module Domain_pool = Hc_core.Domain_pool
 module Profile = Hc_trace.Profile
 module Generator = Hc_trace.Generator
 module Analysis = Hc_trace.Analysis
@@ -47,15 +58,16 @@ let regenerate () =
 let bench_trace =
   lazy (Generator.generate_sliced ~length:5_000 (Profile.find_spec_int "gcc"))
 
-let sim_kernel scheme =
-  let trace =
-    lazy (Generator.generate_sliced ~length:2_000 (Profile.find_spec_int "gcc"))
-  in
-  fun () ->
-    let cfg = Config.with_scheme Config.default (Config.find_scheme scheme) in
-    ignore
-      (Pipeline.run ~cfg ~decide:Hc_steering.Policy.decide ~scheme_name:scheme
-         (Lazy.force trace))
+(* one memoized trace shared by every fig*:sim-* kernel: the kernels time
+   the simulator, not the generator *)
+let sim_trace =
+  lazy (Generator.generate_sliced ~length:2_000 (Profile.find_spec_int "gcc"))
+
+let sim_kernel scheme () =
+  let cfg = Config.with_scheme Config.default (Config.find_scheme scheme) in
+  ignore
+    (Pipeline.run ~cfg ~decide:Hc_steering.Policy.decide ~scheme_name:scheme
+       (Lazy.force sim_trace))
 
 let predictor_kernel () =
   let t = Lazy.force bench_trace in
@@ -130,15 +142,103 @@ let run_bechamel () =
   let clock = Hashtbl.find results (Measure.label Instance.monotonic_clock) in
   let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) clock [] in
   let rows = List.sort (fun (a, _) (b, _) -> String.compare a b) rows in
-  List.iter
+  List.filter_map
     (fun (name, ols) ->
       match Analyze.OLS.estimates ols with
-      | Some [ ns ] -> Printf.printf "%-45s %12.1f ns/run\n" name ns
-      | Some _ | None -> Printf.printf "%-45s (no estimate)\n" name)
+      | Some [ ns ] ->
+        Printf.printf "%-45s %12.1f ns/run\n" name ns;
+        Some (name, ns)
+      | Some _ | None ->
+        Printf.printf "%-45s (no estimate)\n" name;
+        None)
     rows
 
+(* ----- part 3: machine-readable results ----- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let timed_regenerate ~jobs =
+  Domain_pool.set_jobs jobs;
+  let t0 = Unix.gettimeofday () in
+  regenerate ();
+  Unix.gettimeofday () -. t0
+
+let write_json ~path ~kernels ~regen =
+  let oc = open_out path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"schema\": 1,\n";
+  p "  \"host_cores\": %d,\n" (Domain.recommended_domain_count ());
+  p "  \"kernels_ns_per_run\": {\n";
+  let n = List.length kernels in
+  List.iteri
+    (fun i (name, ns) ->
+      p "    \"%s\": %.1f%s\n" (json_escape name) ns
+        (if i = n - 1 then "" else ","))
+    kernels;
+  p "  }";
+  ( match regen with
+  | None -> ()
+  | Some (seq_s, par_jobs, par_s) ->
+    p ",\n  \"regenerate\": {\n";
+    p "    \"length\": 30000,\n";
+    p "    \"sequential_wall_s\": %.3f,\n" seq_s;
+    p "    \"parallel_jobs\": %d,\n" par_jobs;
+    p "    \"parallel_wall_s\": %.3f,\n" par_s;
+    p "    \"speedup\": %.3f\n" (if par_s > 0. then seq_s /. par_s else 0.);
+    p "  }" );
+  p "\n}\n";
+  close_out oc;
+  Printf.printf "\nwrote %s\n" path
+
 let () =
-  let only_micro = Array.exists (( = ) "--micro") Sys.argv in
-  let only_tables = Array.exists (( = ) "--tables") Sys.argv in
-  if not only_micro then regenerate ();
-  if not only_tables then run_bechamel ()
+  let argv = Array.to_list Sys.argv in
+  let only_micro = List.mem "--micro" argv in
+  let only_tables = List.mem "--tables" argv in
+  let rec find_opt_value flag = function
+    | [] -> None
+    | f :: v :: _ when f = flag -> Some v
+    | _ :: rest -> find_opt_value flag rest
+  in
+  ( match find_opt_value "--jobs" argv with
+  | Some v -> (
+    match int_of_string_opt v with
+    | Some n when n > 0 -> Domain_pool.set_jobs n
+    | Some _ | None ->
+      prerr_endline "--jobs expects a positive integer";
+      exit 1 )
+  | None -> () );
+  match find_opt_value "--json" argv with
+  | Some path ->
+    let regen =
+      if only_micro then None
+      else begin
+        (* sequential first, then the domain-pool fan-out: same work, same
+           results (bit-identical, see test_parallel), different wall.
+           The parallel pass uses the host's default pool size (HC_JOBS or
+           the recommended domain count) - never oversubscribe: domains
+           beyond the core count make the allocation-heavy simulator
+           slower, not faster *)
+        let seq_s = timed_regenerate ~jobs:1 in
+        let par_jobs = Domain_pool.default_jobs () in
+        let par_s = timed_regenerate ~jobs:par_jobs in
+        Some (seq_s, par_jobs, par_s)
+      end
+    in
+    let kernels = if only_tables then [] else run_bechamel () in
+    write_json ~path ~kernels ~regen
+  | None ->
+    if not only_micro then regenerate ();
+    if not only_tables then ignore (run_bechamel ())

@@ -4,11 +4,13 @@
      hc_experiments                 run everything
      hc_experiments fig6 fig12      run selected experiments
      hc_experiments --length 50000  longer traces (slower, smoother)
+     hc_experiments --jobs 4        size the simulation domain pool
      hc_experiments --list          list experiment ids *)
 
 module Experiments = Hc_core.Experiments
 module Ablations = Hc_core.Ablations
 module Runs = Hc_core.Runs
+module Domain_pool = Hc_core.Domain_pool
 
 open Cmdliner
 
@@ -77,7 +79,10 @@ let export dir length =
   let written = Hc_core.Export.write_all runs ~dir in
   List.iter print_endline written
 
-let main list_flag ablations csv_dir length ids =
+let main list_flag ablations csv_dir length jobs ids =
+  ( match jobs with
+  | Some n when n > 0 -> Domain_pool.set_jobs n
+  | Some _ | None -> () );
   if list_flag then list_experiments ()
   else if ablations then run_ablations ids length
   else
@@ -104,11 +109,21 @@ let cmd =
       & opt (some string) None
       & info [ "csv" ] ~docv:"DIR" ~doc:"Write plot-ready CSVs into $(docv).")
   in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Simulations to run concurrently (default: $(b,HC_JOBS) or the \
+             recommended domain count). Results are bit-identical at any \
+             setting.")
+  in
   let ids =
     Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT")
   in
   let doc = "reproduce the helper-cluster paper's tables and figures" in
   Cmd.v (Cmd.info "hc_experiments" ~doc)
-    Term.(const main $ list_flag $ ablations $ csv_dir $ length $ ids)
+    Term.(const main $ list_flag $ ablations $ csv_dir $ length $ jobs $ ids)
 
 let () = exit (Cmd.eval cmd)

@@ -11,12 +11,16 @@ module Config = Hc_sim.Config
 module Pipeline = Hc_sim.Pipeline
 module Metrics = Hc_sim.Metrics
 module Model = Hc_power.Model
+module Domain_pool = Hc_core.Domain_pool
 
 open Cmdliner
 
 let scheme_names = List.map fst Hc_steering.Policy.stack @ [ "ics05" ]
 
-let run benchmark scheme length power compare_baseline =
+let run benchmark scheme length power compare_baseline jobs =
+  ( match jobs with
+  | Some n when n > 0 -> Domain_pool.set_jobs n
+  | Some _ | None -> () );
   let profile =
     try Profile.find_spec_int benchmark
     with Not_found ->
@@ -35,21 +39,32 @@ let run benchmark scheme length power compare_baseline =
         exit 1
   in
   let trace = Generator.generate_sliced ~length profile in
-  let m =
-    Pipeline.run ~cfg ~decide:Hc_steering.Policy.decide ~scheme_name:scheme trace
-  in
-  Format.printf "%a@." Metrics.pp m;
-  if compare_baseline && scheme <> "baseline" then begin
-    let base =
-      Pipeline.run ~cfg:(Config.with_scheme cfg Config.monolithic)
-        ~decide:Hc_steering.Policy.decide ~scheme_name:"baseline" trace
+  let with_base = compare_baseline && scheme <> "baseline" in
+  (* the scheme run and its baseline comparator are independent pipeline
+     states over the same read-only trace: run them on the pool *)
+  let runs =
+    let cfgs =
+      (cfg, scheme)
+      ::
+      (if with_base then
+         [ (Config.with_scheme cfg Config.monolithic, "baseline") ]
+       else [])
     in
+    Domain_pool.map_list (Domain_pool.get ())
+      (fun (cfg, scheme_name) ->
+        Pipeline.run ~cfg ~decide:Hc_steering.Policy.decide ~scheme_name trace)
+      cfgs
+  in
+  let m = List.hd runs in
+  Format.printf "%a@." Metrics.pp m;
+  ( match runs with
+  | [ _; base ] ->
     Format.printf "speedup over baseline: %.2f%%@."
       (Metrics.speedup_pct ~baseline:base m);
     Format.printf "energy-delay^2 improvement: %.2f%%@."
       (Model.ed2_improvement_pct ~narrow_bits:cfg.Config.narrow_bits
          ~baseline:base m)
-  end;
+  | _ -> () );
   if power then begin
     let report = Model.estimate ~narrow_bits:cfg.Config.narrow_bits m in
     Format.printf "@.energy: %.0f units@." report.Model.total;
@@ -85,8 +100,15 @@ let cmd =
       value & opt bool true
       & info [ "compare" ] ~docv:"BOOL" ~doc:"Also run the monolithic baseline.")
   in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Simulations to run concurrently (default: $(b,HC_JOBS)).")
+  in
   let doc = "cycle-level helper-cluster simulator" in
   Cmd.v (Cmd.info "hc_sim" ~doc)
-    Term.(const run $ benchmark $ scheme $ length $ power $ compare_baseline)
+    Term.(const run $ benchmark $ scheme $ length $ power $ compare_baseline $ jobs)
 
 let () = exit (Cmd.eval cmd)

@@ -26,8 +26,10 @@ type t = {
 }
 
 let measure ~length ~variant ?(decide = Hc_steering.Policy.decide) cfg =
+  (* one task per benchmark: trace generation and both simulations are
+     self-contained, so the twelve benchmarks fan out across the pool *)
   let per_bench =
-    List.map
+    Domain_pool.map_list (Domain_pool.get ())
       (fun p ->
         let tr = Generator.generate_sliced ~length p in
         let base =

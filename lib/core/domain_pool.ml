@@ -1,0 +1,165 @@
+type task = unit -> unit
+
+type t = {
+  pool_jobs : int;
+  m : Mutex.t;
+  work_available : Condition.t;
+  queue : task Queue.t;
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let default_jobs () =
+  match Sys.getenv_opt "HC_JOBS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n > 0 -> n
+    | Some _ | None -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+let rec worker_loop t =
+  Mutex.lock t.m;
+  while Queue.is_empty t.queue && not t.stop do
+    Condition.wait t.work_available t.m
+  done;
+  match Queue.take_opt t.queue with
+  | None ->
+    (* stopped and drained *)
+    Mutex.unlock t.m
+  | Some task ->
+    Mutex.unlock t.m;
+    task ();
+    worker_loop t
+
+let create ~jobs =
+  let jobs = max 1 jobs in
+  let t =
+    {
+      pool_jobs = jobs;
+      m = Mutex.create ();
+      work_available = Condition.create ();
+      queue = Queue.create ();
+      stop = false;
+      workers = [];
+    }
+  in
+  if jobs > 1 then
+    t.workers <-
+      List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let jobs t = t.pool_jobs
+
+let shutdown t =
+  Mutex.lock t.m;
+  t.stop <- true;
+  Condition.broadcast t.work_available;
+  Mutex.unlock t.m;
+  let workers = t.workers in
+  t.workers <- [];
+  List.iter Domain.join workers
+
+(* The caller drains whatever is queued (its own batch's tasks, possibly
+   interleaved with another batch's — both make progress). *)
+let help_drain t =
+  let continue = ref true in
+  while !continue do
+    Mutex.lock t.m;
+    match Queue.take_opt t.queue with
+    | None ->
+      Mutex.unlock t.m;
+      continue := false
+    | Some task ->
+      Mutex.unlock t.m;
+      task ()
+  done
+
+let map t f xs =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else if t.pool_jobs <= 1 || n = 1 then Array.map f xs
+  else begin
+    let results = Array.make n None in
+    let first_error = ref None in
+    let remaining = ref n in
+    let bm = Mutex.create () in
+    let batch_done = Condition.create () in
+    Mutex.lock t.m;
+    for i = 0 to n - 1 do
+      Queue.add
+        (fun () ->
+          ( match f xs.(i) with
+          | v -> results.(i) <- Some v
+          | exception e ->
+            Mutex.lock bm;
+            if !first_error = None then first_error := Some e;
+            Mutex.unlock bm );
+          Mutex.lock bm;
+          decr remaining;
+          if !remaining = 0 then Condition.broadcast batch_done;
+          Mutex.unlock bm)
+        t.queue
+    done;
+    Condition.broadcast t.work_available;
+    Mutex.unlock t.m;
+    help_drain t;
+    Mutex.lock bm;
+    while !remaining > 0 do
+      Condition.wait batch_done bm
+    done;
+    Mutex.unlock bm;
+    ( match !first_error with
+    | Some e -> raise e
+    | None -> () );
+    Array.map
+      (function Some v -> v | None -> assert false (* batch settled *))
+      results
+  end
+
+let map_list t f xs = Array.to_list (map t f (Array.of_list xs))
+
+(* ----- the process-wide shared pool ----- *)
+
+let shared : t option ref = ref None
+let shared_jobs = ref None
+let shared_m = Mutex.create ()
+let exit_hook_installed = ref false
+
+let get () =
+  Mutex.lock shared_m;
+  let t =
+    match !shared with
+    | Some t -> t
+    | None ->
+      let jobs =
+        match !shared_jobs with Some j -> j | None -> default_jobs ()
+      in
+      let t = create ~jobs in
+      shared := Some t;
+      if not !exit_hook_installed then begin
+        exit_hook_installed := true;
+        at_exit (fun () ->
+            match !shared with
+            | Some t ->
+              shared := None;
+              shutdown t
+            | None -> ())
+      end;
+      t
+  in
+  Mutex.unlock shared_m;
+  t
+
+let set_jobs n =
+  let n = max 1 n in
+  Mutex.lock shared_m;
+  shared_jobs := Some n;
+  let old =
+    match !shared with
+    | Some t when jobs t <> n ->
+      shared := None;
+      Some t
+    | Some _ | None -> None
+  in
+  Mutex.unlock shared_m;
+  match old with Some t -> shutdown t | None -> ()

@@ -1,0 +1,52 @@
+(** A small fixed-size pool of OCaml 5 [Domain]s behind a mutex-guarded
+    work queue.
+
+    Built on the stdlib only ([Domain], [Mutex], [Condition]) — no
+    domainslib. The pool exists so independent simulations (one
+    [Pipeline.run] per (scheme, benchmark) cell) can fan out across
+    cores; each task must be self-contained and touch no shared mutable
+    state. The calling domain participates in draining the queue, so a
+    pool of [jobs = n] uses [n - 1] spawned domains plus the caller.
+
+    A process-wide shared pool is kept behind {!get}; command-line
+    front-ends size it once via {!set_jobs} (the [--jobs] flag), and the
+    [HC_JOBS] environment variable overrides the default
+    [Domain.recommended_domain_count ()]. With [jobs <= 1] every entry
+    point degrades to plain sequential execution — no domains are
+    spawned at all. *)
+
+type t
+
+val default_jobs : unit -> int
+(** [HC_JOBS] when set to a positive integer, otherwise
+    [Domain.recommended_domain_count ()]. *)
+
+val create : jobs:int -> t
+(** A pool that runs up to [jobs] tasks concurrently ([jobs - 1] worker
+    domains; the submitting domain is the last worker). [jobs <= 1]
+    creates a degenerate pool that runs everything inline. *)
+
+val jobs : t -> int
+
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map pool f xs] applies [f] to every element, in parallel, and
+    returns the results in input order. The calling domain helps drain
+    the queue, then blocks until the batch completes. If any [f x]
+    raises, the first exception (in completion order) is re-raised after
+    the whole batch has settled. Tasks must not themselves call [map] on
+    the same pool. *)
+
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+(** {!map} over lists, preserving order. *)
+
+val shutdown : t -> unit
+(** Drain the queue, stop and join the workers. Idempotent. *)
+
+val get : unit -> t
+(** The process-wide shared pool, created on first use with
+    {!default_jobs} (or the last {!set_jobs} value) and torn down by an
+    [at_exit] hook. *)
+
+val set_jobs : int -> unit
+(** Resize the shared pool (shutting down the old one if it exists).
+    Used by the [--jobs] command-line flags. *)

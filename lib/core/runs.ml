@@ -16,29 +16,112 @@ let create ?(length = 30_000) () =
 
 let length t = t.len
 
+let generate t (p : Profile.t) = Generator.generate_sliced ~length:t.len p
+
 let trace t (p : Profile.t) =
   match Hashtbl.find_opt t.traces p.Profile.name with
   | Some tr -> tr
   | None ->
-    let tr = Generator.generate_sliced ~length:t.len p in
+    let tr = generate t p in
     Hashtbl.add t.traces p.Profile.name tr;
     tr
+
+let simulate ~scheme tr =
+  let cfg = Config.with_scheme Config.default (Config.find_scheme scheme) in
+  Pipeline.run ~cfg ~decide:Hc_steering.Policy.decide ~scheme_name:scheme tr
 
 let metrics t ~scheme (p : Profile.t) =
   let key = (scheme, p.Profile.name) in
   match Hashtbl.find_opt t.runs key with
   | Some m -> m
   | None ->
-    let cfg = Config.with_scheme Config.default (Config.find_scheme scheme) in
-    let m =
-      Pipeline.run ~cfg ~decide:Hc_steering.Policy.decide ~scheme_name:scheme
-        (trace t p)
-    in
+    let m = simulate ~scheme (trace t p) in
     Hashtbl.add t.runs key m;
     m
+
+(* ----- parallel batch fill ----- *)
+
+(* Deduplicate while keeping first-occurrence order, so the fan-out is
+   deterministic in shape regardless of how callers assemble the batch. *)
+let dedup key xs =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun x ->
+      let k = key x in
+      if Hashtbl.mem seen k then false
+      else begin
+        Hashtbl.add seen k ();
+        true
+      end)
+    xs
+
+let ensure_traces t profiles =
+  let missing =
+    dedup
+      (fun (p : Profile.t) -> p.Profile.name)
+      (List.filter
+         (fun (p : Profile.t) -> not (Hashtbl.mem t.traces p.Profile.name))
+         profiles)
+  in
+  match missing with
+  | [] -> ()
+  | [ p ] -> ignore (trace t p)
+  | missing ->
+    let pool = Domain_pool.get () in
+    let generated =
+      Domain_pool.map pool
+        (fun (p : Profile.t) -> (p.Profile.name, generate t p))
+        (Array.of_list missing)
+    in
+    (* keyed merge back into the memo table, on the calling domain *)
+    Array.iter
+      (fun (name, tr) ->
+        if not (Hashtbl.mem t.traces name) then Hashtbl.add t.traces name tr)
+      generated
+
+let ensure t pairs =
+  ensure_traces t (List.map snd pairs);
+  let missing =
+    dedup
+      (fun (scheme, (p : Profile.t)) -> (scheme, p.Profile.name))
+      (List.filter
+         (fun (scheme, (p : Profile.t)) ->
+           not (Hashtbl.mem t.runs (scheme, p.Profile.name)))
+         pairs)
+  in
+  (* resolve scheme names before fanning out: an unknown scheme raises
+     Not_found on the calling domain, exactly as the sequential path does *)
+  let jobs_list =
+    List.map
+      (fun (scheme, (p : Profile.t)) ->
+        ignore (Config.find_scheme scheme);
+        (scheme, p.Profile.name, trace t p))
+      missing
+  in
+  match jobs_list with
+  | [] -> ()
+  | [ (scheme, name, tr) ] ->
+    Hashtbl.replace t.runs (scheme, name) (simulate ~scheme tr)
+  | jobs_list ->
+    let pool = Domain_pool.get () in
+    let results =
+      Domain_pool.map pool
+        (fun (scheme, name, tr) -> ((scheme, name), simulate ~scheme tr))
+        (Array.of_list jobs_list)
+    in
+    (* keyed, order-independent merge: each worker simulated its own
+       (scheme, profile) cell with fresh pipeline state over the shared
+       read-only trace, so results are bit-identical to sequential runs *)
+    Array.iter (fun (key, m) -> Hashtbl.replace t.runs key m) results
 
 let speedup_pct t ~scheme p =
   let baseline = metrics t ~scheme:"baseline" p in
   Metrics.speedup_pct ~baseline (metrics t ~scheme p)
 
 let spec_profiles = Profile.spec_int
+
+let ensure_spec t schemes =
+  ensure t
+    (List.concat_map
+       (fun scheme -> List.map (fun p -> (scheme, p)) spec_profiles)
+       schemes)

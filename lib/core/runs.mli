@@ -17,6 +17,26 @@ val length : t -> int
 val trace : t -> Hc_trace.Profile.t -> Hc_trace.Trace.t
 (** Memoized sliced trace for a profile (keyed by profile name). *)
 
+val ensure_traces : t -> Hc_trace.Profile.t list -> unit
+(** Generate every not-yet-memoized trace in the list, fanning the
+    generation out across the shared {!Domain_pool}. Each profile's trace
+    is generated exactly once from its own seeded RNG, so the result is
+    bit-identical to on-demand sequential generation. *)
+
+val ensure : t -> (string * Hc_trace.Profile.t) list -> unit
+(** Batch-fill the run cache: generate any missing traces, then simulate
+    every not-yet-memoized (scheme, profile) cell in parallel across the
+    shared {!Domain_pool} ([HC_JOBS] / [--jobs] workers) and merge the
+    results back into the memo tables keyed by (scheme, profile name).
+    Every worker gets its own pipeline state over the shared read-only
+    trace, so the merged metrics are bit-identical to the sequential
+    path (see [test/test_parallel.ml]).
+    @raise Not_found for an unknown scheme name, before any fan-out. *)
+
+val ensure_spec : t -> string list -> unit
+(** [ensure] over the full SPEC Int profile set for each named scheme —
+    the shape every figure-level experiment needs. *)
+
 val metrics : t -> scheme:string -> Hc_trace.Profile.t -> Hc_sim.Metrics.t
 (** Memoized simulation of a profile under a named scheme (names from
     {!Hc_steering.Policy.stack}: ["baseline"], ["8_8_8"], ["+BR"], …).

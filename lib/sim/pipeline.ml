@@ -103,6 +103,85 @@ type node = {
          register file, so sources need no inter-cluster copy and are
          readable as soon as they exist anywhere *)
   mutable n_complete : int;
+  mutable n_prev : node;  (* intrusive issue-queue links; self = detached *)
+  mutable n_next : node;
+  mutable n_mark : bool;  (* transient, used by flush_from's queue purge *)
+}
+
+(* ----- intrusive issue queues -----
+
+   A circular doubly-linked list threaded through the nodes themselves
+   (oldest at the head, newest at the tail), so the per-cycle issue scan
+   unlinks an issued or dead node in O(1) with zero allocation. The seed
+   kept [node list ref]s and rebuilt the whole list (two [List.rev]s, a
+   filter and a [List.length]) every issue round. *)
+
+type iq = { iq_sent : node; mutable iq_len : int }
+
+let make_detached_node () =
+  let rec s =
+    {
+      n_id = min_int; n_trace_idx = -1; n_uop = None; n_kind = Normal;
+      n_cluster = Config.Wide; n_squashed = true; n_done = true;
+      n_issued = false; n_gen = 0; n_deps = [||]; n_dest = None;
+      n_reason = None; n_is_mem = false; n_lr_replicate = false;
+      n_br_mispredicted = false; n_alloc = None; n_remote_reads = false;
+      n_complete = never; n_prev = s; n_next = s; n_mark = false;
+    }
+  in
+  s
+
+let make_iq () = { iq_sent = make_detached_node (); iq_len = 0 }
+
+let iq_append q n =
+  let s = q.iq_sent in
+  let last = s.n_prev in
+  n.n_prev <- last;
+  n.n_next <- s;
+  last.n_next <- n;
+  s.n_prev <- n;
+  q.iq_len <- q.iq_len + 1
+
+let iq_unlink q n =
+  n.n_prev.n_next <- n.n_next;
+  n.n_next.n_prev <- n.n_prev;
+  n.n_prev <- n;
+  n.n_next <- n;
+  q.iq_len <- q.iq_len - 1
+
+(* Oldest-to-newest fold; [f] must not unlink nodes (use iq_filter_inplace
+   or an explicit walk for that). *)
+let iq_fold f init q =
+  let s = q.iq_sent in
+  let acc = ref init in
+  let cur = ref s.n_next in
+  while !cur != s do
+    acc := f !acc !cur;
+    cur := (!cur).n_next
+  done;
+  !acc
+
+(* Walk oldest-to-newest, unlinking every node [keep] rejects. *)
+let iq_filter_inplace q keep =
+  let s = q.iq_sent in
+  let cur = ref s.n_next in
+  while !cur != s do
+    let node = !cur in
+    let next = node.n_next in
+    if not (keep node) then iq_unlink q node;
+    cur := next
+  done
+
+(* ----- event wheel slots -----
+
+   Growable per-slot arrays of (node, generation-at-schedule), reused
+   across wheel wraps so steady-state scheduling allocates nothing. The
+   seed kept cons lists and re-partitioned/sorted them every tick. *)
+
+type evslot = {
+  mutable ev_nodes : node array;
+  mutable ev_gens : int array;
+  mutable ev_len : int;
 }
 
 (* ----- whole-machine state ----- *)
@@ -122,8 +201,7 @@ type state = {
   rename : vstate option array;  (* arch reg -> live value *)
   undo_log : undo Stack.t;
   (* backends *)
-  iq : node list ref array;  (* per cluster-index, newest first *)
-  iq_count : int array;
+  iq : iq array;  (* per cluster-index, intrusive, oldest first *)
   rob : node Queue.t;
   mutable rob_count : int;
   mutable mob_count : int;
@@ -135,7 +213,19 @@ type state = {
   tcache : Trace_cache.t;
   regfile : Regfile.t;
   (* events *)
-  events : (node * int) list array;  (* (node, generation), tick mod size *)
+  events : evslot array;  (* indexed by tick mod size *)
+  null_node : node;  (* padding for the growable event arrays *)
+  mutable due_nodes : node array;  (* reusable completion scratch *)
+  mutable due_gens : int array;
+  mutable due_len : int;
+  (* cached cells of the per-tick counters, so the hot loop skips the
+     string-keyed hashtable *)
+  c_tick : int ref;
+  c_cycle_wide : int ref;
+  c_cycle_narrow : int ref;
+  c_issue : int ref array;  (* per cluster-index *)
+  c_regread : int ref array;
+  c_committed : int ref;
   mutable next_node_id : int;
   mutable now : int;
   (* results *)
@@ -159,16 +249,20 @@ let create cfg decide trace =
   ( match Config.validate cfg with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Pipeline: " ^ msg) );
+  let counters = Counter.create () in
+  let null_node = make_detached_node () in
   {
     cfg; trace; decide;
     preds = Bundle.create ~entries:cfg.Config.wpred_entries ~conf_bits:cfg.Config.conf_bits ();
-    counters = Counter.create ();
+    counters;
     fetch_idx = 0; fetch_resume = 0;
-    force_wide = Hashtbl.create 16;
+    (* sized for the worst realistic forced-wide set of a 30k-uop window
+       so population never rehashes; lookups are also length-guarded in
+       the frontend *)
+    force_wide = Hashtbl.create 256;
     rename = Array.make Reg.count None;
     undo_log = Stack.create ();
-    iq = [| ref []; ref [] |];
-    iq_count = [| 0; 0 |];
+    iq = [| make_iq (); make_iq () |];
     rob = Queue.create ();
     rob_count = 0;
     mob_count = 0;
@@ -180,7 +274,23 @@ let create cfg decide trace =
     regfile =
       Regfile.create ~wide_regs:cfg.Config.wide_regs
         ~narrow_regs:cfg.Config.narrow_regs ();
-    events = Array.make wheel_size [];
+    events =
+      Array.init wheel_size (fun _ ->
+          { ev_nodes = Array.make 4 null_node; ev_gens = Array.make 4 0;
+            ev_len = 0 });
+    null_node;
+    due_nodes = Array.make 16 null_node;
+    due_gens = Array.make 16 0;
+    due_len = 0;
+    c_tick = Counter.cell counters "tick";
+    c_cycle_wide = Counter.cell counters "cycle_wide";
+    c_cycle_narrow = Counter.cell counters "cycle_narrow";
+    c_issue =
+      [| Counter.cell counters "issue_wide"; Counter.cell counters "issue_narrow" |];
+    c_regread =
+      [| Counter.cell counters "regread_wide";
+         Counter.cell counters "regread_narrow" |];
+    c_committed = Counter.cell counters "committed";
     next_node_id = 0;
     now = 0;
     committed = 0; copies = 0; steered_narrow = 0; split_uops = 0;
@@ -196,8 +306,19 @@ let fresh_node_id st =
 
 let schedule st node tick =
   node.n_complete <- tick;
-  let slot = tick mod wheel_size in
-  st.events.(slot) <- (node, node.n_gen) :: st.events.(slot)
+  let slot = st.events.(tick land (wheel_size - 1)) in
+  let cap = Array.length slot.ev_nodes in
+  if slot.ev_len = cap then begin
+    let nodes = Array.make (2 * cap) st.null_node in
+    let gens = Array.make (2 * cap) 0 in
+    Array.blit slot.ev_nodes 0 nodes 0 cap;
+    Array.blit slot.ev_gens 0 gens 0 cap;
+    slot.ev_nodes <- nodes;
+    slot.ev_gens <- gens
+  end;
+  slot.ev_nodes.(slot.ev_len) <- node;
+  slot.ev_gens.(slot.ev_len) <- node.n_gen;
+  slot.ev_len <- slot.ev_len + 1
 
 (* ----- latency model ----- *)
 
@@ -257,7 +378,7 @@ let flags_in_narrow st () =
   | None -> false
 
 let occupancy st cluster =
-  float_of_int st.iq_count.(cluster_index cluster)
+  float_of_int st.iq.(cluster_index cluster).iq_len
   /. float_of_int st.cfg.Config.iq_size
 
 let steer_ctx st =
@@ -299,13 +420,10 @@ let copies_needed cluster deps =
       && not v.v_lr)
     deps
 
-let enqueue_iq st cluster node =
-  let i = cluster_index cluster in
-  st.iq.(i) := node :: !(st.iq.(i));
-  st.iq_count.(i) <- st.iq_count.(i) + 1
+let enqueue_iq st cluster node = iq_append st.iq.(cluster_index cluster) node
 
 let iq_free st cluster =
-  st.cfg.Config.iq_size - st.iq_count.(cluster_index cluster)
+  st.cfg.Config.iq_size - st.iq.(cluster_index cluster).iq_len
 
 (* (wide, narrow) issue-queue slots the pending copies will occupy: copies
    dispatch into the producing value's cluster. *)
@@ -317,7 +435,7 @@ let copy_slot_demand needed =
 
 let make_copy st ~(cv : vstate) ~target ~prefetch ~publishes =
   let source_cluster = cv.v_cluster in
-  let node =
+  let rec node =
     {
       n_id = fresh_node_id st;
       n_trace_idx = -1;
@@ -334,6 +452,7 @@ let make_copy st ~(cv : vstate) ~target ~prefetch ~publishes =
       n_alloc = None;
       n_remote_reads = false;
       n_complete = never;
+      n_prev = node; n_next = node; n_mark = false;
     }
   in
   cv.v_copy_inflight.(cluster_index target) <- true;
@@ -421,7 +540,7 @@ let dispatch_split st (u : Uop.t) ~trace_idx ~prediction deps =
           (make_vstate ~pc:u.Uop.pc ~narrow:true ~pred_narrow:true
              ~cluster:Config.Narrow)
     in
-    let node =
+    let rec node =
       {
         n_id = fresh_node_id st;
         n_trace_idx = trace_idx;
@@ -438,6 +557,7 @@ let dispatch_split st (u : Uop.t) ~trace_idx ~prediction deps =
         n_alloc = None;
         n_remote_reads = true;
         n_complete = never;
+        n_prev = node; n_next = node; n_mark = false;
       }
     in
     if not final then prev_slice := slice_dest;
@@ -521,7 +641,7 @@ let dispatch_steered st (u : Uop.t) ~trace_idx ~prediction ~cluster ~reason deps
   ( match dest with
   | Some v -> v.v_lr <- lr_replicate
   | None -> () );
-  let node =
+  let rec node =
     {
       n_id = fresh_node_id st;
       n_trace_idx = trace_idx;
@@ -538,6 +658,7 @@ let dispatch_steered st (u : Uop.t) ~trace_idx ~prediction ~cluster ~reason deps
       n_alloc = None;
       n_remote_reads = remote_reads;
       n_complete = never;
+      n_prev = node; n_next = node; n_mark = false;
     }
   in
   ( match dest with
@@ -604,7 +725,10 @@ let frontend st =
             Counter.incr st.counters "tc_miss";
             raise Fetch_miss
           end );
-        let forced_wide = Hashtbl.mem st.force_wide st.fetch_idx in
+        let forced_wide =
+          Hashtbl.length st.force_wide > 0
+          && Hashtbl.mem st.force_wide st.fetch_idx
+        in
         dispatch_uop st ~forced_wide u ~trace_idx:st.fetch_idx;
         st.fetch_idx <- st.fetch_idx + 1;
         decr budget
@@ -635,44 +759,39 @@ let deps_ready st cluster (node : node) =
       node.n_deps
   end
 
+let dead_copy (node : node) =
+  match node.n_kind with
+  | Copy { cv; epoch; _ } -> cv.v_epoch <> epoch
+  | Normal | Slice _ -> false
+
 let issue_cluster st cluster =
   let i = cluster_index cluster in
+  let q = st.iq.(i) in
   let width = st.cfg.Config.issue_width in
   let issued = ref 0 in
   let ready_not_issued = ref 0 in
-  let dead_copy (node : node) =
-    match node.n_kind with
-    | Copy { cv; epoch; _ } -> cv.v_epoch <> epoch
-    | Normal | Slice _ -> false
-  in
-  let remaining =
-    List.filter
-      (fun node ->
-        if node.n_squashed || dead_copy node then false
-        else if !issued < width && deps_ready st cluster node then begin
-          node.n_issued <- true;
-          incr issued;
-          st.issued_total <- st.issued_total + 1;
-          Counter.add st.counters
-            (match cluster with
-            | Config.Wide -> "regread_wide"
-            | Config.Narrow -> "regread_narrow")
-            (Array.length node.n_deps);
-          Counter.incr st.counters
-            (match cluster with
-            | Config.Wide -> "issue_wide"
-            | Config.Narrow -> "issue_narrow");
-          schedule st node (st.now + exec_ticks st cluster node);
-          false
-        end
-        else begin
-          if deps_ready st cluster node then incr ready_not_issued;
-          true
-        end)
-      (List.rev !(st.iq.(i)))
-  in
-  st.iq.(i) := List.rev remaining;
-  st.iq_count.(i) <- List.length remaining;
+  let c_regread = st.c_regread.(i) in
+  let c_issue = st.c_issue.(i) in
+  let s = q.iq_sent in
+  let cur = ref s.n_next in
+  while !cur != s do
+    let node = !cur in
+    let next = node.n_next in
+    if node.n_squashed || dead_copy node then iq_unlink q node
+    else if deps_ready st cluster node then begin
+      if !issued < width then begin
+        node.n_issued <- true;
+        incr issued;
+        st.issued_total <- st.issued_total + 1;
+        c_regread := !c_regread + Array.length node.n_deps;
+        incr c_issue;
+        iq_unlink q node;
+        schedule st node (st.now + exec_ticks st cluster node)
+      end
+      else incr ready_not_issued
+    end;
+    cur := next
+  done;
   st.backlog.(i) <- !ready_not_issued;
   st.backlog_ewma.(i) <-
     (0.9 *. st.backlog_ewma.(i)) +. (0.1 *. float_of_int !ready_not_issued);
@@ -681,7 +800,7 @@ let issue_cluster st cluster =
 (* Ready-but-stalled wide uops the helper's integer-only 8-bit units could
    in principle have hosted — the NREADY eligibility filter. *)
 let count_ready_narrow_capable st =
-  List.fold_left
+  iq_fold
     (fun acc (node : node) ->
       let capable =
         match node.n_uop with
@@ -696,7 +815,7 @@ let count_ready_narrow_capable st =
       then acc + 1
       else acc)
     0
-    !(st.iq.(cluster_index Config.Wide))
+    st.iq.(cluster_index Config.Wide)
 
 (* ----- width misprediction recovery ----- *)
 
@@ -745,21 +864,13 @@ let flush_from st (offender : node) =
     | None -> () )
   in
   List.iter reset_node resteered;
-  Array.iteri
-    (fun i q ->
-      let kept =
-        List.filter
-          (fun (node : node) ->
-            (not (List.memq node resteered))
-            &&
-            match node.n_kind with
-            | Copy { cv; epoch; _ } -> cv.v_epoch = epoch
-            | Normal | Slice _ -> true)
-          !q
-      in
-      q := kept;
-      st.iq_count.(i) <- List.length kept)
+  List.iter (fun (node : node) -> node.n_mark <- true) resteered;
+  Array.iter
+    (fun q ->
+      iq_filter_inplace q (fun (node : node) ->
+          (not node.n_mark) && not (dead_copy node)))
     st.iq;
+  List.iter (fun (node : node) -> node.n_mark <- false) resteered;
   (* collapse resteered IR slice groups: the final slice becomes the whole
      wide uop again, its three byte-lane companions become no-ops *)
   List.iter
@@ -801,8 +912,7 @@ let flush_from st (offender : node) =
               then make_copy st ~cv:v ~target:Config.Wide ~prefetch:false
                   ~publishes:true)
             node.n_deps;
-        st.iq.(wide) := node :: !(st.iq.(wide));
-        st.iq_count.(wide) <- st.iq_count.(wide) + 1
+        iq_append st.iq.(wide) node
       end)
     resteered;
   st.fetch_resume <- max st.fetch_resume (st.now + (2 * cfg.Config.width_flush_penalty));
@@ -841,8 +951,7 @@ let replay st (node : node) =
         then
           make_copy st ~cv:v ~target:Config.Wide ~prefetch:false ~publishes:true)
       node.n_deps;
-  st.iq.(wide) := node :: !(st.iq.(wide));
-  st.iq_count.(wide) <- st.iq_count.(wide) + 1;
+  iq_append st.iq.(wide) node;
   (* without a replicated register file the re-produced value lands in the
      wide file only, but narrow consumers dispatched before the replay were
      wired copy-free (the value used to live beside them) - send it back *)
@@ -995,19 +1104,62 @@ let complete_node st (node : node) =
     | Normal -> complete_normal st node
   end
 
+let push_due st node gen =
+  let cap = Array.length st.due_nodes in
+  if st.due_len = cap then begin
+    let nodes = Array.make (2 * cap) st.null_node in
+    let gens = Array.make (2 * cap) 0 in
+    Array.blit st.due_nodes 0 nodes 0 cap;
+    Array.blit st.due_gens 0 gens 0 cap;
+    st.due_nodes <- nodes;
+    st.due_gens <- gens
+  end;
+  st.due_nodes.(st.due_len) <- node;
+  st.due_gens.(st.due_len) <- gen;
+  st.due_len <- st.due_len + 1
+
 let process_completions st =
-  let slot = st.now mod wheel_size in
-  let due, later =
-    List.partition
-      (fun (node, gen) -> node.n_complete = st.now && node.n_gen = gen)
-      st.events.(slot)
-  in
-  let later = List.filter (fun (node, gen) -> node.n_gen = gen) later in
-  st.events.(slot) <- later;
+  let slot = st.events.(st.now land (wheel_size - 1)) in
+  st.due_len <- 0;
+  let kept = ref 0 in
+  for k = 0 to slot.ev_len - 1 do
+    let node = slot.ev_nodes.(k) in
+    let gen = slot.ev_gens.(k) in
+    if node.n_gen = gen then begin
+      if node.n_complete = st.now then push_due st node gen
+      else begin
+        (* a future wrap of the wheel; keep, compacted in place *)
+        slot.ev_nodes.(!kept) <- node;
+        slot.ev_gens.(!kept) <- gen;
+        incr kept
+      end
+    end
+  done;
+  for k = !kept to slot.ev_len - 1 do
+    slot.ev_nodes.(k) <- st.null_node
+  done;
+  slot.ev_len <- !kept;
   (* oldest first: a fatal flush must squash younger completions sharing
-     this tick *)
-  let due = List.sort (fun (a, _) (b, _) -> Int.compare a.n_id b.n_id) due in
-  List.iter (fun (node, gen) -> if node.n_gen = gen then complete_node st node) due
+     this tick. Insertion sort on the (tiny) due batch; ids are unique so
+     the order is total and deterministic. *)
+  for k = 1 to st.due_len - 1 do
+    let node = st.due_nodes.(k) in
+    let gen = st.due_gens.(k) in
+    let j = ref (k - 1) in
+    while !j >= 0 && st.due_nodes.(!j).n_id > node.n_id do
+      st.due_nodes.(!j + 1) <- st.due_nodes.(!j);
+      st.due_gens.(!j + 1) <- st.due_gens.(!j);
+      decr j
+    done;
+    st.due_nodes.(!j + 1) <- node;
+    st.due_gens.(!j + 1) <- gen
+  done;
+  for k = 0 to st.due_len - 1 do
+    let node = st.due_nodes.(k) in
+    (* re-check the generation: a flush triggered by an older completion
+       this same tick may have squashed-and-resteered this one *)
+    if node.n_gen = st.due_gens.(k) then complete_node st node
+  done
 
 (* ----- commit ----- *)
 
@@ -1035,7 +1187,7 @@ let commit st =
           st.split_uops <- st.split_uops + 1
         end
       | Copy _ -> assert false );
-      Counter.incr st.counters "committed"
+      incr st.c_committed
     end
     else stop := true
   done
@@ -1075,10 +1227,10 @@ let run ?(max_ticks = 200_000_000) ~cfg ~decide ~scheme_name trace =
     end
     else if helper && cfg.Config.helper_fast_clock then
       ignore (issue_cluster st Config.Narrow);
-    Counter.incr st.counters "tick";
-    if even then Counter.incr st.counters "cycle_wide";
+    incr st.c_tick;
+    if even then incr st.c_cycle_wide;
     if helper && (even || cfg.Config.helper_fast_clock) then
-      Counter.incr st.counters "cycle_narrow";
+      incr st.c_cycle_narrow;
     st.now <- st.now + 1
   done;
   {

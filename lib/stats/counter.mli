@@ -13,6 +13,11 @@ val create : unit -> t
 val incr : t -> string -> unit
 (** [incr t name] adds 1 to [name], creating it at 0 first if needed. *)
 
+val cell : t -> string -> int ref
+(** [cell t name] is the live cell behind [name] (created at 0 if needed).
+    Hot paths that bump the same counter millions of times can look the
+    cell up once and [incr] the ref directly, skipping the string hash. *)
+
 val add : t -> string -> int -> unit
 (** [add t name n] adds [n] (which may be negative) to [name]. *)
 

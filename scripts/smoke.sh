@@ -1,0 +1,20 @@
+#!/bin/sh
+# CI smoke: build, run the full test suite, then a quick micro-benchmark
+# pass that writes machine-readable results to BENCH_smoke.json (which is
+# .gitignore'd; commit a BENCH_<n>.json snapshot deliberately instead).
+#
+#   ./scripts/smoke.sh            # default pool size (HC_JOBS honoured)
+#   HC_JOBS=4 ./scripts/smoke.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== dune build =="
+dune build @all
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== bench --micro --json BENCH_smoke.json =="
+dune exec bench/main.exe -- --micro --json BENCH_smoke.json
+
+echo "smoke OK"

@@ -29,4 +29,5 @@ let () =
       Test_export.suite;
       Test_trace_io.suite;
       Test_fuzz.suite;
+      Test_parallel.suite;
     ]
