@@ -25,6 +25,7 @@
 module Experiments = Hc_core.Experiments
 module Runs = Hc_core.Runs
 module Domain_pool = Hc_core.Domain_pool
+module Meta = Hc_core.Meta
 module Profile = Hc_trace.Profile
 module Generator = Hc_trace.Generator
 module Analysis = Hc_trace.Analysis
@@ -176,11 +177,30 @@ let timed_regenerate ~jobs =
   Unix.gettimeofday () -. t0
 
 let write_json ~path ~kernels ~regen =
+  let pool = Domain_pool.get () in
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
-  p "  \"schema\": 1,\n";
-  p "  \"host_cores\": %d,\n" (Domain.recommended_domain_count ());
+  p "  \"schema\": 2,\n";
+  (* run metadata: git SHA, host cores, jobs, seed fingerprint, wall
+     clock — so a BENCH_*.json snapshot is self-describing *)
+  p "  %s,\n"
+    (Meta.to_json_fields (Meta.capture ~jobs:(Domain_pool.jobs pool) ()));
+  (* domain-pool profiling: per-worker task counts and busy/wait wall
+     time for the pool the parallel regeneration pass ran on *)
+  p "  \"pool\": {\n";
+  p "    \"jobs\": %d,\n" (Domain_pool.jobs pool);
+  p "    \"max_queue_depth\": %d,\n" (Domain_pool.max_queue_depth pool);
+  p "    \"workers\": [\n";
+  let stats = Domain_pool.stats pool in
+  Array.iteri
+    (fun i (s : Domain_pool.worker_stats) ->
+      p "      {\"tasks\": %d, \"busy_s\": %.4f, \"wait_s\": %.4f}%s\n"
+        s.Domain_pool.w_tasks s.Domain_pool.w_busy_s s.Domain_pool.w_wait_s
+        (if i = Array.length stats - 1 then "" else ","))
+    stats;
+  p "    ]\n";
+  p "  },\n";
   p "  \"kernels_ns_per_run\": {\n";
   let n = List.length kernels in
   List.iteri

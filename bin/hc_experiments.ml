@@ -5,7 +5,8 @@
      hc_experiments fig6 fig12      run selected experiments
      hc_experiments --length 50000  longer traces (slower, smoother)
      hc_experiments --jobs 4        size the simulation domain pool
-     hc_experiments --list          list experiment ids *)
+     hc_experiments --list          list experiment ids
+     hc_experiments --telemetry-dir DIR   per-run interval series + metrics *)
 
 module Experiments = Hc_core.Experiments
 module Ablations = Hc_core.Ablations
@@ -14,8 +15,8 @@ module Domain_pool = Hc_core.Domain_pool
 
 open Cmdliner
 
-let run_ids ids length =
-  let runs = Runs.create ~length () in
+let run_ids ids length telemetry =
+  let runs = Runs.create ~length ?telemetry () in
   let selected =
     match ids with
     | [] -> Experiments.all
@@ -74,21 +75,27 @@ let list_experiments () =
       Printf.printf "%-12s %s\n" a.Ablations.id a.Ablations.title)
     Ablations.all
 
-let export dir length =
-  let runs = Runs.create ~length () in
+let export dir length telemetry =
+  let runs = Runs.create ~length ?telemetry () in
   let written = Hc_core.Export.write_all runs ~dir in
   List.iter print_endline written
 
-let main list_flag ablations csv_dir length jobs ids =
+let main list_flag ablations csv_dir length jobs telemetry_dir
+    metrics_interval ids =
   ( match jobs with
   | Some n when n > 0 -> Domain_pool.set_jobs n
   | Some _ | None -> () );
+  let telemetry =
+    Option.map
+      (fun dir -> { Hc_core.Telemetry.dir; interval = metrics_interval })
+      telemetry_dir
+  in
   if list_flag then list_experiments ()
   else if ablations then run_ablations ids length
   else
     match csv_dir with
-    | Some dir -> export dir length
-    | None -> run_ids ids length
+    | Some dir -> export dir length telemetry
+    | None -> run_ids ids length telemetry
 
 let cmd =
   let list_flag =
@@ -119,11 +126,31 @@ let cmd =
              recommended domain count). Results are bit-identical at any \
              setting.")
   in
+  let telemetry_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "telemetry-dir" ] ~docv:"DIR"
+          ~doc:
+            "Write per-run telemetry ($(b,<scheme>__<benchmark>)\
+             $(b,.intervals.csv) and $(b,.metrics.json)) for every \
+             simulation into $(docv) (created with parents).")
+  in
+  let metrics_interval =
+    Arg.(
+      value & opt int 1_000
+      & info [ "metrics-interval" ] ~docv:"TICKS"
+          ~doc:
+            "Interval sampler period, in fast ticks, for \
+             $(b,--telemetry-dir) runs.")
+  in
   let ids =
     Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT")
   in
   let doc = "reproduce the helper-cluster paper's tables and figures" in
   Cmd.v (Cmd.info "hc_experiments" ~doc)
-    Term.(const main $ list_flag $ ablations $ csv_dir $ length $ jobs $ ids)
+    Term.(
+      const main $ list_flag $ ablations $ csv_dir $ length $ jobs
+      $ telemetry_dir $ metrics_interval $ ids)
 
 let () = exit (Cmd.eval cmd)

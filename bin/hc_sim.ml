@@ -1,9 +1,11 @@
 (* Command-line front door to the simulator: run one workload under one
    steering scheme and print the metrics (optionally with the energy
-   breakdown).
+   breakdown and/or telemetry artifacts).
 
      hc_sim --benchmark gcc --scheme +CR
-     hc_sim --benchmark mcf --scheme baseline --length 100000 --power *)
+     hc_sim --benchmark mcf --scheme baseline --length 100000 --power
+     hc_sim --benchmark gcc --scheme +IR --trace-out t.json \
+            --metrics-interval 1000            # Perfetto trace + time series *)
 
 module Profile = Hc_trace.Profile
 module Generator = Hc_trace.Generator
@@ -12,12 +14,33 @@ module Pipeline = Hc_sim.Pipeline
 module Metrics = Hc_sim.Metrics
 module Model = Hc_power.Model
 module Domain_pool = Hc_core.Domain_pool
+module Export = Hc_core.Export
+module Sink = Hc_obs.Sink
+module Sample = Hc_obs.Sample
+module Chrome_trace = Hc_obs.Chrome_trace
 
 open Cmdliner
 
 let scheme_names = List.map fst Hc_steering.Policy.stack @ [ "ics05" ]
 
-let run benchmark scheme length power compare_baseline jobs =
+(* the interval series must re-add to exactly the end-of-run metrics;
+   checked here so the CLI surfaces a telemetry bug immediately *)
+let totals_match (a : Sample.totals) (m : Metrics.t) =
+  a.Sample.committed = m.Metrics.committed
+  && a.Sample.steered_narrow = m.Metrics.steered_narrow
+  && a.Sample.copies = m.Metrics.copies
+  && a.Sample.split_uops = m.Metrics.split_uops
+  && a.Sample.wpred_correct = m.Metrics.wpred_correct
+  && a.Sample.wpred_fatal = m.Metrics.wpred_fatal
+  && a.Sample.wpred_nonfatal = m.Metrics.wpred_nonfatal
+  && a.Sample.prefetch_copies = m.Metrics.prefetch_copies
+  && a.Sample.prefetch_useful = m.Metrics.prefetch_useful
+  && a.Sample.nready_w2n = m.Metrics.nready_w2n
+  && a.Sample.nready_n2w = m.Metrics.nready_n2w
+  && a.Sample.issued_total = m.Metrics.issued_total
+
+let run benchmark scheme length power compare_baseline jobs trace_out
+    metrics_interval interval_out trace_buffer =
   ( match jobs with
   | Some n when n > 0 -> Domain_pool.set_jobs n
   | Some _ | None -> () );
@@ -39,20 +62,29 @@ let run benchmark scheme length power compare_baseline jobs =
         exit 1
   in
   let trace = Generator.generate_sliced ~length profile in
+  let sink =
+    if trace_out <> None || metrics_interval > 0 then
+      Some
+        (Sink.create ~ring_capacity:trace_buffer ~interval:metrics_interval
+           ~tracing:(trace_out <> None) ())
+    else None
+  in
   let with_base = compare_baseline && scheme <> "baseline" in
   (* the scheme run and its baseline comparator are independent pipeline
-     states over the same read-only trace: run them on the pool *)
+     states over the same read-only trace: run them on the pool. Only the
+     scheme run is observed — the baseline exists for the speedup line. *)
   let runs =
     let cfgs =
-      (cfg, scheme)
+      (cfg, scheme, sink)
       ::
       (if with_base then
-         [ (Config.with_scheme cfg Config.monolithic, "baseline") ]
+         [ (Config.with_scheme cfg Config.monolithic, "baseline", None) ]
        else [])
     in
     Domain_pool.map_list (Domain_pool.get ())
-      (fun (cfg, scheme_name) ->
-        Pipeline.run ~cfg ~decide:Hc_steering.Policy.decide ~scheme_name trace)
+      (fun (cfg, scheme_name, sink) ->
+        Pipeline.run ?sink ~cfg ~decide:Hc_steering.Policy.decide ~scheme_name
+          trace)
       cfgs
   in
   let m = List.hd runs in
@@ -65,6 +97,33 @@ let run benchmark scheme length power compare_baseline jobs =
       (Model.ed2_improvement_pct ~narrow_bits:cfg.Config.narrow_bits
          ~baseline:base m)
   | _ -> () );
+  ( match sink with
+  | None -> ()
+  | Some sink ->
+    ( match trace_out with
+    | Some path ->
+      let written =
+        Chrome_trace.write ~path ~events:(Sink.events sink)
+          ~samples:(Sink.samples sink)
+      in
+      Format.printf "trace: wrote %s (%d events, %d dropped by ring wrap)@."
+        written (Sink.events_pushed sink) (Sink.events_dropped sink)
+    | None -> () );
+    if Sink.interval sink > 0 then begin
+      let path =
+        match interval_out, trace_out with
+        | Some p, _ -> p
+        | None, Some t -> Filename.remove_extension t ^ ".intervals.csv"
+        | None, None -> "intervals.csv"
+      in
+      let samples = Sink.samples sink in
+      let written = Export.write_intervals_csv ~path samples in
+      Format.printf
+        "intervals: wrote %s (%d samples of %d ticks; aggregate %s final \
+         metrics)@."
+        written (List.length samples) (Sink.interval sink)
+        (if totals_match (Sample.aggregate samples) m then "==" else "<> (BUG)")
+    end );
   if power then begin
     let report = Model.estimate ~narrow_bits:cfg.Config.narrow_bits m in
     Format.printf "@.energy: %.0f units@." report.Model.total;
@@ -107,8 +166,43 @@ let cmd =
       & info [ "j"; "jobs" ] ~docv:"N"
           ~doc:"Simulations to run concurrently (default: $(b,HC_JOBS)).")
   in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Record per-uop pipeline events and write a Chrome trace-event \
+             JSON (load in Perfetto or chrome://tracing) to $(docv).")
+  in
+  let metrics_interval =
+    Arg.(
+      value & opt int 0
+      & info [ "metrics-interval" ] ~docv:"TICKS"
+          ~doc:
+            "Sample the interval metrics time series every $(docv) fast \
+             ticks (0 disables). Column sums equal the final metrics.")
+  in
+  let interval_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "interval-out" ] ~docv:"FILE"
+          ~doc:
+            "Where to write the interval CSV (default: derived from \
+             $(b,--trace-out), else $(b,intervals.csv)).")
+  in
+  let trace_buffer =
+    Arg.(
+      value & opt int 65_536
+      & info [ "trace-buffer" ] ~docv:"EVENTS"
+          ~doc:
+            "Event ring capacity; older events are overwritten once full.")
+  in
   let doc = "cycle-level helper-cluster simulator" in
   Cmd.v (Cmd.info "hc_sim" ~doc)
-    Term.(const run $ benchmark $ scheme $ length $ power $ compare_baseline $ jobs)
+    Term.(
+      const run $ benchmark $ scheme $ length $ power $ compare_baseline $ jobs
+      $ trace_out $ metrics_interval $ interval_out $ trace_buffer)
 
 let () = exit (Cmd.eval cmd)

@@ -1,5 +1,11 @@
 type task = unit -> unit
 
+type worker_stats = {
+  mutable w_tasks : int;
+  mutable w_busy_s : float;
+  mutable w_wait_s : float;
+}
+
 type t = {
   pool_jobs : int;
   m : Mutex.t;
@@ -7,6 +13,8 @@ type t = {
   queue : task Queue.t;
   mutable stop : bool;
   mutable workers : unit Domain.t list;
+  stats : worker_stats array;  (* slot 0 = the submitting domain *)
+  mutable max_depth : int;  (* deepest queue observed at submit time *)
 }
 
 let default_jobs () =
@@ -17,7 +25,17 @@ let default_jobs () =
     | Some _ | None -> Domain.recommended_domain_count ())
   | None -> Domain.recommended_domain_count ()
 
-let rec worker_loop t =
+(* Each worker owns its stats slot exclusively, so the profiling stores
+   are race-free; readers only see settled values after a batch. *)
+let run_task stats task =
+  let t0 = Unix.gettimeofday () in
+  task ();
+  stats.w_busy_s <- stats.w_busy_s +. (Unix.gettimeofday () -. t0);
+  stats.w_tasks <- stats.w_tasks + 1
+
+let rec worker_loop t idx =
+  let stats = t.stats.(idx) in
+  let t0 = Unix.gettimeofday () in
   Mutex.lock t.m;
   while Queue.is_empty t.queue && not t.stop do
     Condition.wait t.work_available t.m
@@ -25,11 +43,13 @@ let rec worker_loop t =
   match Queue.take_opt t.queue with
   | None ->
     (* stopped and drained *)
-    Mutex.unlock t.m
+    Mutex.unlock t.m;
+    stats.w_wait_s <- stats.w_wait_s +. (Unix.gettimeofday () -. t0)
   | Some task ->
     Mutex.unlock t.m;
-    task ();
-    worker_loop t
+    stats.w_wait_s <- stats.w_wait_s +. (Unix.gettimeofday () -. t0);
+    run_task stats task;
+    worker_loop t idx
 
 let create ~jobs =
   let jobs = max 1 jobs in
@@ -41,14 +61,25 @@ let create ~jobs =
       queue = Queue.create ();
       stop = false;
       workers = [];
+      stats =
+        Array.init jobs (fun _ -> { w_tasks = 0; w_busy_s = 0.; w_wait_s = 0. });
+      max_depth = 0;
     }
   in
   if jobs > 1 then
     t.workers <-
-      List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+      List.init (jobs - 1) (fun i ->
+          Domain.spawn (fun () -> worker_loop t (i + 1)));
   t
 
 let jobs t = t.pool_jobs
+
+let stats t =
+  Array.map
+    (fun s -> { w_tasks = s.w_tasks; w_busy_s = s.w_busy_s; w_wait_s = s.w_wait_s })
+    t.stats
+
+let max_queue_depth t = t.max_depth
 
 let shutdown t =
   Mutex.lock t.m;
@@ -62,6 +93,7 @@ let shutdown t =
 (* The caller drains whatever is queued (its own batch's tasks, possibly
    interleaved with another batch's — both make progress). *)
 let help_drain t =
+  let stats = t.stats.(0) in
   let continue = ref true in
   while !continue do
     Mutex.lock t.m;
@@ -71,13 +103,23 @@ let help_drain t =
       continue := false
     | Some task ->
       Mutex.unlock t.m;
-      task ()
+      run_task stats task
   done
 
 let map t f xs =
   let n = Array.length xs in
   if n = 0 then [||]
-  else if t.pool_jobs <= 1 || n = 1 then Array.map f xs
+  else if t.pool_jobs <= 1 || n = 1 then begin
+    let stats = t.stats.(0) in
+    Array.map
+      (fun x ->
+        let t0 = Unix.gettimeofday () in
+        let y = f x in
+        stats.w_busy_s <- stats.w_busy_s +. (Unix.gettimeofday () -. t0);
+        stats.w_tasks <- stats.w_tasks + 1;
+        y)
+      xs
+  end
   else begin
     let results = Array.make n None in
     let first_error = ref None in
@@ -100,14 +142,18 @@ let map t f xs =
           Mutex.unlock bm)
         t.queue
     done;
+    t.max_depth <- max t.max_depth (Queue.length t.queue);
     Condition.broadcast t.work_available;
     Mutex.unlock t.m;
     help_drain t;
+    let wait0 = Unix.gettimeofday () in
     Mutex.lock bm;
     while !remaining > 0 do
       Condition.wait batch_done bm
     done;
     Mutex.unlock bm;
+    t.stats.(0).w_wait_s <-
+      t.stats.(0).w_wait_s +. (Unix.gettimeofday () -. wait0);
     ( match !first_error with
     | Some e -> raise e
     | None -> () );

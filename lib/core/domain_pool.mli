@@ -17,6 +17,13 @@
 
 type t
 
+type worker_stats = {
+  mutable w_tasks : int;  (** tasks this worker executed *)
+  mutable w_busy_s : float;  (** wall seconds spent inside tasks *)
+  mutable w_wait_s : float;  (** wall seconds blocked waiting for work *)
+}
+(** Per-worker profiling accumulators; see {!stats}. *)
+
 val default_jobs : unit -> int
 (** [HC_JOBS] when set to a positive integer, otherwise
     [Domain.recommended_domain_count ()]. *)
@@ -27,6 +34,18 @@ val create : jobs:int -> t
     creates a degenerate pool that runs everything inline. *)
 
 val jobs : t -> int
+
+val stats : t -> worker_stats array
+(** A copy of the per-worker profiling counters, one slot per pool worker
+    with slot 0 the submitting domain (which drains the queue alongside
+    the spawned workers). Busy time is wall time inside tasks; wait time
+    covers blocking on the work queue and, for slot 0, blocking on batch
+    completion. Read between batches — values for a batch still in
+    flight may be mid-update. *)
+
+val max_queue_depth : t -> int
+(** Deepest work queue observed at submission time over the pool's
+    lifetime — how far ahead of the workers the submitters ran. *)
 
 val map : t -> ('a -> 'b) -> 'a array -> 'b array
 (** [map pool f xs] applies [f] to every element, in parallel, and

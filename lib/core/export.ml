@@ -9,25 +9,25 @@ let csv_line fields =
   in
   String.concat "," (List.map quote fields)
 
-let write_file path lines =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      List.iter
-        (fun line ->
-          output_string oc line;
-          output_char oc '\n')
-        lines);
-  path
+let write_file = Telemetry.write_file
+
+let write_intervals_csv = Telemetry.write_intervals_csv
+let write_intervals_json = Telemetry.write_intervals_json
+let write_metrics_json = Telemetry.write_metrics_json
 
 let f2 = Printf.sprintf "%.2f"
 
 let schemes = [ "8_8_8"; "+BR"; "+LR"; "+CR"; "+CP"; "+IR"; "+IR(nodest)" ]
 
 let write_all runs ~dir =
-  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  Telemetry.mkdir_p dir;
   let path name = Filename.concat dir name in
+  let meta =
+    let m = Meta.capture () in
+    write_file (path "meta.json")
+      [ Printf.sprintf "{%s,\"trace_length\":%d}" (Meta.to_json_fields m)
+          (Runs.length runs) ]
+  in
   let fig1 =
     write_file (path "fig1.csv")
       (csv_line [ "benchmark"; "narrow_dependent_pct" ]
@@ -128,4 +128,4 @@ let write_all runs ~dir =
            (Experiments.fig14_category_rows ~apps_per_category:12
               ~length:6_000 ()))
   in
-  [ fig1; fig5; fig6; fig7; fig8_9; fig11; fig12; fig13; stack; fig14 ]
+  [ meta; fig1; fig5; fig6; fig7; fig8_9; fig11; fig12; fig13; stack; fig14 ]

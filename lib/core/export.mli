@@ -5,12 +5,22 @@
     in a plot always match the printed tables. *)
 
 val write_all : Runs.t -> dir:string -> string list
-(** [write_all runs ~dir] creates [dir] if needed and writes
-    [fig1.csv], [fig5.csv], [fig6.csv], [fig7.csv], [fig8_9.csv],
-    [fig11.csv], [fig12.csv], [fig13.csv], [stack.csv] (the scheme-stack
-    summary) and [fig14.csv] (category averages). Returns the paths
-    written, in that order. *)
+(** [write_all runs ~dir] creates [dir] (including missing parents) and
+    writes [meta.json] (run metadata: git SHA, host cores, jobs, trace
+    seed fingerprint, wall-clock, trace length), then [fig1.csv],
+    [fig5.csv], [fig6.csv], [fig7.csv], [fig8_9.csv], [fig11.csv],
+    [fig12.csv], [fig13.csv], [stack.csv] (the scheme-stack summary) and
+    [fig14.csv] (category averages). Returns the paths written, in that
+    order. *)
 
 val csv_line : string list -> string
 (** One CSV record: fields joined with commas, quoted when they contain a
     comma or quote. Exposed for tests. *)
+
+val write_intervals_csv : path:string -> Hc_obs.Sample.t list -> string
+(** Interval metrics time series as CSV ({!Telemetry.write_intervals_csv}). *)
+
+val write_intervals_json : path:string -> Hc_obs.Sample.t list -> string
+
+val write_metrics_json : path:string -> Hc_sim.Metrics.t -> string
+(** One run's full metrics as JSON ({!Hc_sim.Metrics.to_json}). *)

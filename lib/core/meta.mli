@@ -1,0 +1,29 @@
+(** Run metadata, so exported artifacts are self-describing.
+
+    Every machine-readable output (BENCH_*.json snapshots, the CSV export
+    directory, telemetry directories) embeds the same capture: the git
+    revision that produced the numbers, the host parallelism, the pool
+    size used, the trace-seed fingerprint, and when the run happened. *)
+
+type t = {
+  git_sha : string option;  (** [None] outside a git checkout *)
+  host_cores : int;  (** [Domain.recommended_domain_count ()] *)
+  jobs : int;  (** domain-pool size the run used *)
+  seed : string;  (** trace-seed fingerprint (or a caller-supplied seed) *)
+  timestamp_utc : string;  (** ISO-8601, UTC *)
+  unix_time_s : float;
+}
+
+val capture : ?seed:string -> ?jobs:int -> unit -> t
+(** [seed] defaults to {!spec_seed_fingerprint}; [jobs] defaults to
+    {!Domain_pool.default_jobs}. Shells out to [git rev-parse HEAD] and
+    tolerates its absence. *)
+
+val spec_seed_fingerprint : unit -> string
+(** XOR of the baked SPEC-profile root seeds, in hex. *)
+
+val to_json_fields : t -> string
+(** The metadata as JSON object fields (no braces), for splicing into a
+    larger object. *)
+
+val to_json : t -> string

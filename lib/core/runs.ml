@@ -7,12 +7,16 @@ module Metrics = Hc_sim.Metrics
 
 type t = {
   len : int;
+  telemetry : Telemetry.config option;
   traces : (string, Trace.t) Hashtbl.t;
   runs : (string * string, Metrics.t) Hashtbl.t;
 }
 
-let create ?(length = 30_000) () =
-  { len = length; traces = Hashtbl.create 32; runs = Hashtbl.create 64 }
+let create ?(length = 30_000) ?telemetry () =
+  ( match telemetry with
+  | Some { Telemetry.dir; _ } -> Telemetry.mkdir_p dir
+  | None -> () );
+  { len = length; telemetry; traces = Hashtbl.create 32; runs = Hashtbl.create 64 }
 
 let length t = t.len
 
@@ -26,16 +30,39 @@ let trace t (p : Profile.t) =
     Hashtbl.add t.traces p.Profile.name tr;
     tr
 
-let simulate ~scheme tr =
+(* One simulation of one (scheme, trace) cell. With telemetry configured,
+   the run gets an interval-sampling sink and leaves its time series and
+   metrics JSON behind in the telemetry directory; observation never
+   changes the returned metrics (bit-identical, see test_obs.ml), so the
+   memo tables stay oblivious to whether a run was observed. Workers write
+   distinct per-cell files, so the parallel fan-out needs no locking. *)
+let simulate ?telemetry ~scheme tr =
   let cfg = Config.with_scheme Config.default (Config.find_scheme scheme) in
-  Pipeline.run ~cfg ~decide:Hc_steering.Policy.decide ~scheme_name:scheme tr
+  match telemetry with
+  | None ->
+    Pipeline.run ~cfg ~decide:Hc_steering.Policy.decide ~scheme_name:scheme tr
+  | Some { Telemetry.dir; interval } ->
+    let sink = Hc_obs.Sink.create ~interval ~tracing:false () in
+    let m =
+      Pipeline.run ~sink ~cfg ~decide:Hc_steering.Policy.decide
+        ~scheme_name:scheme tr
+    in
+    let base =
+      Filename.concat dir
+        (Telemetry.run_basename ~scheme ~name:tr.Trace.name)
+    in
+    ignore
+      (Telemetry.write_intervals_csv ~path:(base ^ ".intervals.csv")
+         (Hc_obs.Sink.samples sink));
+    ignore (Telemetry.write_metrics_json ~path:(base ^ ".metrics.json") m);
+    m
 
 let metrics t ~scheme (p : Profile.t) =
   let key = (scheme, p.Profile.name) in
   match Hashtbl.find_opt t.runs key with
   | Some m -> m
   | None ->
-    let m = simulate ~scheme (trace t p) in
+    let m = simulate ?telemetry:t.telemetry ~scheme (trace t p) in
     Hashtbl.add t.runs key m;
     m
 
@@ -101,12 +128,14 @@ let ensure t pairs =
   match jobs_list with
   | [] -> ()
   | [ (scheme, name, tr) ] ->
-    Hashtbl.replace t.runs (scheme, name) (simulate ~scheme tr)
+    Hashtbl.replace t.runs (scheme, name)
+      (simulate ?telemetry:t.telemetry ~scheme tr)
   | jobs_list ->
     let pool = Domain_pool.get () in
     let results =
       Domain_pool.map pool
-        (fun (scheme, name, tr) -> ((scheme, name), simulate ~scheme tr))
+        (fun (scheme, name, tr) ->
+          ((scheme, name), simulate ?telemetry:t.telemetry ~scheme tr))
         (Array.of_list jobs_list)
     in
     (* keyed, order-independent merge: each worker simulated its own

@@ -8,9 +8,17 @@
 
 type t
 
-val create : ?length:int -> unit -> t
+val create : ?length:int -> ?telemetry:Telemetry.config -> unit -> t
 (** [length] is the per-benchmark trace length (default [30_000] uops,
-    generated with the paper's slice-skipping methodology). *)
+    generated with the paper's slice-skipping methodology).
+
+    [telemetry] attaches an interval sampler to every simulation this
+    cache executes: each (scheme, benchmark) cell leaves
+    [<scheme>__<benchmark>.intervals.csv] and
+    [<scheme>__<benchmark>.metrics.json] in [telemetry.dir] (created,
+    with parents, up front). Metrics are bit-identical with or without
+    telemetry, and the parallel fan-out writes distinct files per cell,
+    so the option composes with {!ensure}. *)
 
 val length : t -> int
 

@@ -1,0 +1,47 @@
+module Sample = Hc_obs.Sample
+module Metrics = Hc_sim.Metrics
+
+type config = { dir : string; interval : int }
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755
+    with Sys_error _ when Sys.file_exists dir ->
+      (* lost a creation race with a sibling worker: fine *)
+      ()
+  end
+
+let write_file path lines =
+  mkdir_p (Filename.dirname path);
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun line ->
+          output_string oc line;
+          output_char oc '\n')
+        lines);
+  path
+
+let write_intervals_csv ~path samples =
+  write_file path (Sample.csv_header :: List.map Sample.to_csv_row samples)
+
+let write_intervals_json ~path samples =
+  let rows = List.map Sample.to_json samples in
+  write_file path
+    (("[" ^ String.concat ",\n " rows ^ "]") :: [])
+
+let write_metrics_json ~path m = write_file path [ Metrics.to_json m ]
+
+let run_basename ~scheme ~name =
+  let sanitize s =
+    String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' | '+' -> c
+        | _ -> '_')
+      s
+  in
+  sanitize scheme ^ "__" ^ sanitize name

@@ -1,0 +1,32 @@
+(** File-level telemetry writers shared by {!Export}, {!Runs} and the
+    CLIs.
+
+    These live below {!Export} in the module graph so the run engine can
+    write interval series and per-run metrics without depending on the
+    figure-export layer. *)
+
+type config = {
+  dir : string;  (** output directory, created (recursively) on demand *)
+  interval : int;  (** sampling interval in fast ticks *)
+}
+(** What [--telemetry-dir DIR] turns on: every simulation the run cache
+    executes gets an interval sampler and writes its series + metrics
+    JSON under [dir]. *)
+
+val mkdir_p : string -> unit
+(** [mkdir] with missing parents, tolerant of concurrent creation. *)
+
+val write_file : string -> string list -> string
+(** Write lines to a path (parents created), returning the path. *)
+
+val write_intervals_csv : path:string -> Hc_obs.Sample.t list -> string
+(** One row per interval, {!Hc_obs.Sample.csv_header} first. *)
+
+val write_intervals_json : path:string -> Hc_obs.Sample.t list -> string
+(** The series as a JSON array of objects. *)
+
+val write_metrics_json : path:string -> Hc_sim.Metrics.t -> string
+(** {!Hc_sim.Metrics.to_json} to a file. *)
+
+val run_basename : scheme:string -> name:string -> string
+(** Filesystem-safe ["<scheme>__<benchmark>"] stem for per-run files. *)

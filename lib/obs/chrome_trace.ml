@@ -1,0 +1,131 @@
+let pid = 1
+
+let tid_cluster c = c (* 0 wide, 1 narrow *)
+let tid_iq c = 2 + c
+let tid_retire = 4
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+type emitter = { buf : Buffer.t; mutable first : bool }
+
+let event em fmt =
+  if em.first then em.first <- false else Buffer.add_string em.buf ",\n    ";
+  Printf.ksprintf (Buffer.add_string em.buf) fmt
+
+let meta_thread em ~tid ~name ~sort =
+  event em
+    "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\
+     \"args\":{\"name\":\"%s\"}}"
+    pid tid (escape name);
+  event em
+    "{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\
+     \"args\":{\"sort_index\":%d}}"
+    pid tid sort
+
+let complete em ~tid ~ts ~dur ~name ~id ~trace_idx ~kind =
+  event em
+    "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%d,\"dur\":%d,\"pid\":%d,\
+     \"tid\":%d,\"args\":{\"uop\":%d,\"trace_idx\":%d,\"kind\":\"%s\"}}"
+    (escape name) ts dur pid tid id trace_idx kind
+
+let instant em ~tid ~ts ~name ~id =
+  event em
+    "{\"name\":\"%s\",\"ph\":\"i\",\"ts\":%d,\"pid\":%d,\"tid\":%d,\
+     \"s\":\"t\",\"args\":{\"uop\":%d}}"
+    (escape name) ts pid tid id
+
+let counter em ~ts ~name ~pairs =
+  let args =
+    String.concat ","
+      (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%s" k v) pairs)
+  in
+  event em
+    "{\"name\":\"%s\",\"ph\":\"C\",\"ts\":%d,\"pid\":%d,\"tid\":0,\
+     \"args\":{%s}}"
+    name ts pid args
+
+let put_event em (e : Event.t) =
+  let c = if e.Event.cluster < 0 then 0 else e.Event.cluster in
+  match e.Event.kind with
+  | Event.Writeback ->
+    (* execution span on the cluster track: issue tick -> writeback tick *)
+    let issue_ts = e.Event.b in
+    let dur = max 0 (e.Event.tick - issue_ts) in
+    complete em ~tid:(tid_cluster c) ~ts:issue_ts ~dur ~name:e.Event.name
+      ~id:e.Event.id ~trace_idx:e.Event.trace_idx ~kind:"exec";
+    (* queue-residency span on the issue-queue track: dispatch -> issue *)
+    let disp_ts = e.Event.a in
+    if issue_ts > disp_ts then
+      complete em ~tid:(tid_iq c) ~ts:disp_ts ~dur:(issue_ts - disp_ts)
+        ~name:e.Event.name ~id:e.Event.id ~trace_idx:e.Event.trace_idx
+        ~kind:"queued"
+  | Event.Commit ->
+    instant em ~tid:tid_retire ~ts:e.Event.tick
+      ~name:("commit " ^ e.Event.name) ~id:e.Event.id
+  | Event.Flush ->
+    instant em ~tid:tid_retire ~ts:e.Event.tick
+      ~name:("width-flush " ^ e.Event.name) ~id:e.Event.id
+  | Event.Replay ->
+    instant em ~tid:tid_retire ~ts:e.Event.tick
+      ~name:("replay " ^ e.Event.name) ~id:e.Event.id
+  | Event.Squash ->
+    instant em ~tid:(tid_cluster c) ~ts:e.Event.tick
+      ~name:("squash " ^ e.Event.name) ~id:e.Event.id
+  | Event.Dispatch | Event.Issue ->
+    (* subsumed by the Writeback span; keep instants only for uops whose
+       writeback never happened (still useful when the ring wrapped) *)
+    ()
+
+let to_buffer buf ~events ~samples =
+  let em = { buf; first = true } in
+  Buffer.add_string buf "{\n  \"displayTimeUnit\": \"ms\",\n";
+  Buffer.add_string buf "  \"traceEvents\": [\n    ";
+  event em
+    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\
+     \"args\":{\"name\":\"helper-cluster pipeline\"}}"
+    pid;
+  meta_thread em ~tid:(tid_cluster 0) ~name:"wide cluster" ~sort:0;
+  meta_thread em ~tid:(tid_cluster 1) ~name:"narrow cluster (helper)" ~sort:1;
+  meta_thread em ~tid:(tid_iq 0) ~name:"wide issue queue" ~sort:2;
+  meta_thread em ~tid:(tid_iq 1) ~name:"narrow issue queue" ~sort:3;
+  meta_thread em ~tid:tid_retire ~name:"retire / recovery" ~sort:4;
+  List.iter (put_event em) events;
+  List.iter
+    (fun (s : Sample.t) ->
+      counter em ~ts:s.Sample.t_end ~name:"iq_occupancy"
+        ~pairs:
+          [ ("wide", string_of_int s.Sample.iq_wide);
+            ("narrow", string_of_int s.Sample.iq_narrow) ];
+      counter em ~ts:s.Sample.t_end ~name:"ipc"
+        ~pairs:[ ("ipc", Printf.sprintf "%.4f" (Sample.ipc s)) ];
+      counter em ~ts:s.Sample.t_end ~name:"rob_occupancy"
+        ~pairs:[ ("rob", string_of_int s.Sample.rob) ])
+    samples;
+  Buffer.add_string buf "\n  ]\n}\n"
+
+let to_string ~events ~samples =
+  let buf = Buffer.create 65536 in
+  to_buffer buf ~events ~samples;
+  Buffer.contents buf
+
+let write ~path ~events ~samples =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let buf = Buffer.create 65536 in
+      to_buffer buf ~events ~samples;
+      Buffer.output_buffer oc buf);
+  path

@@ -1,0 +1,18 @@
+(** Chrome trace-event JSON export (Perfetto / chrome://tracing loadable).
+
+    The timeline uses one track per cluster (execution spans, issue tick
+    to writeback tick), one per issue queue (queue-residency spans,
+    dispatch tick to issue tick), and a retire/recovery track for commit,
+    width-flush and replay instants. Interval samples become counter
+    tracks (IQ occupancy, IPC, ROB occupancy). Timestamps are fast ticks
+    reported in the trace's microsecond field — absolute time is
+    meaningless for a cycle-level simulation, only relative spans
+    matter. *)
+
+val to_buffer : Buffer.t -> events:Event.t list -> samples:Sample.t list -> unit
+
+val to_string : events:Event.t list -> samples:Sample.t list -> string
+
+val write :
+  path:string -> events:Event.t list -> samples:Sample.t list -> string
+(** Writes the JSON to [path] and returns [path]. *)

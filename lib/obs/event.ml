@@ -1,0 +1,41 @@
+type kind =
+  | Dispatch
+  | Issue
+  | Writeback
+  | Commit
+  | Squash
+  | Flush
+  | Replay
+
+type t = {
+  tick : int;
+  kind : kind;
+  id : int;
+  trace_idx : int;
+  cluster : int;
+  name : string;
+  a : int;
+  b : int;
+}
+
+let dummy =
+  { tick = 0; kind = Dispatch; id = -1; trace_idx = -1; cluster = -1;
+    name = ""; a = 0; b = 0 }
+
+let kind_name = function
+  | Dispatch -> "dispatch"
+  | Issue -> "issue"
+  | Writeback -> "writeback"
+  | Commit -> "commit"
+  | Squash -> "squash"
+  | Flush -> "flush"
+  | Replay -> "replay"
+
+let cluster_name = function
+  | 0 -> "wide"
+  | 1 -> "narrow"
+  | _ -> "-"
+
+let pp ppf e =
+  Format.fprintf ppf "@[%d %s #%d idx=%d %s %s@]" e.tick (kind_name e.kind)
+    e.id e.trace_idx (cluster_name e.cluster) e.name

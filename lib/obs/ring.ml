@@ -1,0 +1,41 @@
+type 'a t = {
+  buf : 'a array;
+  capacity : int;
+  mutable head : int;  (* next write position *)
+  mutable pushed : int;  (* total pushes over the ring's lifetime *)
+}
+
+let create ~capacity ~dummy =
+  if capacity <= 0 then invalid_arg "Ring.create: capacity must be positive";
+  { buf = Array.make capacity dummy; capacity; head = 0; pushed = 0 }
+
+let capacity t = t.capacity
+
+let push t x =
+  t.buf.(t.head) <- x;
+  t.head <- (t.head + 1) mod t.capacity;
+  t.pushed <- t.pushed + 1
+
+let length t = min t.pushed t.capacity
+
+let pushed t = t.pushed
+
+let dropped t = max 0 (t.pushed - t.capacity)
+
+let iter f t =
+  let n = length t in
+  (* oldest retained element: head when full, 0 while filling *)
+  let start = if t.pushed >= t.capacity then t.head else 0 in
+  for k = 0 to n - 1 do
+    f t.buf.((start + k) mod t.capacity)
+  done
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun x -> acc := x :: !acc) t;
+  List.rev !acc
+
+let fold f init t =
+  let acc = ref init in
+  iter (fun x -> acc := f !acc x) t;
+  !acc

@@ -1,0 +1,34 @@
+(** Bounded ring buffer for telemetry events.
+
+    A fixed-capacity overwrite-oldest buffer: pushing never allocates and
+    never grows, so a tracing run has a hard memory ceiling regardless of
+    trace length. The exporter reads the retained suffix oldest-first and
+    reports how many events were overwritten. *)
+
+type 'a t
+
+val create : capacity:int -> dummy:'a -> 'a t
+(** [dummy] pads unwritten slots; it is never yielded by iteration.
+    @raise Invalid_argument when [capacity <= 0]. *)
+
+val capacity : 'a t -> int
+
+val push : 'a t -> 'a -> unit
+(** O(1); overwrites the oldest element once the ring is full. *)
+
+val length : 'a t -> int
+(** Elements currently retained ([<= capacity]). *)
+
+val pushed : 'a t -> int
+(** Total elements ever pushed. *)
+
+val dropped : 'a t -> int
+(** Elements overwritten: [pushed - capacity] when positive, else 0. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Oldest retained element first. *)
+
+val to_list : 'a t -> 'a list
+(** Retained elements, oldest first. *)
+
+val fold : ('b -> 'a -> 'b) -> 'b -> 'a t -> 'b

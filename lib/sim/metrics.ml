@@ -54,6 +54,53 @@ let imbalance_n2w_pct t = imbalance_pct t t.nready_n2w
 
 let speedup_pct ~baseline t = 100. *. ((ipc t /. ipc baseline) -. 1.)
 
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json t =
+  let b = Buffer.create 1024 in
+  let p fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  p "{";
+  p "\"name\":\"%s\"," (json_escape t.name);
+  p "\"scheme\":\"%s\"," (json_escape t.scheme_name);
+  p "\"committed\":%d," t.committed;
+  p "\"ticks\":%d," t.ticks;
+  p "\"cycles\":%.1f," (cycles t);
+  p "\"ipc\":%.4f," (ipc t);
+  p "\"copies\":%d," t.copies;
+  p "\"steered_narrow\":%d," t.steered_narrow;
+  p "\"split_uops\":%d," t.split_uops;
+  p "\"wpred_correct\":%d," t.wpred_correct;
+  p "\"wpred_fatal\":%d," t.wpred_fatal;
+  p "\"wpred_nonfatal\":%d," t.wpred_nonfatal;
+  p "\"prefetch_copies\":%d," t.prefetch_copies;
+  p "\"prefetch_useful\":%d," t.prefetch_useful;
+  p "\"nready_w2n\":%d," t.nready_w2n;
+  p "\"nready_n2w\":%d," t.nready_n2w;
+  p "\"issued_total\":%d," t.issued_total;
+  p "\"counters\":{";
+  let names = Hc_stats.Counter.names t.counters in
+  List.iteri
+    (fun i name ->
+      p "%s\"%s\":%d"
+        (if i = 0 then "" else ",")
+        (json_escape name)
+        (Hc_stats.Counter.get t.counters name))
+    names;
+  p "}}";
+  Buffer.contents b
+
 let pp ppf t =
   Format.fprintf ppf
     "@[<v>%s [%s]@ committed=%d cycles=%.0f ipc=%.3f@ steered=%.1f%% \

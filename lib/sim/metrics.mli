@@ -54,4 +54,10 @@ val imbalance_n2w_pct : t -> float
 val speedup_pct : baseline:t -> t -> float
 (** Performance increase over the baseline run, in percent (Figs 6/12/14). *)
 
+val to_json : t -> string
+(** The whole record as one JSON object — every dynamic count, the
+    derived IPC/cycles, and the raw activity counters keyed by name.
+    Shared by the CSV/JSON export layer and the telemetry writers so a
+    run's numbers serialize identically everywhere. *)
+
 val pp : Format.formatter -> t -> unit

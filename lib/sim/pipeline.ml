@@ -9,6 +9,9 @@ module Bundle = Hc_predictors.Bundle
 module Width_predictor = Hc_predictors.Width_predictor
 module Carry_predictor = Hc_predictors.Carry_predictor
 module Copy_predictor = Hc_predictors.Copy_predictor
+module Sink = Hc_obs.Sink
+module Event = Hc_obs.Event
+module Sample = Hc_obs.Sample
 
 type decide = Steer.ctx -> Uop.t -> Steer.decision
 
@@ -103,6 +106,8 @@ type node = {
          register file, so sources need no inter-cluster copy and are
          readable as soon as they exist anywhere *)
   mutable n_complete : int;
+  mutable n_disp_tick : int;  (* telemetry: tick of issue-queue insertion *)
+  mutable n_issue_tick : int;  (* telemetry: tick the uop won an issue slot *)
   mutable n_prev : node;  (* intrusive issue-queue links; self = detached *)
   mutable n_next : node;
   mutable n_mark : bool;  (* transient, used by flush_from's queue purge *)
@@ -126,7 +131,8 @@ let make_detached_node () =
       n_issued = false; n_gen = 0; n_deps = [||]; n_dest = None;
       n_reason = None; n_is_mem = false; n_lr_replicate = false;
       n_br_mispredicted = false; n_alloc = None; n_remote_reads = false;
-      n_complete = never; n_prev = s; n_next = s; n_mark = false;
+      n_complete = never; n_disp_tick = 0; n_issue_tick = 0;
+      n_prev = s; n_next = s; n_mark = false;
     }
   in
   s
@@ -194,6 +200,9 @@ type state = {
   decide : decide;
   preds : Bundle.t;
   counters : Counter.t;
+  sink : Sink.t option;
+      (* telemetry; [None] keeps every instrumentation point a single
+         field test and the hot path allocation-free *)
   (* frontend *)
   mutable fetch_idx : int;  (* next trace index to dispatch *)
   mutable fetch_resume : int;  (* tick before which dispatch is stalled *)
@@ -245,14 +254,14 @@ type state = {
 
 let wheel_size = 4096
 
-let create cfg decide trace =
+let create ?sink cfg decide trace =
   ( match Config.validate cfg with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Pipeline: " ^ msg) );
   let counters = Counter.create () in
   let null_node = make_detached_node () in
   {
-    cfg; trace; decide;
+    cfg; trace; decide; sink;
     preds = Bundle.create ~entries:cfg.Config.wpred_entries ~conf_bits:cfg.Config.conf_bits ();
     counters;
     fetch_idx = 0; fetch_resume = 0;
@@ -319,6 +328,50 @@ let schedule st node tick =
   slot.ev_nodes.(slot.ev_len) <- node;
   slot.ev_gens.(slot.ev_len) <- node.n_gen;
   slot.ev_len <- slot.ev_len + 1
+
+(* ----- telemetry instrumentation points -----
+
+   Every site is guarded by the sink option: with tracing off nothing is
+   allocated and nothing beyond the [match] executes, so enabling the
+   sink can never change simulated behavior - only record it. *)
+
+let node_event_name (node : node) =
+  match node.n_kind with
+  | Copy _ -> "copy"
+  | Slice _ -> "slice"
+  | Normal -> (
+    match node.n_uop with Some u -> Opcode.to_string u.Uop.op | None -> "?")
+
+let emit st kind (node : node) ~a ~b =
+  match st.sink with
+  | None -> ()
+  | Some sink ->
+    if Sink.tracing sink then
+      Sink.emit sink
+        { Event.tick = st.now; kind; id = node.n_id;
+          trace_idx = node.n_trace_idx;
+          cluster = cluster_index node.n_cluster;
+          name = node_event_name node; a; b }
+
+let current_totals st =
+  {
+    Sample.committed = st.committed;
+    steered_narrow = st.steered_narrow;
+    copies = st.copies;
+    split_uops = st.split_uops;
+    wpred_correct = st.wpred_correct;
+    wpred_fatal = st.wpred_fatal;
+    wpred_nonfatal = st.wpred_nonfatal;
+    prefetch_copies = st.prefetch_copies;
+    prefetch_useful = st.prefetch_useful;
+    nready_w2n = st.nready_w2n;
+    nready_n2w = st.nready_n2w;
+    issued_total = st.issued_total;
+  }
+
+let take_sample st sink =
+  Sink.sample sink ~tick:st.now ~iq_wide:st.iq.(0).iq_len
+    ~iq_narrow:st.iq.(1).iq_len ~rob:st.rob_count (current_totals st)
 
 (* ----- latency model ----- *)
 
@@ -420,7 +473,10 @@ let copies_needed cluster deps =
       && not v.v_lr)
     deps
 
-let enqueue_iq st cluster node = iq_append st.iq.(cluster_index cluster) node
+let enqueue_iq st cluster node =
+  node.n_disp_tick <- st.now;
+  iq_append st.iq.(cluster_index cluster) node;
+  emit st Event.Dispatch node ~a:0 ~b:0
 
 let iq_free st cluster =
   st.cfg.Config.iq_size - st.iq.(cluster_index cluster).iq_len
@@ -452,6 +508,7 @@ let make_copy st ~(cv : vstate) ~target ~prefetch ~publishes =
       n_alloc = None;
       n_remote_reads = false;
       n_complete = never;
+      n_disp_tick = 0; n_issue_tick = 0;
       n_prev = node; n_next = node; n_mark = false;
     }
   in
@@ -557,6 +614,7 @@ let dispatch_split st (u : Uop.t) ~trace_idx ~prediction deps =
         n_alloc = None;
         n_remote_reads = true;
         n_complete = never;
+        n_disp_tick = 0; n_issue_tick = 0;
         n_prev = node; n_next = node; n_mark = false;
       }
     in
@@ -658,6 +716,7 @@ let dispatch_steered st (u : Uop.t) ~trace_idx ~prediction ~cluster ~reason deps
       n_alloc = None;
       n_remote_reads = remote_reads;
       n_complete = never;
+      n_disp_tick = 0; n_issue_tick = 0;
       n_prev = node; n_next = node; n_mark = false;
     }
   in
@@ -781,6 +840,8 @@ let issue_cluster st cluster =
     else if deps_ready st cluster node then begin
       if !issued < width then begin
         node.n_issued <- true;
+        node.n_issue_tick <- st.now;
+        emit st Event.Issue node ~a:node.n_disp_tick ~b:0;
         incr issued;
         st.issued_total <- st.issued_total + 1;
         c_regread := !c_regread + Array.length node.n_deps;
@@ -843,6 +904,7 @@ let flush_from st (offender : node) =
   (* purge the narrow issue queue of the squashed incarnations, and of
      copies whose value is about to die *)
   let reset_node (node : node) =
+    emit st Event.Squash node ~a:0 ~b:0;
     node.n_gen <- node.n_gen + 1;
     node.n_issued <- false;
     (* a completed memory uop re-enters the memory order buffer *)
@@ -912,16 +974,19 @@ let flush_from st (offender : node) =
               then make_copy st ~cv:v ~target:Config.Wide ~prefetch:false
                   ~publishes:true)
             node.n_deps;
+        node.n_disp_tick <- st.now;
         iq_append st.iq.(wide) node
       end)
     resteered;
   st.fetch_resume <- max st.fetch_resume (st.now + (2 * cfg.Config.width_flush_penalty));
+  emit st Event.Flush offender ~a:(List.length resteered) ~b:0;
   Counter.incr st.counters "width_flush"
 
 (* ICS'05-style replay: only the offending uop re-executes, in the wide
    cluster; consumers simply wait for the value to be re-produced. Much
    cheaper than the flushing scheme - the trade-off section 4 discusses. *)
 let replay st (node : node) =
+  emit st Event.Replay node ~a:0 ~b:0;
   node.n_gen <- node.n_gen + 1;
   node.n_issued <- false;
   if node.n_is_mem then st.mob_count <- st.mob_count + 1;
@@ -951,6 +1016,7 @@ let replay st (node : node) =
         then
           make_copy st ~cv:v ~target:Config.Wide ~prefetch:false ~publishes:true)
       node.n_deps;
+  node.n_disp_tick <- st.now;
   iq_append st.iq.(wide) node;
   (* without a replicated register file the re-produced value lands in the
      wide file only, but narrow consumers dispatched before the replay were
@@ -1097,6 +1163,7 @@ let complete_normal st (node : node) =
 let complete_node st (node : node) =
   if not node.n_squashed then begin
     node.n_done <- true;
+    emit st Event.Writeback node ~a:node.n_disp_tick ~b:node.n_issue_tick;
     match node.n_kind with
     | Copy { cv; target; epoch; prefetch = _; publishes } ->
       complete_copy st node ~cv ~target ~epoch ~publishes
@@ -1187,7 +1254,8 @@ let commit st =
           st.split_uops <- st.split_uops + 1
         end
       | Copy _ -> assert false );
-      incr st.c_committed
+      incr st.c_committed;
+      emit st Event.Commit head ~a:0 ~b:0
     end
     else stop := true
   done
@@ -1197,9 +1265,12 @@ let commit st =
 let finished st =
   st.fetch_idx >= Trace.length st.trace && Queue.is_empty st.rob
 
-let run ?(max_ticks = 200_000_000) ~cfg ~decide ~scheme_name trace =
-  let st = create cfg decide trace in
+let run ?(max_ticks = 200_000_000) ?sink ~cfg ~decide ~scheme_name trace =
+  let st = create ?sink cfg decide trace in
   let helper = cfg.Config.scheme.Config.helper in
+  let sample_every =
+    match sink with Some s -> Sink.interval s | None -> 0
+  in
   while not (finished st) do
     if st.now > max_ticks then
       failwith
@@ -1231,8 +1302,20 @@ let run ?(max_ticks = 200_000_000) ~cfg ~decide ~scheme_name trace =
     if even then incr st.c_cycle_wide;
     if helper && (even || cfg.Config.helper_fast_clock) then
       incr st.c_cycle_narrow;
+    if sample_every > 0 && st.now > 0 && st.now mod sample_every = 0 then begin
+      match st.sink with
+      | Some sink -> take_sample st sink
+      | None -> ()
+    end;
     st.now <- st.now + 1
   done;
+  (* flush the tail interval so the series' column sums equal the final
+     metrics even when the run length is not a multiple of the interval *)
+  if sample_every > 0 then begin
+    match st.sink with
+    | Some sink -> take_sample st sink
+    | None -> ()
+  end;
   {
     Metrics.name = trace.Trace.name;
     scheme_name;

@@ -34,6 +34,7 @@ type decide = Steer.ctx -> Hc_isa.Uop.t -> Steer.decision
 
 val run :
   ?max_ticks:int ->
+  ?sink:Hc_obs.Sink.t ->
   cfg:Config.t ->
   decide:decide ->
   scheme_name:string ->
@@ -42,4 +43,14 @@ val run :
 (** Simulate a whole trace to completion and return its metrics.
     [max_ticks] (default 200 million) guards against livelock bugs — the
     simulator raises [Failure] if it is exceeded.
+
+    [sink] attaches telemetry: per-uop lifecycle events
+    (dispatch/issue/writeback/commit/squash, copies and slices, width
+    flushes) into the sink's bounded ring when it traces, and an interval
+    metrics time series when its sampling interval is positive. The tail
+    interval is flushed at the end of the run, so
+    [Hc_obs.Sample.aggregate (Sink.samples sink)] equals the returned
+    metrics' dynamic counts. Observation never changes simulated
+    behavior: the returned {!Metrics.t} is bit-identical with or without
+    a sink.
     @raise Invalid_argument on an invalid [cfg]. *)

@@ -1,0 +1,156 @@
+(* Standalone JSON well-formedness checker (no dependencies) used by
+   scripts/smoke.sh to validate telemetry artifacts:
+
+     ocaml scripts/check_json.ml FILE...
+
+   Exits 0 when every FILE parses as a single RFC 8259 JSON value with
+   nothing after it, 1 (with a message naming the file and byte offset)
+   otherwise. Deliberately a strict parser, not a lenient scanner: a
+   truncated traceEvents array or an unbalanced brace must fail here. *)
+
+exception Bad of int
+
+let check (s : string) : (unit, int) result =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let fail () = raise (Bad !pos) in
+  let expect c = if peek () = Some c then advance () else fail () in
+  let parse_string () =
+    expect '"';
+    let rec loop () =
+      match peek () with
+      | None -> fail ()
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        ( match peek () with
+        | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') -> advance ()
+        | Some 'u' ->
+          advance ();
+          for _ = 1 to 4 do
+            match peek () with
+            | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+            | _ -> fail ()
+          done
+        | _ -> fail () );
+        loop ()
+      | Some c when Char.code c < 0x20 -> fail ()
+      | Some _ ->
+        advance ();
+        loop ()
+    in
+    loop ()
+  in
+  let parse_number () =
+    if peek () = Some '-' then advance ();
+    let digits () =
+      let saw = ref false in
+      let rec d () =
+        match peek () with
+        | Some '0' .. '9' ->
+          saw := true;
+          advance ();
+          d ()
+        | _ -> ()
+      in
+      d ();
+      if not !saw then fail ()
+    in
+    digits ();
+    if peek () = Some '.' then begin
+      advance ();
+      digits ()
+    end;
+    match peek () with
+    | Some ('e' | 'E') ->
+      advance ();
+      (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+      digits ()
+    | _ -> ()
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then advance ()
+      else begin
+        let rec members () =
+          skip_ws ();
+          parse_string ();
+          skip_ws ();
+          expect ':';
+          parse_value ();
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ()
+          | Some '}' -> advance ()
+          | _ -> fail ()
+        in
+        members ()
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then advance ()
+      else begin
+        let rec elements () =
+          parse_value ();
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            elements ()
+          | Some ']' -> advance ()
+          | _ -> fail ()
+        in
+        elements ()
+      end
+    | Some '"' -> parse_string ()
+    | Some 't' -> String.iter expect "true"
+    | Some 'f' -> String.iter expect "false"
+    | Some 'n' -> String.iter expect "null"
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | _ -> fail ()
+  in
+  try
+    parse_value ();
+    skip_ws ();
+    if !pos = n then Ok () else Error !pos
+  with Bad at -> Error at
+
+let () =
+  let files = List.tl (Array.to_list Sys.argv) in
+  if files = [] then begin
+    prerr_endline "usage: ocaml scripts/check_json.ml FILE...";
+    exit 2
+  end;
+  let failed = ref false in
+  List.iter
+    (fun file ->
+      let contents =
+        let ic = open_in_bin file in
+        let len = in_channel_length ic in
+        let s = really_input_string ic len in
+        close_in ic;
+        s
+      in
+      match check contents with
+      | Ok () -> Printf.printf "%s: valid JSON (%d bytes)\n" file (String.length contents)
+      | Error at ->
+        Printf.eprintf "%s: INVALID JSON at byte %d\n" file at;
+        failed := true)
+    files;
+  if !failed then exit 1

@@ -17,4 +17,18 @@ dune runtest
 echo "== bench --micro --json BENCH_smoke.json =="
 dune exec bench/main.exe -- --micro --json BENCH_smoke.json
 
+echo "== telemetry: trace + interval series =="
+# A small traced run: Chrome trace JSON + interval CSV, then validate
+# every JSON artifact with the dependency-free checker. The CLI itself
+# asserts aggregate(intervals) == final metrics (prints "==" vs "BUG").
+SMOKE_DIR=$(mktemp -d)
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+dune exec bin/hc_sim.exe -- --benchmark gcc --scheme +IR --length 5000 \
+  --trace-out "$SMOKE_DIR/smoke_trace.json" --metrics-interval 500 \
+  | tee "$SMOKE_DIR/smoke_out.txt"
+grep -q 'aggregate == final metrics' "$SMOKE_DIR/smoke_out.txt"
+ocaml scripts/check_json.ml "$SMOKE_DIR/smoke_trace.json" BENCH_smoke.json
+test -s "$SMOKE_DIR/smoke_trace.intervals.csv"
+echo "telemetry OK"
+
 echo "smoke OK"

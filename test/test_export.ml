@@ -15,19 +15,37 @@ let test_write_all () =
   let dir = Filename.concat (Filename.get_temp_dir_name ()) "hc_export_test" in
   let runs = Runs.create ~length:1_500 () in
   let written = Export.write_all runs ~dir in
-  Alcotest.(check int) "ten files" 10 (List.length written);
+  Alcotest.(check int) "eleven files" 11 (List.length written);
   List.iter
     (fun path ->
       Alcotest.(check bool) (path ^ " exists") true (Sys.file_exists path);
-      let ic = open_in path in
-      let header = input_line ic in
-      let first = input_line ic in
-      close_in ic;
-      Alcotest.(check bool) (path ^ " has header") true (String.length header > 0);
-      Alcotest.(check bool) (path ^ " has data") true (String.length first > 0);
-      (* consistent column counts *)
-      let cols s = List.length (String.split_on_char ',' s) in
-      Alcotest.(check int) (path ^ " column count") (cols header) (cols first))
+      if Filename.check_suffix path ".json" then begin
+        (* meta.json: a single JSON object line *)
+        let ic = open_in path in
+        let line = input_line ic in
+        close_in ic;
+        Alcotest.(check bool) (path ^ " is an object") true
+          (String.length line > 2 && line.[0] = '{');
+        Alcotest.(check bool) (path ^ " has git_sha field") true
+          (let re = "\"git_sha\"" in
+           let rec find i =
+             i + String.length re <= String.length line
+             && (String.sub line i (String.length re) = re || find (i + 1))
+           in
+           find 0)
+      end
+      else begin
+        let ic = open_in path in
+        let header = input_line ic in
+        let first = input_line ic in
+        close_in ic;
+        Alcotest.(check bool) (path ^ " has header") true
+          (String.length header > 0);
+        Alcotest.(check bool) (path ^ " has data") true (String.length first > 0);
+        (* consistent column counts *)
+        let cols s = List.length (String.split_on_char ',' s) in
+        Alcotest.(check int) (path ^ " column count") (cols header) (cols first)
+      end)
     written
 
 let suite =

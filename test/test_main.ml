@@ -30,4 +30,5 @@ let () =
       Test_trace_io.suite;
       Test_fuzz.suite;
       Test_parallel.suite;
+      Test_obs.suite;
     ]
