@@ -1,0 +1,227 @@
+(* Artifact readback and cross-run comparison:
+
+     hc_report report runs/*/metrics.json --intervals intervals.csv
+     hc_report attrib m_888.json m_cr.json m_ir.json
+     hc_report diff BENCH_1.json BENCH_3.json --tol kernels_ns_per_run.=0.30
+     hc_report baseline smoke.json        # vs baselines/gcc_smoke.json
+
+   Everything is read from disk through lib/report's dependency-free
+   JSON/CSV loaders — this binary never runs a simulation. diff/baseline
+   exit 1 on any regression and 2 on baseline metrics missing from the
+   candidate, so CI can gate on the result. *)
+
+module Json = Hc_report.Json
+module Loader = Hc_report.Loader
+module Diff = Hc_report.Diff
+module Render = Hc_report.Render
+
+open Cmdliner
+
+let die fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 3) fmt
+
+let load_or_die path =
+  match Loader.load_json path with
+  | Ok j -> j
+  | Error e -> die "hc_report: %s" e
+
+let load_runs paths =
+  List.map (fun p -> (p, load_or_die p)) paths
+
+let warn_ring path j =
+  match Loader.ring_info j with
+  | Some (pushed, dropped) when dropped > 0 ->
+    Printf.printf
+      "WARNING: %s: event ring overflowed — %d of %d events dropped, the \
+       trace is a truncated window (raise --trace-buffer to keep more)\n"
+      path dropped pushed
+  | Some (pushed, _) ->
+    Printf.printf "%s: complete trace (%d events, no ring drops)\n" path pushed
+  | None -> ()
+
+(* ---- report ---- *)
+
+let report_cmd =
+  let run files intervals trace width =
+    if files = [] && intervals = None && trace = None then
+      die "hc_report report: nothing to read (give metrics files, \
+           --intervals or --trace)";
+    let runs = load_runs files in
+    List.iter
+      (fun (path, j) ->
+        match Loader.schema j with
+        | Some s when s >= 2 -> ()
+        | Some s ->
+          Printf.printf "note: %s is schema %d (no attribution columns)\n"
+            path s
+        | None -> Printf.printf "note: %s has no schema field\n" path)
+      runs;
+    if runs <> [] then begin
+      print_string (Render.summary_table runs);
+      print_newline ();
+      print_string (Render.attrib_table runs);
+      print_newline ();
+      List.iter
+        (fun (path, j) ->
+          if not (Render.attrib_consistent j) then
+            Printf.printf
+              "WARNING: %s: attribution columns do not sum to the steering \
+               totals\n"
+              path)
+        runs
+    end;
+    ( match intervals with
+    | None -> ()
+    | Some path -> (
+      match Loader.load_csv path with
+      | Ok csv ->
+        print_string (Render.timeline ~width csv);
+        print_newline ()
+      | Error e -> die "hc_report: %s" e ) );
+    match trace with
+    | None -> ()
+    | Some path -> warn_ring path (load_or_die path)
+  in
+  let files =
+    Arg.(value & pos_all string [] & info [] ~docv:"METRICS.json")
+  in
+  let intervals =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "intervals" ] ~docv:"CSV"
+          ~doc:"Interval CSV to render as sparkline phase timelines.")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"JSON"
+          ~doc:
+            "Chrome trace to inspect for ring-buffer drops (warns when the \
+             trace is a truncated window).")
+  in
+  let width =
+    Arg.(
+      value & opt int 60
+      & info [ "width" ] ~docv:"CHARS" ~doc:"Sparkline width.")
+  in
+  let doc = "summarise run artifacts: metrics tables, phase timelines" in
+  Cmd.v (Cmd.info "report" ~doc)
+    Term.(const run $ files $ intervals $ trace $ width)
+
+(* ---- attrib ---- *)
+
+let attrib_cmd =
+  let run files =
+    if files = [] then die "hc_report attrib: give at least one metrics file";
+    let runs = load_runs files in
+    print_string (Render.attrib_table runs);
+    print_newline ();
+    let bad =
+      List.filter (fun (_, j) -> not (Render.attrib_consistent j)) runs
+    in
+    List.iter
+      (fun (path, _) ->
+        Printf.printf
+          "FAIL: %s: attribution columns do not sum to the steering totals\n"
+          path)
+      bad;
+    if bad <> [] then exit 1;
+    print_endline "attribution sums consistent"
+  in
+  let files =
+    Arg.(value & pos_all string [] & info [] ~docv:"METRICS.json")
+  in
+  let doc = "steering-attribution breakdown (and its sum invariant)" in
+  Cmd.v (Cmd.info "attrib" ~doc) Term.(const run $ files)
+
+(* ---- diff / baseline ---- *)
+
+let tol_conv =
+  let parse s =
+    match String.index_opt s '=' with
+    | Some i ->
+      let key = String.sub s 0 i in
+      let v = String.sub s (i + 1) (String.length s - i - 1) in
+      ( match float_of_string_opt v with
+      | Some tol when tol >= 0. -> Ok (key, tol)
+      | _ -> Error (`Msg (Printf.sprintf "bad tolerance %S" v)) )
+    | None -> Error (`Msg (Printf.sprintf "expected KEY=TOL, got %S" s))
+  in
+  let print ppf (k, v) = Format.fprintf ppf "%s=%g" k v in
+  Arg.conv (parse, print)
+
+let tols_arg =
+  Arg.(
+    value
+    & opt_all tol_conv []
+    & info [ "tol" ] ~docv:"KEY=REL"
+        ~doc:
+          "Relative tolerance for a metric or metric prefix (repeatable; \
+           longest prefix wins; $(b,default=X) sets the catch-all). \
+           E.g. $(b,--tol kernels_ns_per_run.=0.30).")
+
+let default_tol_arg =
+  Arg.(
+    value & opt float 0.
+    & info [ "default-tol" ] ~docv:"REL"
+        ~doc:
+          "Catch-all relative tolerance (default 0: the simulator is \
+           deterministic, so exact match is the expectation).")
+
+let all_arg =
+  Arg.(
+    value & flag
+    & info [ "all" ] ~doc:"List every compared metric, not just failures.")
+
+let run_diff ~base_path ~cand_path tols default_tol all =
+  let base = load_or_die base_path in
+  let cand = load_or_die cand_path in
+  let r = Diff.run ~tols ~default_tol ~base ~cand () in
+  Printf.printf "base: %s\nnew:  %s\n" base_path cand_path;
+  print_string (Render.diff_table ~all r);
+  print_newline ();
+  exit (Diff.exit_code r)
+
+let diff_cmd =
+  let run base cand tols default_tol all =
+    run_diff ~base_path:base ~cand_path:cand tols default_tol all
+  in
+  let base =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"BASE.json")
+  in
+  let cand =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"NEW.json")
+  in
+  let doc =
+    "compare two runs; exit 1 on regression, 2 on missing metrics"
+  in
+  Cmd.v (Cmd.info "diff" ~doc)
+    Term.(const run $ base $ cand $ tols_arg $ default_tol_arg $ all_arg)
+
+let baseline_cmd =
+  let run cand baseline tols default_tol all =
+    run_diff ~base_path:baseline ~cand_path:cand tols default_tol all
+  in
+  let cand =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"NEW.json")
+  in
+  let baseline =
+    Arg.(
+      value
+      & opt string "baselines/gcc_smoke.json"
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:
+            "Committed baseline to gate against (refresh deliberately with \
+             scripts/refresh_baseline.sh).")
+  in
+  let doc = "diff a run against the committed baseline (CI gate)" in
+  Cmd.v (Cmd.info "baseline" ~doc)
+    Term.(const run $ cand $ baseline $ tols_arg $ default_tol_arg $ all_arg)
+
+let () =
+  let doc = "read, summarise and diff helper-cluster run artifacts" in
+  let info = Cmd.info "hc_report" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info [ report_cmd; attrib_cmd; diff_cmd; baseline_cmd ]))

@@ -30,6 +30,13 @@ let totals_match (a : Sample.totals) (m : Metrics.t) =
   && a.Sample.steered_narrow = m.Metrics.steered_narrow
   && a.Sample.copies = m.Metrics.copies
   && a.Sample.split_uops = m.Metrics.split_uops
+  && a.Sample.steered_888 = m.Metrics.steered_888
+  && a.Sample.steered_br = m.Metrics.steered_br
+  && a.Sample.steered_cr = m.Metrics.steered_cr
+  && a.Sample.steered_ir = m.Metrics.steered_ir
+  && a.Sample.steered_other = m.Metrics.steered_other
+  && a.Sample.wide_default = m.Metrics.wide_default
+  && a.Sample.wide_demoted = m.Metrics.wide_demoted
   && a.Sample.wpred_correct = m.Metrics.wpred_correct
   && a.Sample.wpred_fatal = m.Metrics.wpred_fatal
   && a.Sample.wpred_nonfatal = m.Metrics.wpred_nonfatal
@@ -40,7 +47,7 @@ let totals_match (a : Sample.totals) (m : Metrics.t) =
   && a.Sample.issued_total = m.Metrics.issued_total
 
 let run benchmark scheme length power compare_baseline jobs trace_out
-    metrics_interval interval_out trace_buffer =
+    metrics_interval interval_out trace_buffer metrics_out =
   ( match jobs with
   | Some n when n > 0 -> Domain_pool.set_jobs n
   | Some _ | None -> () );
@@ -89,6 +96,12 @@ let run benchmark scheme length power compare_baseline jobs trace_out
   in
   let m = List.hd runs in
   Format.printf "%a@." Metrics.pp m;
+  assert (Metrics.attrib_consistent m);
+  ( match metrics_out with
+  | Some path ->
+    Format.printf "metrics: wrote %s@."
+      (Export.write_metrics_json ~path m)
+  | None -> () );
   ( match runs with
   | [ _; base ] ->
     Format.printf "speedup over baseline: %.2f%%@."
@@ -103,8 +116,9 @@ let run benchmark scheme length power compare_baseline jobs trace_out
     ( match trace_out with
     | Some path ->
       let written =
-        Chrome_trace.write ~path ~events:(Sink.events sink)
-          ~samples:(Sink.samples sink)
+        Chrome_trace.write
+          ~ring:(Sink.events_pushed sink, Sink.events_dropped sink)
+          ~path ~events:(Sink.events sink) ~samples:(Sink.samples sink) ()
       in
       Format.printf "trace: wrote %s (%d events, %d dropped by ring wrap)@."
         written (Sink.events_pushed sink) (Sink.events_dropped sink)
@@ -199,10 +213,20 @@ let cmd =
           ~doc:
             "Event ring capacity; older events are overwritten once full.")
   in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the scheme run's full metrics as JSON (schema 2, the \
+             format $(b,hc_report) reads and diffs) to $(docv).")
+  in
   let doc = "cycle-level helper-cluster simulator" in
   Cmd.v (Cmd.info "hc_sim" ~doc)
     Term.(
       const run $ benchmark $ scheme $ length $ power $ compare_baseline $ jobs
-      $ trace_out $ metrics_interval $ interval_out $ trace_buffer)
+      $ trace_out $ metrics_interval $ interval_out $ trace_buffer
+      $ metrics_out)
 
 let () = exit (Cmd.eval cmd)

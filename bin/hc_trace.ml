@@ -16,6 +16,9 @@ module Analysis = Hc_trace.Analysis
 module Config = Hc_sim.Config
 module Pipeline = Hc_sim.Pipeline
 module Metrics = Hc_sim.Metrics
+module Sink = Hc_obs.Sink
+module Chrome_trace = Hc_obs.Chrome_trace
+module Export = Hc_core.Export
 
 open Cmdliner
 
@@ -68,7 +71,8 @@ let stats file =
   Printf.printf "mean producer-consumer distance: %.2f uops\n"
     (Analysis.mean_distance trace)
 
-let run file scheme =
+let run file scheme trace_out metrics_interval interval_out trace_buffer
+    metrics_out =
   let trace = Trace_io.load file in
   let cfg =
     if scheme = "ics05" then Config.ics05
@@ -79,16 +83,55 @@ let run file scheme =
         Printf.eprintf "unknown scheme %S\n" scheme;
         exit 1
   in
+  (* same telemetry surface as hc_sim: externally captured traces get
+     the full artifact set (Chrome trace, interval CSV, metrics JSON) *)
+  let sink =
+    if trace_out <> None || metrics_interval > 0 then
+      Some
+        (Sink.create ~ring_capacity:trace_buffer ~interval:metrics_interval
+           ~tracing:(trace_out <> None) ())
+    else None
+  in
   let base =
     Pipeline.run ~cfg:Config.baseline ~decide:Hc_steering.Policy.decide
       ~scheme_name:"baseline" trace
   in
   let m =
-    Pipeline.run ~cfg ~decide:Hc_steering.Policy.decide ~scheme_name:scheme trace
+    Pipeline.run ?sink ~cfg ~decide:Hc_steering.Policy.decide
+      ~scheme_name:scheme trace
   in
   Format.printf "%a@." Metrics.pp m;
   Format.printf "speedup over baseline: %+.2f%%@."
-    (Metrics.speedup_pct ~baseline:base m)
+    (Metrics.speedup_pct ~baseline:base m);
+  ( match metrics_out with
+  | Some path ->
+    Format.printf "metrics: wrote %s@." (Export.write_metrics_json ~path m)
+  | None -> () );
+  match sink with
+  | None -> ()
+  | Some sink ->
+    ( match trace_out with
+    | Some path ->
+      let written =
+        Chrome_trace.write
+          ~ring:(Sink.events_pushed sink, Sink.events_dropped sink)
+          ~path ~events:(Sink.events sink) ~samples:(Sink.samples sink) ()
+      in
+      Format.printf "trace: wrote %s (%d events, %d dropped by ring wrap)@."
+        written (Sink.events_pushed sink) (Sink.events_dropped sink)
+    | None -> () );
+    if Sink.interval sink > 0 then begin
+      let path =
+        match interval_out, trace_out with
+        | Some p, _ -> p
+        | None, Some t -> Filename.remove_extension t ^ ".intervals.csv"
+        | None, None -> "intervals.csv"
+      in
+      let samples = Sink.samples sink in
+      let written = Export.write_intervals_csv ~path samples in
+      Format.printf "intervals: wrote %s (%d samples of %d ticks)@." written
+        (List.length samples) (Sink.interval sink)
+    end
 
 let generate_cmd =
   let out =
@@ -121,9 +164,53 @@ let run_cmd =
       value & opt string "+IR"
       & info [ "s"; "scheme" ] ~docv:"SCHEME" ~doc:"Steering scheme.")
   in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Record per-uop pipeline events and write a Chrome trace-event \
+             JSON to $(docv).")
+  in
+  let metrics_interval =
+    Arg.(
+      value & opt int 0
+      & info [ "metrics-interval" ] ~docv:"TICKS"
+          ~doc:
+            "Sample the interval metrics time series every $(docv) fast \
+             ticks (0 disables).")
+  in
+  let interval_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "interval-out" ] ~docv:"FILE"
+          ~doc:
+            "Where to write the interval CSV (default: derived from \
+             $(b,--trace-out), else $(b,intervals.csv)).")
+  in
+  let trace_buffer =
+    Arg.(
+      value & opt int 65_536
+      & info [ "trace-buffer" ] ~docv:"EVENTS"
+          ~doc:
+            "Event ring capacity; older events are overwritten once full.")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the scheme run's full metrics as JSON (the format \
+             $(b,hc_report) reads and diffs) to $(docv).")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"simulate a saved trace under a scheme")
-    Term.(const run $ file_arg $ scheme)
+    Term.(
+      const run $ file_arg $ scheme $ trace_out $ metrics_interval
+      $ interval_out $ trace_buffer $ metrics_out)
 
 let cmd =
   Cmd.group

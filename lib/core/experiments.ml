@@ -524,6 +524,48 @@ let fig14 _runs =
     [ { label = "avg speedup across the suite (%)"; paper = 11.0;
         measured = overall } ] )
 
+(* ----- steering attribution: why each helper-cluster commit is there ----- *)
+
+let attrib_schemes =
+  [ "8_8_8"; "+BR"; "+LR"; "+CR"; "+CP"; "+IR"; "+IR(nodest)" ]
+
+let attrib runs =
+  let mean f scheme =
+    Summary.arithmetic_mean
+      (List.map (fun p -> f (Runs.metrics runs ~scheme p)) spec)
+  in
+  let table =
+    Table.create
+      [ "scheme"; "steered (%)"; "888 (%)"; "BR (%)"; "CR (%)"; "IR (%)";
+        "wide demoted (%)" ]
+  in
+  List.iter
+    (fun scheme ->
+      Table.add_row table
+        [ scheme; f1 (mean Metrics.steered_pct scheme);
+          f1 (mean Metrics.steered_888_pct scheme);
+          f1 (mean Metrics.steered_br_pct scheme);
+          f1 (mean Metrics.steered_cr_pct scheme);
+          f1 (mean Metrics.steered_ir_pct scheme);
+          f1 (mean Metrics.wide_demoted_pct scheme) ])
+    attrib_schemes;
+  (* the commit-time attribution must account for every steered uop in
+     every (scheme x benchmark) cell this pass simulated *)
+  let coverage =
+    if
+      List.for_all
+        (fun scheme ->
+          List.for_all
+            (fun p -> Metrics.attrib_consistent (Runs.metrics runs ~scheme p))
+            spec)
+        attrib_schemes
+    then 100.0
+    else 0.0
+  in
+  ( Table.render table,
+    [ { label = "attribution coverage of steered uops (%)"; paper = 100.0;
+        measured = coverage } ] )
+
 let all =
   [
     { id = "fig1"; title = "Narrow data-width dependent register operands";
@@ -563,6 +605,10 @@ let all =
       paper_claim =
         "22.1% speedup at 72.4% steered; imbalance 22%->2.3%; ED2 +5.1%";
       run = prep ~schemes:[ "baseline"; "+CP"; "+IR"; "+IR(nodest)" ] ir };
+    { id = "attrib"; title = "Steering attribution by rule (commit time)";
+      paper_claim =
+        "every helper-cluster commit traces to 888/BR/CR/IR or a demotion";
+      run = prep ~schemes:attrib_schemes attrib };
     { id = "related";
       title = "Head-to-head: helper cluster vs ICS'05 asymmetric cluster";
       paper_claim =

@@ -88,9 +88,18 @@ let put_event em (e : Event.t) =
        writeback never happened (still useful when the ring wrapped) *)
     ()
 
-let to_buffer buf ~events ~samples =
+let to_buffer ?ring buf ~events ~samples =
   let em = { buf; first = true } in
   Buffer.add_string buf "{\n  \"displayTimeUnit\": \"ms\",\n";
+  (* ring statistics let a reader tell a complete trace from a window
+     that lost its oldest events to buffer wrap (hc_report warns) *)
+  ( match ring with
+  | Some (pushed, dropped) ->
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  \"otherData\": {\"events_pushed\": %d, \"events_dropped\": %d},\n"
+         pushed dropped)
+  | None -> () );
   Buffer.add_string buf "  \"traceEvents\": [\n    ";
   event em
     "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\
@@ -115,17 +124,17 @@ let to_buffer buf ~events ~samples =
     samples;
   Buffer.add_string buf "\n  ]\n}\n"
 
-let to_string ~events ~samples =
+let to_string ?ring ~events ~samples () =
   let buf = Buffer.create 65536 in
-  to_buffer buf ~events ~samples;
+  to_buffer ?ring buf ~events ~samples;
   Buffer.contents buf
 
-let write ~path ~events ~samples =
+let write ?ring ~path ~events ~samples () =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
       let buf = Buffer.create 65536 in
-      to_buffer buf ~events ~samples;
+      to_buffer ?ring buf ~events ~samples;
       Buffer.output_buffer oc buf);
   path

@@ -9,10 +9,29 @@
     meaningless for a cycle-level simulation, only relative spans
     matter. *)
 
-val to_buffer : Buffer.t -> events:Event.t list -> samples:Sample.t list -> unit
+val to_buffer :
+  ?ring:int * int ->
+  Buffer.t ->
+  events:Event.t list ->
+  samples:Sample.t list ->
+  unit
+(** [ring] is [(events_pushed, events_dropped)] from the recording
+    {!Ring}; when given it is embedded as a top-level ["otherData"]
+    block so readers (hc_report) can tell a complete trace from one
+    whose oldest events were overwritten. *)
 
-val to_string : events:Event.t list -> samples:Sample.t list -> string
+val to_string :
+  ?ring:int * int ->
+  events:Event.t list ->
+  samples:Sample.t list ->
+  unit ->
+  string
 
 val write :
-  path:string -> events:Event.t list -> samples:Sample.t list -> string
+  ?ring:int * int ->
+  path:string ->
+  events:Event.t list ->
+  samples:Sample.t list ->
+  unit ->
+  string
 (** Writes the JSON to [path] and returns [path]. *)

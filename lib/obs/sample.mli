@@ -11,6 +11,13 @@ type totals = {
   steered_narrow : int;
   copies : int;
   split_uops : int;
+  steered_888 : int;  (** steering attribution, per reason (see Metrics) *)
+  steered_br : int;
+  steered_cr : int;
+  steered_ir : int;
+  steered_other : int;
+  wide_default : int;
+  wide_demoted : int;
   wpred_correct : int;
   wpred_fatal : int;
   wpred_nonfatal : int;
@@ -26,6 +33,12 @@ type totals = {
 val zero_totals : totals
 val sub_totals : totals -> totals -> totals
 val add_totals : totals -> totals -> totals
+
+val attrib_consistent : totals -> bool
+(** The attribution columns sum exactly to the steering totals: narrow
+    attribution adds up to [steered_narrow], [steered_ir = split_uops],
+    wide columns add up to [committed - steered_narrow]. Holds per
+    interval and (by linearity) for any {!aggregate}. *)
 
 type t = {
   t_start : int;  (** first tick of the interval (exclusive start) *)

@@ -1,0 +1,110 @@
+let read_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | contents -> Ok contents
+  | exception Sys_error e -> Error e
+
+let load_json = Json.of_file
+
+let schema j =
+  match Json.member "schema" j with
+  | Some (Json.Number raw) -> int_of_string_opt raw
+  | _ -> None
+
+let numeric_leaves j =
+  let acc = ref [] in
+  let join prefix seg = if prefix = "" then seg else prefix ^ "." ^ seg in
+  let rec walk prefix = function
+    | Json.Number raw -> (
+      match float_of_string_opt raw with
+      | Some f -> acc := (prefix, f) :: !acc
+      | None -> () )
+    | Json.Object ms -> List.iter (fun (k, v) -> walk (join prefix k) v) ms
+    | Json.Array vs ->
+      List.iteri (fun i v -> walk (join prefix (string_of_int i)) v) vs
+    | Json.Null | Json.Bool _ | Json.String _ -> ()
+  in
+  walk "" j;
+  List.rev !acc
+
+let ring_info j =
+  match
+    ( Json.find_path [ "otherData"; "events_pushed" ] j,
+      Json.find_path [ "otherData"; "events_dropped" ] j )
+  with
+  | Some p, Some d -> (
+    match (Json.number p, Json.number d) with
+    | Some p, Some d -> Some (int_of_float p, int_of_float d)
+    | _ -> None )
+  | _ -> None
+
+type csv = {
+  csv_path : string;
+  header : string list;
+  columns : float array list;
+}
+
+let split_line = String.split_on_char ','
+
+let load_csv path =
+  match read_file path with
+  | Error e -> Error e
+  | Ok contents -> (
+    let lines =
+      String.split_on_char '\n' contents
+      |> List.map (fun l ->
+             (* tolerate CRLF artifacts copied through Windows tooling *)
+             if String.length l > 0 && l.[String.length l - 1] = '\r' then
+               String.sub l 0 (String.length l - 1)
+             else l)
+      |> List.filter (fun l -> l <> "")
+    in
+    match lines with
+    | [] -> Error (path ^ ": empty CSV")
+    | header_line :: data ->
+      let header = split_line header_line in
+      let ncols = List.length header in
+      let nrows = List.length data in
+      let columns = List.map (fun _ -> Array.make nrows 0.) header in
+      let err = ref None in
+      List.iteri
+        (fun row line ->
+          if !err = None then
+            let fields = split_line line in
+            if List.length fields <> ncols then
+              err :=
+                Some
+                  (Printf.sprintf "%s: line %d has %d fields, expected %d"
+                     path (row + 2) (List.length fields) ncols)
+            else
+              List.iter2
+                (fun col field ->
+                  match float_of_string_opt field with
+                  | Some f -> col.(row) <- f
+                  | None ->
+                    if !err = None then
+                      err :=
+                        Some
+                          (Printf.sprintf "%s: line %d: %S is not numeric"
+                             path (row + 2) field))
+                columns fields)
+        data;
+      ( match !err with
+      | Some e -> Error e
+      | None -> Ok { csv_path = path; header; columns } ) )
+
+let column csv name =
+  let rec find hs cs =
+    match (hs, cs) with
+    | h :: _, c :: _ when h = name -> Some c
+    | _ :: hs, _ :: cs -> find hs cs
+    | _ -> None
+  in
+  find csv.header csv.columns
+
+let rows csv =
+  match csv.columns with [] -> 0 | c :: _ -> Array.length c

@@ -1,0 +1,33 @@
+(** Terminal rendering for [hc_report].
+
+    All functions return the finished string; the CLI decides where it
+    goes. Tables reuse [Hc_stats.Table] so the report output matches the
+    bench harness visually. *)
+
+val run_label : Json.t -> string
+(** ["name [scheme]"] when the metrics file carries both, else a stub. *)
+
+val summary_table : (string * Json.t) list -> string
+(** Cross-scheme comparison: one column per loaded metrics file, one row
+    per headline metric (IPC, steered/copies %, width-prediction
+    outcome, issue totals). *)
+
+val attrib_table : (string * Json.t) list -> string
+(** Steering-attribution breakdown per run: committed helper-cluster
+    uops by steering reason (888/BR/CR/IR-split/other) and the wide
+    commits split into by-default vs demoted-by-recovery, each as count
+    and % of committed. *)
+
+val attrib_consistent : Json.t -> bool
+(** The attribution identity on a loaded metrics file: narrow reasons
+    sum to [steered_narrow], [steered_ir = split_uops], wide columns sum
+    to [committed - steered_narrow]. Files predating schema 2 (no
+    attribution fields) report [true] vacuously. *)
+
+val timeline : ?width:int -> ?columns:string list -> Loader.csv -> string
+(** Sparkline per column of an interval CSV (default: the phase-visible
+    ones — ipc, steered_narrow, copies, wpred_accuracy_pct, rob). *)
+
+val diff_table : ?all:bool -> Diff.report -> string
+(** The comparison verdict: by default only non-passing entries plus a
+    summary line; [all] lists every compared key. *)

@@ -1,0 +1,44 @@
+let ramp = "_.:-=+*#%@"
+
+let bucketise ~width xs =
+  let n = Array.length xs in
+  if n <= width then Array.copy xs
+  else
+    Array.init width (fun i ->
+        (* bucket [lo, hi) with rounding that covers every source index *)
+        let lo = i * n / width and hi = (i + 1) * n / width in
+        let hi = max hi (lo + 1) in
+        let sum = ref 0. in
+        for j = lo to hi - 1 do
+          sum := !sum +. xs.(j)
+        done;
+        !sum /. float_of_int (hi - lo))
+
+let render ?(width = 60) xs =
+  if Array.length xs = 0 then ""
+  else begin
+    let xs = bucketise ~width xs in
+    let lo = Array.fold_left min xs.(0) xs in
+    let hi = Array.fold_left max xs.(0) xs in
+    let levels = String.length ramp in
+    if hi = lo then String.make (Array.length xs) '-'
+    else
+      String.init (Array.length xs) (fun i ->
+          let t = (xs.(i) -. lo) /. (hi -. lo) in
+          let k = int_of_float (t *. float_of_int (levels - 1) +. 0.5) in
+          ramp.[max 0 (min (levels - 1) k)])
+  end
+
+let bound v =
+  (* compact numbers for the scale annotations *)
+  if Float.is_integer v && Float.abs v < 1e9 then
+    Printf.sprintf "%d" (int_of_float v)
+  else Printf.sprintf "%.3g" v
+
+let render_labelled ?(width = 60) ~label xs =
+  if Array.length xs = 0 then Printf.sprintf "%-20s (no samples)" label
+  else
+    let lo = Array.fold_left min xs.(0) xs in
+    let hi = Array.fold_left max xs.(0) xs in
+    Printf.sprintf "%-20s %8s [%s] %s" label (bound lo) (render ~width xs)
+      (bound hi)

@@ -1,0 +1,15 @@
+(** ASCII sparklines for the interval time series.
+
+    One character per bucket, ten brightness levels, plain ASCII so the
+    timelines survive CI logs and diffs. A run's phase structure (warm-up,
+    copy bursts, steering shifts) is visible at a glance without leaving
+    the terminal. *)
+
+val render : ?width:int -> float array -> string
+(** Downsamples (bucket means) to at most [width] characters (default
+    60) and maps min..max onto the ASCII ramp [_.:-=+*#%@]. A flat
+    series renders as all ['-']. Empty input renders as [""]. *)
+
+val render_labelled : ?width:int -> label:string -> float array -> string
+(** ["label  lo [spark] hi"] with the range bounds printed, so the
+    sparkline's vertical scale is explicit. *)

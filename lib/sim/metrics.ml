@@ -6,6 +6,13 @@ type t = {
   copies : int;
   steered_narrow : int;
   split_uops : int;
+  steered_888 : int;
+  steered_br : int;
+  steered_cr : int;
+  steered_ir : int;
+  steered_other : int;
+  wide_default : int;
+  wide_demoted : int;
   wpred_correct : int;
   wpred_fatal : int;
   wpred_nonfatal : int;
@@ -54,6 +61,20 @@ let imbalance_n2w_pct t = imbalance_pct t t.nready_n2w
 
 let speedup_pct ~baseline t = 100. *. ((ipc t /. ipc baseline) -. 1.)
 
+let steered_888_pct t = pct_of_committed t t.steered_888
+let steered_br_pct t = pct_of_committed t t.steered_br
+let steered_cr_pct t = pct_of_committed t t.steered_cr
+let steered_ir_pct t = pct_of_committed t t.steered_ir
+let wide_demoted_pct t = pct_of_committed t t.wide_demoted
+
+let attrib_narrow_sum t =
+  t.steered_888 + t.steered_br + t.steered_cr + t.steered_ir + t.steered_other
+
+let attrib_consistent t =
+  attrib_narrow_sum t = t.steered_narrow
+  && t.steered_ir = t.split_uops
+  && t.wide_default + t.wide_demoted = t.committed - t.steered_narrow
+
 let json_escape s =
   let b = Buffer.create (String.length s + 8) in
   String.iter
@@ -72,6 +93,7 @@ let to_json t =
   let b = Buffer.create 1024 in
   let p fmt = Printf.ksprintf (Buffer.add_string b) fmt in
   p "{";
+  p "\"schema\":2,";
   p "\"name\":\"%s\"," (json_escape t.name);
   p "\"scheme\":\"%s\"," (json_escape t.scheme_name);
   p "\"committed\":%d," t.committed;
@@ -81,6 +103,13 @@ let to_json t =
   p "\"copies\":%d," t.copies;
   p "\"steered_narrow\":%d," t.steered_narrow;
   p "\"split_uops\":%d," t.split_uops;
+  p "\"steered_888\":%d," t.steered_888;
+  p "\"steered_br\":%d," t.steered_br;
+  p "\"steered_cr\":%d," t.steered_cr;
+  p "\"steered_ir\":%d," t.steered_ir;
+  p "\"steered_other\":%d," t.steered_other;
+  p "\"wide_default\":%d," t.wide_default;
+  p "\"wide_demoted\":%d," t.wide_demoted;
   p "\"wpred_correct\":%d," t.wpred_correct;
   p "\"wpred_fatal\":%d," t.wpred_fatal;
   p "\"wpred_nonfatal\":%d," t.wpred_nonfatal;
@@ -104,9 +133,13 @@ let to_json t =
 let pp ppf t =
   Format.fprintf ppf
     "@[<v>%s [%s]@ committed=%d cycles=%.0f ipc=%.3f@ steered=%.1f%% \
-     copies=%.1f%% splits=%d@ wpred: ok=%.1f%% fatal=%.2f%% nonfatal=%.2f%%@ \
-     cp: %d prefetches, %.1f%% useful@ nready: w2n=%.1f%% n2w=%.1f%%@]"
+     copies=%.1f%% splits=%d@ attrib: 888=%d br=%d cr=%d ir=%d other=%d | \
+     wide: default=%d demoted=%d@ wpred: ok=%.1f%% fatal=%.2f%% \
+     nonfatal=%.2f%%@ cp: %d prefetches, %.1f%% useful@ nready: w2n=%.1f%% \
+     n2w=%.1f%%@]"
     t.name t.scheme_name t.committed (cycles t) (ipc t) (steered_pct t)
-    (copy_pct t) t.split_uops (wpred_accuracy_pct t) (wpred_fatal_pct t)
-    (wpred_nonfatal_pct t) t.prefetch_copies (cp_accuracy_pct t)
-    (imbalance_w2n_pct t) (imbalance_n2w_pct t)
+    (copy_pct t) t.split_uops t.steered_888 t.steered_br t.steered_cr
+    t.steered_ir t.steered_other t.wide_default t.wide_demoted
+    (wpred_accuracy_pct t) (wpred_fatal_pct t) (wpred_nonfatal_pct t)
+    t.prefetch_copies (cp_accuracy_pct t) (imbalance_w2n_pct t)
+    (imbalance_n2w_pct t)

@@ -14,6 +14,22 @@ type t = {
   copies : int;  (** inter-cluster copy uops generated (demand + prefetch) *)
   steered_narrow : int;  (** committed uops executed in the helper cluster *)
   split_uops : int;  (** committed uops that were IR-split *)
+  steered_888 : int;
+      (** attribution: committed helper-cluster uops earned by the
+          all-narrow 8_8_8 rule (§3.2) *)
+  steered_br : int;  (** attribution: flag-dependent branches (BR, §3.3) *)
+  steered_cr : int;  (** attribution: carry-local one-wide-source uops (CR, §3.5) *)
+  steered_ir : int;
+      (** attribution: IR-split uops (§3.7); always equals [split_uops] *)
+  steered_other : int;
+      (** attribution: helper-cluster uops steered narrow without a
+          recorded policy reason (only custom [decide] functions) *)
+  wide_default : int;
+      (** committed wide-cluster uops that were steered wide at rename *)
+  wide_demoted : int;
+      (** committed wide-cluster uops originally steered narrow and moved
+          wide by width-violation recovery (flush or replay) — the commit
+          cost of fatal width mispredictions *)
   wpred_correct : int;  (** width predictions matching the actual width *)
   wpred_fatal : int;  (** mispredictions that forced a squash-and-resteer *)
   wpred_nonfatal : int;  (** missed opportunities: mispredicted but safe *)
@@ -54,10 +70,28 @@ val imbalance_n2w_pct : t -> float
 val speedup_pct : baseline:t -> t -> float
 (** Performance increase over the baseline run, in percent (Figs 6/12/14). *)
 
+val steered_888_pct : t -> float
+(** Attribution shares as percentages of committed uops. *)
+
+val steered_br_pct : t -> float
+val steered_cr_pct : t -> float
+val steered_ir_pct : t -> float
+val wide_demoted_pct : t -> float
+
+val attrib_narrow_sum : t -> int
+(** [steered_888 + steered_br + steered_cr + steered_ir + steered_other];
+    equals [steered_narrow] on every run. *)
+
+val attrib_consistent : t -> bool
+(** The attribution invariants: narrow attribution columns sum to
+    [steered_narrow], [steered_ir = split_uops], and the wide columns sum
+    to [committed - steered_narrow]. *)
+
 val to_json : t -> string
 (** The whole record as one JSON object — every dynamic count, the
     derived IPC/cycles, and the raw activity counters keyed by name.
     Shared by the CSV/JSON export layer and the telemetry writers so a
-    run's numbers serialize identically everywhere. *)
+    run's numbers serialize identically everywhere. Carries
+    ["schema"]:2 (schema 2 added the steering-attribution columns). *)
 
 val pp : Format.formatter -> t -> unit

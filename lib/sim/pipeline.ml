@@ -242,6 +242,14 @@ type state = {
   mutable copies : int;
   mutable steered_narrow : int;
   mutable split_uops : int;
+  (* steering attribution: who earned each committed uop (see Metrics) *)
+  mutable steered_888 : int;
+  mutable steered_br : int;
+  mutable steered_cr : int;
+  mutable steered_ir : int;
+  mutable steered_other : int;
+  mutable wide_default : int;
+  mutable wide_demoted : int;
   mutable wpred_correct : int;
   mutable wpred_fatal : int;
   mutable wpred_nonfatal : int;
@@ -303,6 +311,8 @@ let create ?sink cfg decide trace =
     next_node_id = 0;
     now = 0;
     committed = 0; copies = 0; steered_narrow = 0; split_uops = 0;
+    steered_888 = 0; steered_br = 0; steered_cr = 0; steered_ir = 0;
+    steered_other = 0; wide_default = 0; wide_demoted = 0;
     wpred_correct = 0; wpred_fatal = 0; wpred_nonfatal = 0;
     prefetch_copies = 0; prefetch_useful = 0;
     nready_w2n = 0; nready_n2w = 0; issued_total = 0;
@@ -359,6 +369,13 @@ let current_totals st =
     steered_narrow = st.steered_narrow;
     copies = st.copies;
     split_uops = st.split_uops;
+    steered_888 = st.steered_888;
+    steered_br = st.steered_br;
+    steered_cr = st.steered_cr;
+    steered_ir = st.steered_ir;
+    steered_other = st.steered_other;
+    wide_default = st.wide_default;
+    wide_demoted = st.wide_demoted;
     wpred_correct = st.wpred_correct;
     wpred_fatal = st.wpred_fatal;
     wpred_nonfatal = st.wpred_nonfatal;
@@ -941,7 +958,9 @@ let flush_from st (offender : node) =
       | Slice { final } ->
         if final then begin
           node.n_kind <- Normal;
-          node.n_reason <- None;
+          (* n_reason keeps Rir: the reason only matters for the fatal
+             check of NARROW-cluster uops (Rir is never fatal there), and
+             commit uses it to attribute this uop as demoted-to-wide *)
           (* drop the intra-group chain dependences: re-derive register
              dependences from the rename state captured at dispatch is not
              possible, so keep only deps on values that still exist *)
@@ -1245,13 +1264,27 @@ let commit st =
       ( match head.n_kind with
       | Normal ->
         st.committed <- st.committed + 1;
-        if head.n_cluster = Config.Narrow then
-          st.steered_narrow <- st.steered_narrow + 1
+        if head.n_cluster = Config.Narrow then begin
+          st.steered_narrow <- st.steered_narrow + 1;
+          ( match head.n_reason with
+          | Some Steer.R888 -> st.steered_888 <- st.steered_888 + 1
+          | Some Steer.Rbr -> st.steered_br <- st.steered_br + 1
+          | Some Steer.Rcr -> st.steered_cr <- st.steered_cr + 1
+          | Some Steer.Rir -> st.steered_ir <- st.steered_ir + 1
+          | None -> st.steered_other <- st.steered_other + 1 )
+        end
+        else
+          (* a retained reason on a wide-cluster uop means recovery
+             demoted it there after a narrow steering decision *)
+          ( match head.n_reason with
+          | Some _ -> st.wide_demoted <- st.wide_demoted + 1
+          | None -> st.wide_default <- st.wide_default + 1 )
       | Slice { final } ->
         if final then begin
           st.committed <- st.committed + 1;
           st.steered_narrow <- st.steered_narrow + 1;
-          st.split_uops <- st.split_uops + 1
+          st.split_uops <- st.split_uops + 1;
+          st.steered_ir <- st.steered_ir + 1
         end
       | Copy _ -> assert false );
       incr st.c_committed;
@@ -1324,6 +1357,13 @@ let run ?(max_ticks = 200_000_000) ?sink ~cfg ~decide ~scheme_name trace =
     copies = st.copies;
     steered_narrow = st.steered_narrow;
     split_uops = st.split_uops;
+    steered_888 = st.steered_888;
+    steered_br = st.steered_br;
+    steered_cr = st.steered_cr;
+    steered_ir = st.steered_ir;
+    steered_other = st.steered_other;
+    wide_default = st.wide_default;
+    wide_demoted = st.wide_demoted;
     wpred_correct = st.wpred_correct;
     wpred_fatal = st.wpred_fatal;
     wpred_nonfatal = st.wpred_nonfatal;

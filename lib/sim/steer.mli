@@ -49,4 +49,8 @@ type decision =
   | Steer_narrow of reason
   | Split  (** IR: crack into four chained 8-bit slices in the helper *)
 
+val reason_to_string : reason -> string
+(** Short lowercase tag ("888", "br", "cr", "ir") used by the attribution
+    tables and telemetry artifacts. *)
+
 val pp_decision : Format.formatter -> decision -> unit

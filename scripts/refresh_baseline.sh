@@ -1,0 +1,37 @@
+#!/bin/sh
+# Deliberately re-record the committed regression baseline that
+# scripts/smoke.sh gates against. The simulator is deterministic (fixed
+# profile seeds), so the baseline only changes when the model itself
+# does — run this after an intentional behaviour change, eyeball the
+# `hc_report diff` it prints, and commit the new file with the change
+# that caused it.
+#
+#   ./scripts/refresh_baseline.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+BASELINE=baselines/gcc_smoke.json
+
+dune build bin/hc_sim.exe bin/hc_report.exe
+mkdir -p baselines
+
+if [ -f "$BASELINE" ]; then
+  OLD=$(mktemp)
+  trap 'rm -f "$OLD"' EXIT
+  cp "$BASELINE" "$OLD"
+else
+  OLD=""
+fi
+
+dune exec bin/hc_sim.exe -- --benchmark gcc --scheme +IR --length 5000 \
+  --compare false --metrics-out "$BASELINE"
+
+if [ -n "$OLD" ]; then
+  echo
+  echo "== what changed vs the previous baseline =="
+  # informational: nonzero just means the baseline moved, which is the point
+  dune exec bin/hc_report.exe -- diff "$OLD" "$BASELINE" || true
+fi
+
+echo
+echo "refreshed $BASELINE — review and commit it together with the change"

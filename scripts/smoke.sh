@@ -31,4 +31,26 @@ ocaml scripts/check_json.ml "$SMOKE_DIR/smoke_trace.json" BENCH_smoke.json
 test -s "$SMOKE_DIR/smoke_trace.intervals.csv"
 echo "telemetry OK"
 
+echo "== hc_report regression gate =="
+# Re-run the baseline workload and hold the fresh metrics to the
+# committed baseline: the simulator is deterministic, so the default
+# 0-tolerance diff is a bit-exact gate (refresh deliberately with
+# scripts/refresh_baseline.sh when the model changes).
+dune exec bin/hc_sim.exe -- --benchmark gcc --scheme +IR --length 5000 \
+  --compare false --metrics-out "$SMOKE_DIR/gcc_smoke.json" > /dev/null
+dune exec bin/hc_report.exe -- diff baselines/gcc_smoke.json \
+  "$SMOKE_DIR/gcc_smoke.json"
+# ...and prove the gate can fail: perturb one metric and expect exit 1
+sed -E 's/"ipc":[0-9.]+/"ipc":0.0001/' "$SMOKE_DIR/gcc_smoke.json" \
+  > "$SMOKE_DIR/gcc_perturbed.json"
+if dune exec bin/hc_report.exe -- diff baselines/gcc_smoke.json \
+    "$SMOKE_DIR/gcc_perturbed.json" > /dev/null; then
+  echo "FAIL: hc_report diff accepted a perturbed metrics file"
+  exit 1
+fi
+dune exec bin/hc_report.exe -- report "$SMOKE_DIR/gcc_smoke.json" \
+  --intervals "$SMOKE_DIR/smoke_trace.intervals.csv" \
+  --trace "$SMOKE_DIR/smoke_trace.json"
+echo "regression gate OK"
+
 echo "smoke OK"

@@ -31,4 +31,5 @@ let () =
       Test_fuzz.suite;
       Test_parallel.suite;
       Test_obs.suite;
+      Test_report.suite;
     ]

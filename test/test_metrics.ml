@@ -13,6 +13,13 @@ let mk ?(committed = 1000) ?(ticks = 2000) ?(copies = 100) ?(steered = 200)
     copies;
     steered_narrow = steered;
     split_uops = 0;
+    steered_888 = steered;
+    steered_br = 0;
+    steered_cr = 0;
+    steered_ir = 0;
+    steered_other = 0;
+    wide_default = committed - steered;
+    wide_demoted = 0;
     wpred_correct = correct;
     wpred_fatal = fatal;
     wpred_nonfatal = nonfatal;

@@ -228,6 +228,13 @@ let metrics_equal ~cell (a : Metrics.t) (b : Metrics.t) =
   check "copies" a.Metrics.copies b.Metrics.copies;
   check "steered_narrow" a.Metrics.steered_narrow b.Metrics.steered_narrow;
   check "split_uops" a.Metrics.split_uops b.Metrics.split_uops;
+  check "steered_888" a.Metrics.steered_888 b.Metrics.steered_888;
+  check "steered_br" a.Metrics.steered_br b.Metrics.steered_br;
+  check "steered_cr" a.Metrics.steered_cr b.Metrics.steered_cr;
+  check "steered_ir" a.Metrics.steered_ir b.Metrics.steered_ir;
+  check "steered_other" a.Metrics.steered_other b.Metrics.steered_other;
+  check "wide_default" a.Metrics.wide_default b.Metrics.wide_default;
+  check "wide_demoted" a.Metrics.wide_demoted b.Metrics.wide_demoted;
   check "wpred_correct" a.Metrics.wpred_correct b.Metrics.wpred_correct;
   check "wpred_fatal" a.Metrics.wpred_fatal b.Metrics.wpred_fatal;
   check "wpred_nonfatal" a.Metrics.wpred_nonfatal b.Metrics.wpred_nonfatal;
@@ -302,7 +309,9 @@ let test_chrome_trace_json () =
   let events = Sink.events sink in
   Alcotest.(check bool) "have events" true (events <> []);
   let js =
-    Chrome_trace.to_string ~events ~samples:(Sink.samples sink)
+    Chrome_trace.to_string
+      ~ring:(Sink.events_pushed sink, Sink.events_dropped sink)
+      ~events ~samples:(Sink.samples sink) ()
   in
   Alcotest.(check bool) "chrome trace JSON parses" true (json_valid js);
   (* spans and counters actually made it in *)
@@ -318,9 +327,11 @@ let test_chrome_trace_json () =
   Alcotest.(check bool) "has counter samples" true (contains "\"ph\":\"C\"");
   Alcotest.(check bool) "has thread metadata" true
     (contains "\"thread_name\"");
+  Alcotest.(check bool) "has ring metadata" true
+    (contains "\"events_pushed\"");
   (* empty trace is still valid JSON *)
   Alcotest.(check bool) "empty trace parses" true
-    (json_valid (Chrome_trace.to_string ~events:[] ~samples:[]))
+    (json_valid (Chrome_trace.to_string ~events:[] ~samples:[] ()))
 
 let test_metrics_to_json () =
   let m = run_scheme "+CR" in

@@ -67,7 +67,9 @@ let test_ed2_definition () =
 let test_estimate_ignores_zero_counters () =
   let m =
     { Metrics.name = "empty"; scheme_name = "none"; committed = 0; ticks = 0;
-      copies = 0; steered_narrow = 0; split_uops = 0; wpred_correct = 0;
+      copies = 0; steered_narrow = 0; split_uops = 0; steered_888 = 0;
+      steered_br = 0; steered_cr = 0; steered_ir = 0; steered_other = 0;
+      wide_default = 0; wide_demoted = 0; wpred_correct = 0;
       wpred_fatal = 0; wpred_nonfatal = 0; prefetch_copies = 0;
       prefetch_useful = 0; nready_w2n = 0; nready_n2w = 0; issued_total = 0;
       counters = Counter.create () }
