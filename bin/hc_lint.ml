@@ -1,0 +1,149 @@
+(* Trace and configuration verifier:
+
+     hc_lint trace saved.trace [--benchmark gcc] [--bits 8]
+     hc_lint seeds [--length 10000]
+     hc_lint config
+
+   Every finding carries a stable code (E1xx trace structure, E110
+   static-analysis soundness, W201 mix drift, x2xx configuration), a
+   severity and a file:uop-id location; see lib/analysis/lint.mli for the
+   full catalogue. Exit status is 1 exactly when any Error-severity
+   finding exists, so CI can gate on the lint the way it gates on the
+   baseline diff. *)
+
+module Profile = Hc_trace.Profile
+module Generator = Hc_trace.Generator
+module Trace_io = Hc_trace.Trace_io
+module Config = Hc_sim.Config
+module Lint = Hc_analysis.Lint
+
+open Cmdliner
+
+let die fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 3) fmt
+
+let print_diags diags = List.iter (fun d -> print_endline (Lint.to_string d)) diags
+
+let summarize label diags =
+  Printf.printf "%s: %d error%s, %d warning%s\n" label
+    (Lint.count Lint.Error diags)
+    (if Lint.count Lint.Error diags = 1 then "" else "s")
+    (Lint.count Lint.Warning diags)
+    (if Lint.count Lint.Warning diags = 1 then "" else "s")
+
+let finish all =
+  if List.exists Lint.has_errors all then exit 1
+  else print_endline "lint clean"
+
+let bits_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "bits" ] ~docv:"N"
+        ~doc:
+          "Narrowness threshold for the static-analysis soundness gate \
+           (default 8, the paper's helper datapath width).")
+
+(* ---- trace: lint saved trace files ---- *)
+
+let trace_cmd =
+  let run files benchmark bits =
+    if files = [] then die "hc_lint trace: give at least one trace file";
+    let expected_profile =
+      Option.map
+        (fun name ->
+          try Profile.find_spec_int name
+          with Not_found -> die "hc_lint trace: unknown benchmark %S" name)
+        benchmark
+    in
+    let all =
+      List.map
+        (fun path ->
+          let tr =
+            try Trace_io.load path
+            with
+            | Failure msg -> die "hc_lint trace: %s" msg
+            | Sys_error msg -> die "hc_lint trace: %s" msg
+          in
+          let diags =
+            Lint.check_trace ~file:(Filename.basename path) ?expected_profile
+              ~bits tr
+          in
+          print_diags diags;
+          summarize path diags;
+          diags)
+        files
+    in
+    finish all
+  in
+  let files = Arg.(value & pos_all string [] & info [] ~docv:"TRACE") in
+  let benchmark =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "benchmark" ] ~docv:"NAME"
+          ~doc:
+            "SPEC profile the traces were generated from; adds the \
+             realized-mix drift check (W201).")
+  in
+  let doc = "verify saved trace files (structure, semantics, soundness)" in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(const run $ files $ benchmark $ bits_arg)
+
+(* ---- seeds: lint every generated seed workload ---- *)
+
+let seeds_cmd =
+  let run length bits =
+    let all =
+      List.map
+        (fun (p : Profile.t) ->
+          let tr = Generator.generate_sliced ~length p in
+          let diags =
+            Lint.check_trace ~file:p.Profile.name ~expected_profile:p ~bits tr
+          in
+          print_diags diags;
+          summarize p.Profile.name diags;
+          diags)
+        Profile.spec_int
+    in
+    finish all
+  in
+  let length =
+    Arg.(
+      value & opt int 30_000
+      & info [ "length" ] ~docv:"UOPS" ~doc:"Trace length per benchmark.")
+  in
+  let doc =
+    "generate and verify all 12 SPEC seed workloads (incl. mix drift and \
+     the static-analysis soundness gate)"
+  in
+  Cmd.v (Cmd.info "seeds" ~doc) Term.(const run $ length $ bits_arg)
+
+(* ---- config: lint the built-in machine configurations ---- *)
+
+let config_cmd =
+  let run () =
+    let named =
+      [ ("default", Config.default); ("baseline", Config.baseline);
+        ("ics05", Config.ics05) ]
+      @ List.map
+          (fun (name, scheme) ->
+            ("scheme:" ^ name, Config.with_scheme Config.default scheme))
+          (("monolithic", Config.monolithic) :: Config.scheme_stack)
+    in
+    let all =
+      List.map
+        (fun (name, cfg) ->
+          let diags = Lint.check_config ~file:name cfg in
+          print_diags diags;
+          summarize name diags;
+          diags)
+        named
+    in
+    finish all
+  in
+  let doc = "validate the built-in configurations and scheme stack" in
+  Cmd.v (Cmd.info "config" ~doc) Term.(const run $ const ())
+
+let () =
+  let doc = "verify helper-cluster traces and configurations" in
+  let info = Cmd.info "hc_lint" ~doc in
+  exit (Cmd.eval (Cmd.group info [ trace_cmd; seeds_cmd; config_cmd ]))

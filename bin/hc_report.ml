@@ -117,6 +117,17 @@ let attrib_cmd =
     let runs = load_runs files in
     print_string (Render.attrib_table runs);
     print_newline ();
+    (* advisory: predictor steering past the provable bound is where the
+       width-violation recoveries live — not an invariant failure *)
+    List.iter
+      (fun (path, j) ->
+        if Render.over_static_bound j then
+          Printf.printf
+            "WARNING: %s: predicted 8-8-8 steering exceeds the static \
+             provable bound — the excess is speculative and exposed to \
+             width-violation recoveries\n"
+            path)
+      runs;
     let bad =
       List.filter (fun (_, j) -> not (Render.attrib_consistent j)) runs
     in

@@ -1,0 +1,197 @@
+(* Known-bits abstract domain over 32-bit values.
+
+   An abstract value is a pair of masks: [zeros] are the bit positions
+   proven 0, [ones] the positions proven 1; unlisted positions are
+   unknown. The concretization is every 32-bit value agreeing with both
+   masks, so [top] (both masks empty) is "any value" and a value with all
+   32 positions known is a singleton.
+
+   Every transfer function below is sound with respect to the concrete
+   evaluator [Hc_isa.Semantics.eval]: if the inputs contain the concrete
+   operands, the output contains the concrete result. That containment is
+   the induction step behind the static pass's provable-width claims, and
+   it is differentially fuzzed against [Semantics.eval] in test_fuzz.ml. *)
+
+type t = {
+  zeros : int;  (* mask of bits proven 0 *)
+  ones : int;  (* mask of bits proven 1; disjoint from [zeros] *)
+}
+
+let mask32 = 0xFFFF_FFFF
+
+let top = { zeros = 0; ones = 0 }
+
+let const v =
+  let v = v land mask32 in
+  { zeros = lnot v land mask32; ones = v }
+
+let known a = a.zeros lor a.ones
+
+let to_const a = if known a = mask32 then Some a.ones else None
+
+let contains a v =
+  let v = v land mask32 in
+  v land a.zeros = 0 && v land a.ones = a.ones
+
+let join a b = { zeros = a.zeros land b.zeros; ones = a.ones land b.ones }
+
+let equal (a : t) b = a = b
+
+(* Mirrors Detector.narrow: a value is narrow under [bits] when every bit
+   at position >= bits is 0 (small non-negative) or every one is 1
+   (small negative, two's complement). Provable narrowness needs one of
+   the two sign patterns to be fully known. *)
+let is_narrow ~bits a =
+  if bits >= 32 then true
+  else
+    let hi = mask32 land lnot ((1 lsl bits) - 1) in
+    a.zeros land hi = hi || a.ones land hi = hi
+
+(* ----- bitwise transfers ----- *)
+
+let logand a b = { ones = a.ones land b.ones; zeros = a.zeros lor b.zeros }
+
+let logor a b = { ones = a.ones lor b.ones; zeros = a.zeros land b.zeros }
+
+let logxor a b =
+  { ones = (a.ones land b.zeros) lor (a.zeros land b.ones);
+    zeros = (a.zeros land b.zeros) lor (a.ones land b.ones) }
+
+let lognot a = { zeros = a.ones; ones = a.zeros }
+
+(* ----- arithmetic transfers ----- *)
+
+type trit = K0 | K1 | Unk
+
+let bit_at m i =
+  if (m.ones lsr i) land 1 = 1 then K1
+  else if (m.zeros lsr i) land 1 = 1 then K0
+  else Unk
+
+let trit_options = function K0 -> [ 0 ] | K1 -> [ 1 ] | Unk -> [ 0; 1 ]
+
+(* Ripple-carry addition with an abstract carry: at each bit, enumerate
+   the concrete possibilities of the two operand bits and the incoming
+   carry (at most eight) and keep a sum bit or outgoing carry only when
+   all possibilities agree. Exact for fully known inputs. *)
+let adc a b carry_in =
+  let zeros = ref 0 and ones = ref 0 in
+  let carry = ref carry_in in
+  for i = 0 to 31 do
+    let sum0 = ref false and sum1 = ref false in
+    let car0 = ref false and car1 = ref false in
+    List.iter
+      (fun x ->
+        List.iter
+          (fun y ->
+            List.iter
+              (fun c ->
+                let s = x + y + c in
+                if s land 1 = 0 then sum0 := true else sum1 := true;
+                if s >= 2 then car1 := true else car0 := true)
+              (trit_options !carry))
+          (trit_options (bit_at b i)))
+      (trit_options (bit_at a i));
+    if not !sum0 then ones := !ones lor (1 lsl i)
+    else if not !sum1 then zeros := !zeros lor (1 lsl i);
+    carry :=
+      (match (!car0, !car1) with
+      | true, false -> K0
+      | false, true -> K1
+      | _ -> Unk)
+  done;
+  { zeros = !zeros; ones = !ones }
+
+let add a b = adc a b K0
+
+(* a - b = a + ~b + 1 in two's complement *)
+let sub a b = adc a (lognot b) K1
+
+(* The concrete semantics shift by [amount land 31], so the amount only
+   needs its low five bits known. *)
+let shift_amount b = if known b land 31 = 31 then Some (b.ones land 31) else None
+
+let shl a b =
+  match shift_amount b with
+  | None -> top
+  | Some k ->
+    { ones = (a.ones lsl k) land mask32;
+      zeros = ((a.zeros lsl k) land mask32) lor ((1 lsl k) - 1) }
+
+let shr a b =
+  match shift_amount b with
+  | None -> top
+  | Some k ->
+    let hi = if k = 0 then 0 else mask32 land lnot (mask32 lsr k) in
+    { ones = a.ones lsr k; zeros = (a.zeros lsr k) lor hi }
+
+(* Contiguous known-zero run from bit 31 down: bounds the magnitude. *)
+let leading_known_zeros a =
+  let rec go i n =
+    if i < 0 || (a.zeros lsr i) land 1 = 0 then n else go (i - 1) (n + 1)
+  in
+  go 31 0
+
+let trailing_known_zeros a =
+  let rec go i n =
+    if i > 31 || (a.zeros lsr i) land 1 = 0 then n else go (i + 1) (n + 1)
+  in
+  go 0 0
+
+(* Magnitude bound: a < 2^wa and b < 2^wb give a*b < 2^(wa+wb), so the
+   bits above wa+wb are known 0 when that fits in 32; the product also
+   keeps the factors' combined trailing zeros (wraparound only discards
+   high bits). The concrete multiply wraps identically through mask32. *)
+let mul a b =
+  match (to_const a, to_const b) with
+  | Some x, Some y -> const (x * y)
+  | _ ->
+    let width m = 32 - leading_known_zeros m in
+    let tz = min 32 (trailing_known_zeros a + trailing_known_zeros b) in
+    let low = if tz >= 32 then mask32 else (1 lsl tz) - 1 in
+    let wsum = width a + width b in
+    let high = if wsum >= 32 then 0 else mask32 land lnot ((1 lsl wsum) - 1) in
+    { ones = 0; zeros = (low lor high) land mask32 }
+
+(* Unsigned quotient never exceeds the dividend (and division by zero is
+   defined as 0), so the dividend's known leading zeros survive. *)
+let div a b =
+  match (to_const a, to_const b) with
+  | Some x, Some y -> const (if y = 0 then 0 else x / y)
+  | _ ->
+    let lz = leading_known_zeros a in
+    { ones = 0; zeros = (if lz = 0 then 0 else mask32 land lnot (mask32 lsr lz)) }
+
+(* ----- per-opcode dispatch, mirroring Semantics.eval ----- *)
+
+(* Same operand discipline as the concrete evaluator: binary transfers
+   read only the first two abstract operands (a third operand is implicit
+   IA-32 machine state the arithmetic ignores), unary only the first, and
+   opcodes whose result the evaluator cannot compute (memory data, control
+   flow, floating point) produce no abstract result either. *)
+let transfer op (vals : t list) : t option =
+  let v i = List.nth vals i in
+  let binary f = match vals with _ :: _ :: _ -> Some (f (v 0) (v 1)) | _ -> None in
+  let unary f = match vals with _ :: _ -> Some (f (v 0)) | [] -> None in
+  match (op : Hc_isa.Opcode.t) with
+  | Add | Lea -> binary add
+  | Sub | Cmp -> binary sub
+  | And -> binary logand
+  | Or -> binary logor
+  | Xor -> binary logxor
+  | Shl -> binary shl
+  | Shr -> binary shr
+  | Mov | Copy -> unary (fun a -> a)
+  | Mul -> binary mul
+  | Div -> binary div
+  | Load | Store | Branch_cond | Branch_uncond | Fp_add | Fp_mul | Fp_div | Nop ->
+    None
+
+let pp ppf a =
+  (* render as a 32-character bit pattern: 0 / 1 / ? per position *)
+  let buf = Buffer.create 32 in
+  for i = 31 downto 0 do
+    Buffer.add_char buf
+      (match bit_at a i with K0 -> '0' | K1 -> '1' | Unk -> '?')
+  done;
+  Format.pp_print_string ppf (Buffer.contents buf)

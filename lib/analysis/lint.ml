@@ -1,0 +1,235 @@
+module Opcode = Hc_isa.Opcode
+module Reg = Hc_isa.Reg
+module Uop = Hc_isa.Uop
+module Value = Hc_isa.Value
+module Semantics = Hc_isa.Semantics
+module Trace = Hc_trace.Trace
+module Profile = Hc_trace.Profile
+module Analysis = Hc_trace.Analysis
+module Config = Hc_sim.Config
+
+(* Diagnostics-driven verification of trace and configuration artifacts.
+
+   Every check has a stable code so scripts and CI can match on it:
+
+     E101  uop ids not dense (id must increase by exactly 1)
+     E102  immediate operand disagrees with its recorded source value
+     E103  def-use mismatch: a register read observes a value different
+           from the one its last in-window writer produced
+     E104  flag pairing: a conditional branch's sources are not exactly
+           the flags register, or the flags value read disagrees with the
+           last flags writer's result
+     E105  cache monotonicity: ul1_miss set without dl0_miss (a uop
+           cannot miss the UL1 on a DL0 hit)
+     E106  pure-ALU result inconsistent with Semantics.eval over the
+           recorded source values
+     E107  memory uop whose address is not base + offset of its first
+           two source values (or with fewer than two sources)
+     E110  static-analysis soundness violation: a provably-narrow uop
+           with wide ground truth (hard analysis bug)
+     W201  realized instruction mix drifts from the generating profile
+     E201  configuration fails Config.validate
+     W202  scheme enables steering rules with the helper cluster off
+
+   Reads of registers never written inside the window are accepted
+   silently: sliced traces legitimately begin mid-program, so live-in
+   values are unknowable, exactly as in the static pass. *)
+
+type severity = Error | Warning | Info
+
+type diagnostic = {
+  code : string;
+  severity : severity;
+  loc : string;  (** file:uop-<id> (or file:- for whole-artifact checks) *)
+  message : string;
+}
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let to_string d =
+  Printf.sprintf "%s[%s] %s: %s" (severity_to_string d.severity) d.code d.loc
+    d.message
+
+let pp ppf d = Format.pp_print_string ppf (to_string d)
+
+let has_errors ds = List.exists (fun d -> d.severity = Error) ds
+
+let count severity ds = List.length (List.filter (fun d -> d.severity = severity) ds)
+
+(* Per-code emission cap: a single systematic corruption (every load's
+   ul1 bit flipped, say) should not bury the report in thousands of
+   copies of one finding. The overflow is summarized per code. *)
+let report_cap = 5
+
+type emitter = {
+  file : string;
+  mutable diags : diagnostic list;  (* newest first *)
+  counts : (string, int) Hashtbl.t;
+}
+
+let emitter file = { file; diags = []; counts = Hashtbl.create 8 }
+
+let emit e ~code ~severity ~loc fmt =
+  Printf.ksprintf
+    (fun message ->
+      let n = (try Hashtbl.find e.counts code with Not_found -> 0) + 1 in
+      Hashtbl.replace e.counts code n;
+      if n <= report_cap then
+        e.diags <- { code; severity; loc; message } :: e.diags)
+    fmt
+
+let uop_loc e (u : Uop.t) = Printf.sprintf "%s:uop-%d" e.file u.Uop.id
+
+let finish e =
+  let overflow =
+    Hashtbl.fold
+      (fun code n acc ->
+        if n > report_cap then
+          { code;
+            severity = Info;
+            loc = e.file ^ ":-";
+            message =
+              Printf.sprintf "%d further %s findings suppressed (showing %d)"
+                (n - report_cap) code report_cap }
+          :: acc
+        else acc)
+      e.counts []
+  in
+  List.rev e.diags @ List.sort compare overflow
+
+(* ----- trace checks ----- *)
+
+let check_sources e (u : Uop.t) (vals : Value.t option array) =
+  List.iter2
+    (fun src v ->
+      match src with
+      | Uop.Imm imm ->
+        if imm <> v then
+          emit e ~code:"E102" ~severity:Error ~loc:(uop_loc e u)
+            "immediate operand %s but recorded source value %s"
+            (Value.to_hex imm) (Value.to_hex v)
+      | Uop.Reg r -> (
+        match vals.(Reg.to_index r) with
+        | Some w when w <> v ->
+          let code, what =
+            if r = Reg.Eflags then ("E104", "flags")
+            else ("E103", Reg.to_string r)
+          in
+          emit e ~code ~severity:Error ~loc:(uop_loc e u)
+            "%s read %s but its last writer produced %s" what (Value.to_hex v)
+            (Value.to_hex w)
+        | Some _ | None -> () ))
+    u.Uop.srcs u.Uop.src_vals
+
+let check_uop e (u : Uop.t) (vals : Value.t option array) =
+  (* structural flag pairing: a conditional branch consumes exactly the
+     flags register, nothing else *)
+  if u.Uop.op = Opcode.Branch_cond && u.Uop.srcs <> [ Uop.Reg Reg.Eflags ] then
+    emit e ~code:"E104" ~severity:Error ~loc:(uop_loc e u)
+      "conditional branch must read exactly the flags register";
+  check_sources e u vals;
+  if u.Uop.ul1_miss && not u.Uop.dl0_miss then
+    emit e ~code:"E105" ~severity:Error ~loc:(uop_loc e u)
+      "ul1_miss set without dl0_miss (miss monotonicity violated)";
+  ( match Semantics.eval u.Uop.op u.Uop.src_vals with
+  | Some r when r <> u.Uop.result ->
+    emit e ~code:"E106" ~severity:Error ~loc:(uop_loc e u)
+      "%s result %s but evaluating the sources gives %s"
+      (Opcode.to_string u.Uop.op) (Value.to_hex u.Uop.result) (Value.to_hex r)
+  | Some _ | None -> () );
+  if Opcode.is_memory u.Uop.op then begin
+    match u.Uop.src_vals with
+    | base :: offset :: _ ->
+      let agu = Value.add base offset in
+      if u.Uop.mem_addr <> agu then
+        emit e ~code:"E107" ~severity:Error ~loc:(uop_loc e u)
+          "memory address %s but base + offset is %s"
+          (Value.to_hex u.Uop.mem_addr) (Value.to_hex agu)
+    | [] | [ _ ] ->
+      emit e ~code:"E107" ~severity:Error ~loc:(uop_loc e u)
+        "memory uop with fewer than two sources (base + offset expected)"
+  end;
+  (* same writeback the generator and the static pass use *)
+  ( match u.Uop.dst with
+  | Some d -> vals.(Reg.to_index d) <- Some u.Uop.result
+  | None -> () );
+  if Uop.writes_flags u then vals.(Reg.to_index Reg.Eflags) <- Some u.Uop.result
+
+(* Expected realized mix, accounting for the cmp a conditional branch
+   site emits alongside the branch itself: every class fraction is scaled
+   by 1/(1 + f_cond) and the extra cmps land in the alu class. *)
+let drift_tolerance = 0.08
+
+let check_mix e (p : Profile.t) tr =
+  let scale = 1. +. p.Profile.f_cond_branch in
+  let alu_rest =
+    1.
+    -. (p.Profile.f_load +. p.Profile.f_store +. p.Profile.f_cond_branch
+       +. p.Profile.f_uncond_branch +. p.Profile.f_mul +. p.Profile.f_div
+       +. p.Profile.f_fp)
+  in
+  let expected =
+    [ ("load", p.Profile.f_load /. scale);
+      ("store", p.Profile.f_store /. scale);
+      ("branch", (p.Profile.f_cond_branch +. p.Profile.f_uncond_branch) /. scale);
+      ("mul_div", (p.Profile.f_mul +. p.Profile.f_div) /. scale);
+      ("fp", p.Profile.f_fp /. scale);
+      ("alu", (alu_rest +. p.Profile.f_cond_branch) /. scale) ]
+  in
+  let realized = Analysis.mix_digest tr in
+  List.iter
+    (fun (cls, want) ->
+      match List.assoc_opt cls realized with
+      | Some got when Float.abs (got -. want) > drift_tolerance ->
+        emit e ~code:"W201" ~severity:Warning ~loc:(e.file ^ ":-")
+          "%s mix %.3f drifts from profile %S expectation %.3f (tolerance %.2f)"
+          cls got p.Profile.name want drift_tolerance
+      | Some _ | None -> ())
+    expected
+
+let check_trace ?(file = "<trace>") ?expected_profile ?(bits = 8) tr =
+  let e = emitter file in
+  let vals = Array.make Reg.count None in
+  let prev_id = ref None in
+  Trace.iter
+    (fun u ->
+      ( match !prev_id with
+      | Some p when u.Uop.id <> p + 1 ->
+        emit e ~code:"E101" ~severity:Error ~loc:(uop_loc e u)
+          "uop id %d follows %d (ids must be dense)" u.Uop.id p
+      | Some _ | None -> () );
+      prev_id := Some u.Uop.id;
+      check_uop e u vals)
+    tr;
+  let st = Static.analyze ~bits tr in
+  List.iter
+    (fun (v : Static.violation) ->
+      emit e ~code:"E110" ~severity:Error ~loc:(uop_loc e v.Static.uop)
+        "provably-narrow uop has wide ground truth (analysis soundness bug)")
+    (Static.soundness_violations st tr);
+  ( match expected_profile with
+  | Some p -> check_mix e p tr
+  | None -> () );
+  finish e
+
+(* ----- configuration checks ----- *)
+
+let scheme_inert (s : Config.scheme) =
+  (not s.Config.helper)
+  && (s.Config.s888 || s.Config.br || s.Config.lr || s.Config.cr
+     || s.Config.cp || s.Config.ir <> Config.Ir_off)
+
+let check_config ?(file = "<config>") (cfg : Config.t) =
+  let e = emitter file in
+  ( match Config.validate cfg with
+  | Ok () -> ()
+  | Error msg ->
+    emit e ~code:"E201" ~severity:Error ~loc:(file ^ ":-") "%s" msg );
+  if scheme_inert cfg.Config.scheme then
+    emit e ~code:"W202" ~severity:Warning ~loc:(file ^ ":-")
+      "scheme enables steering rules but the helper cluster is off (every \
+       uop will steer wide)";
+  finish e

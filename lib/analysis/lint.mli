@@ -1,0 +1,58 @@
+(** Trace and configuration verifier behind [bin/hc_lint].
+
+    Each finding carries a stable code, a severity and a [file:uop-id]
+    location. Codes:
+
+    - [E101] uop ids not dense
+    - [E102] immediate operand disagrees with its recorded source value
+    - [E103] def-use mismatch (register read differs from its last
+      in-window writer's result)
+    - [E104] flag producer/consumer pairing broken (structure or value)
+    - [E105] [ul1_miss] without [dl0_miss]
+    - [E106] pure-ALU result inconsistent with [Semantics.eval]
+    - [E107] memory address is not base + offset
+    - [E110] static-analysis soundness violation (provably-narrow uop
+      with wide ground truth)
+    - [W201] realized instruction mix drifts from the generating profile
+    - [E201] configuration fails [Config.validate]
+    - [W202] steering scheme is inert (rules on, helper cluster off)
+
+    Reads of registers with no in-window writer are accepted: sliced
+    traces begin mid-program. Findings of one code are capped at a few
+    reports plus an [Info] overflow summary. *)
+
+type severity = Error | Warning | Info
+
+type diagnostic = {
+  code : string;
+  severity : severity;
+  loc : string;
+  message : string;
+}
+
+val severity_to_string : severity -> string
+
+val to_string : diagnostic -> string
+(** ["error[E105] gcc.trace:uop-42: ..."] *)
+
+val pp : Format.formatter -> diagnostic -> unit
+
+val has_errors : diagnostic list -> bool
+(** [true] when any finding has [Error] severity — the lint gate's exit
+    criterion. *)
+
+val count : severity -> diagnostic list -> int
+
+val check_trace :
+  ?file:string ->
+  ?expected_profile:Hc_trace.Profile.t ->
+  ?bits:int ->
+  Hc_trace.Trace.t ->
+  diagnostic list
+(** All trace checks, in trace order. [expected_profile] additionally
+    compares the realized instruction mix against the profile that
+    allegedly generated the trace (W201); leave it out for traces of
+    unknown provenance. [bits] is the narrowness threshold for the E110
+    soundness gate (default 8). *)
+
+val check_config : ?file:string -> Hc_sim.Config.t -> diagnostic list

@@ -1,0 +1,112 @@
+module Opcode = Hc_isa.Opcode
+module Reg = Hc_isa.Reg
+module Uop = Hc_isa.Uop
+module Trace = Hc_trace.Trace
+
+(* Forward abstract interpretation over a trace's def-use chains.
+
+   The register file starts at [Absval.top] (sliced traces begin
+   mid-program, so nothing is known about live-in values) and each uop is
+   interpreted in order: source operands read the abstract register state
+   (immediates are singletons), the result comes from the per-opcode
+   transfer function, and writeback mirrors the generator exactly —
+   destination register first, then the flags for flag-writing opcodes,
+   both receiving the architected result. Ground-truth fields
+   ([Uop.result], [Uop.src_vals]) are never consulted, so the verdicts
+   are what a compile-time pass could prove from the instruction stream
+   alone.
+
+   Soundness invariant: the abstract register state always contains the
+   concrete register state, hence a uop classified provably narrow has
+   narrow ground truth. [soundness_violations] checks exactly that (and
+   only there is ground truth read); any hit is a hard analysis bug. *)
+
+type t = {
+  bits : int;
+  first_id : int;
+  provable : bool array;  (* by trace position: provably 8-8-8 *)
+  steerable : bool array;  (* provable and reachable by the oracle scheme *)
+  provable_count : int;
+  steerable_count : int;
+}
+
+(* The set the static_888 oracle may steer: exactly the uops the dynamic
+   8_8_8 rule can reach in Policy.decide — helper-capable opcodes minus
+   branches (they go through the BR path) and stores (the MOB keeps them
+   wide). *)
+let oracle_eligible (u : Uop.t) =
+  (match Opcode.exec_class u.Uop.op with
+  | Opcode.Int_alu | Opcode.Mem | Opcode.Ctrl -> true
+  | Opcode.Int_mul | Opcode.Fp -> false)
+  && (not (Opcode.is_branch u.Uop.op))
+  && u.Uop.op <> Opcode.Store
+
+let analyze ?(bits = 8) (tr : Trace.t) =
+  let n = Trace.length tr in
+  let regs = Array.make Reg.count Absval.top in
+  let provable = Array.make n false in
+  let steerable = Array.make n false in
+  let provable_count = ref 0 and steerable_count = ref 0 in
+  for i = 0 to n - 1 do
+    let u = Trace.get tr i in
+    let abs_srcs =
+      List.map
+        (function
+          | Uop.Imm v -> Absval.const v
+          | Uop.Reg r -> regs.(Reg.to_index r))
+        u.Uop.srcs
+    in
+    let result =
+      match Absval.transfer u.Uop.op abs_srcs with
+      | Some a -> a
+      | None -> Absval.top
+    in
+    (* the 8-8-8 shape of Uop.is_888_bits, proven instead of observed:
+       every source narrow, and a narrow result whenever the uop produces
+       anything observable *)
+    let p =
+      List.for_all (Absval.is_narrow ~bits) abs_srcs
+      && ((not (Uop.has_dest u) && not (Uop.writes_flags u))
+         || Absval.is_narrow ~bits result)
+    in
+    provable.(i) <- p;
+    if p then incr provable_count;
+    if p && oracle_eligible u then begin
+      steerable.(i) <- true;
+      incr steerable_count
+    end;
+    ( match u.Uop.dst with
+    | Some d -> regs.(Reg.to_index d) <- result
+    | None -> () );
+    if Uop.writes_flags u then regs.(Reg.to_index Reg.Eflags) <- result
+  done;
+  { bits;
+    first_id = (if n = 0 then 0 else (Trace.get tr 0).Uop.id);
+    provable; steerable;
+    provable_count = !provable_count;
+    steerable_count = !steerable_count }
+
+let index_of t (u : Uop.t) =
+  let i = u.Uop.id - t.first_id in
+  if i >= 0 && i < Array.length t.provable then Some i else None
+
+let provably_narrow t u =
+  match index_of t u with Some i -> t.provable.(i) | None -> false
+
+let steerable_uop t u =
+  match index_of t u with Some i -> t.steerable.(i) | None -> false
+
+type violation = {
+  index : int;
+  uop : Uop.t;
+}
+
+(* The in-tree soundness gate: the only place ground truth is read. *)
+let soundness_violations t (tr : Trace.t) =
+  let acc = ref [] in
+  for i = Trace.length tr - 1 downto 0 do
+    let u = Trace.get tr i in
+    if t.provable.(i) && not (Uop.is_888_bits ~bits:t.bits u) then
+      acc := { index = i; uop = u } :: !acc
+  done;
+  !acc

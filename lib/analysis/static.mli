@@ -1,0 +1,53 @@
+(** Static width inference over a trace's def-use chains.
+
+    A forward abstract-interpretation pass in the {!Absval} known-bits
+    domain. It mirrors the trace generator's architected state exactly
+    (writeback order: destination register, then flags) but never reads
+    ground-truth values — the verdicts are what a compile-time pass could
+    prove from opcodes, operands and immediates alone.
+
+    The provable-narrow set is a sound lower bound on the dynamic 8_8_8
+    predictor's opportunity (§3.2): steering only this set can never
+    trigger a width-violation recovery. The [static_888] oracle scheme in
+    [Hc_core.Runs] is built on exactly this guarantee. *)
+
+type t = {
+  bits : int;  (** narrowness threshold the pass proved against *)
+  first_id : int;  (** id of the first uop (sliced traces start offset) *)
+  provable : bool array;
+      (** by trace position: provably satisfies the 8-8-8 shape of
+          [Uop.is_888_bits] (all sources narrow; narrow result when one
+          is observable) *)
+  steerable : bool array;
+      (** [provable] restricted to {!oracle_eligible} uops *)
+  provable_count : int;
+  steerable_count : int;
+      (** the oracle steering bound: helper-cluster commits a provably
+          sound policy can reach on this trace *)
+}
+
+val oracle_eligible : Hc_isa.Uop.t -> bool
+(** The uops the 8_8_8 steering rule can reach at all: helper-capable
+    opcodes (no mul/div/fp) minus branches (BR path) and stores (the MOB
+    keeps them wide). *)
+
+val analyze : ?bits:int -> Hc_trace.Trace.t -> t
+(** Run the pass ([bits] defaults to 8, the paper's helper width). Cost
+    is one linear scan with constant per-uop work. *)
+
+val provably_narrow : t -> Hc_isa.Uop.t -> bool
+(** Verdict lookup by uop id; [false] for uops outside the analyzed
+    trace. *)
+
+val steerable_uop : t -> Hc_isa.Uop.t -> bool
+
+type violation = {
+  index : int;  (** trace position *)
+  uop : Hc_isa.Uop.t;
+}
+
+val soundness_violations : t -> Hc_trace.Trace.t -> violation list
+(** Every uop classified provably narrow whose ground-truth values fail
+    [Uop.is_888_bits] — the one place ground truth is consulted. Any
+    entry is a hard analysis bug; the linter (E110), the test suite and
+    the smoke gate all require this list to be empty. *)

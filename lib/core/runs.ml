@@ -9,6 +9,7 @@ type t = {
   len : int;
   telemetry : Telemetry.config option;
   traces : (string, Trace.t) Hashtbl.t;
+  statics : (string, Hc_analysis.Static.t) Hashtbl.t;
   runs : (string * string, Metrics.t) Hashtbl.t;
 }
 
@@ -16,7 +17,13 @@ let create ?(length = 30_000) ?telemetry () =
   ( match telemetry with
   | Some { Telemetry.dir; _ } -> Telemetry.mkdir_p dir
   | None -> () );
-  { len = length; telemetry; traces = Hashtbl.create 32; runs = Hashtbl.create 64 }
+  {
+    len = length;
+    telemetry;
+    traces = Hashtbl.create 32;
+    statics = Hashtbl.create 32;
+    runs = Hashtbl.create 64;
+  }
 
 let length t = t.len
 
@@ -30,23 +37,55 @@ let trace t (p : Profile.t) =
     Hashtbl.add t.traces p.Profile.name tr;
     tr
 
-(* One simulation of one (scheme, trace) cell. With telemetry configured,
-   the run gets an interval-sampling sink and leaves its time series and
-   metrics JSON behind in the telemetry directory; observation never
-   changes the returned metrics (bit-identical, see test_obs.ml), so the
-   memo tables stay oblivious to whether a run was observed. Workers write
-   distinct per-cell files, so the parallel fan-out needs no locking. *)
-let simulate ?telemetry ~scheme tr =
-  let cfg = Config.with_scheme Config.default (Config.find_scheme scheme) in
-  match telemetry with
+(* Memoized static width analysis, keyed like the trace memo. Always
+   computed on the calling domain: the result is shared read-only with
+   parallel workers, never mutated after construction. *)
+let static_info t (tr : Trace.t) =
+  match Hashtbl.find_opt t.statics tr.Trace.name with
+  | Some s -> s
   | None ->
-    Pipeline.run ~cfg ~decide:Hc_steering.Policy.decide ~scheme_name:scheme tr
+    let s = Hc_analysis.Static.analyze tr in
+    Hashtbl.add t.statics tr.Trace.name s;
+    s
+
+(* The oracle pseudo-scheme: the 8_8_8 machine steered by the static
+   width-inference proof instead of the predictors. It is not in
+   [Config.scheme_stack] because it is not a hardware policy — it is the
+   zero-recovery steering bound the tables compare the predictors to. *)
+let oracle_scheme = "static_888"
+
+let resolve_policy ~(static : Hc_analysis.Static.t) ~scheme =
+  if String.equal scheme oracle_scheme then
+    ( Config.with_scheme Config.default (Config.find_scheme "8_8_8"),
+      Hc_steering.Policy.static_oracle
+        ~provably_narrow:(Hc_analysis.Static.provably_narrow static) )
+  else
+    ( Config.with_scheme Config.default (Config.find_scheme scheme),
+      Hc_steering.Policy.decide )
+
+(* One simulation of one (scheme, trace) cell. Every run — oracle or not —
+   carries the trace's static steering bound in its metrics, so exported
+   JSON and the attribution tables can show predictor results next to the
+   provable headroom. With telemetry configured, the run gets an
+   interval-sampling sink and leaves its time series and metrics JSON
+   behind in the telemetry directory; observation never changes the
+   returned metrics (bit-identical, see test_obs.ml), so the memo tables
+   stay oblivious to whether a run was observed. Workers write distinct
+   per-cell files, so the parallel fan-out needs no locking. *)
+let simulate ?telemetry ~(static : Hc_analysis.Static.t) ~scheme tr =
+  let cfg, decide = resolve_policy ~static ~scheme in
+  let attach m =
+    {
+      m with
+      Metrics.static_narrow_bound =
+        Some static.Hc_analysis.Static.steerable_count;
+    }
+  in
+  match telemetry with
+  | None -> attach (Pipeline.run ~cfg ~decide ~scheme_name:scheme tr)
   | Some { Telemetry.dir; interval } ->
     let sink = Hc_obs.Sink.create ~interval ~tracing:false () in
-    let m =
-      Pipeline.run ~sink ~cfg ~decide:Hc_steering.Policy.decide
-        ~scheme_name:scheme tr
-    in
+    let m = attach (Pipeline.run ~sink ~cfg ~decide ~scheme_name:scheme tr) in
     let base =
       Filename.concat dir
         (Telemetry.run_basename ~scheme ~name:tr.Trace.name)
@@ -62,7 +101,9 @@ let metrics t ~scheme (p : Profile.t) =
   match Hashtbl.find_opt t.runs key with
   | Some m -> m
   | None ->
-    let m = simulate ?telemetry:t.telemetry ~scheme (trace t p) in
+    let tr = trace t p in
+    let static = static_info t tr in
+    let m = simulate ?telemetry:t.telemetry ~static ~scheme tr in
     Hashtbl.add t.runs key m;
     m
 
@@ -116,26 +157,30 @@ let ensure t pairs =
            not (Hashtbl.mem t.runs (scheme, p.Profile.name)))
          pairs)
   in
-  (* resolve scheme names before fanning out: an unknown scheme raises
-     Not_found on the calling domain, exactly as the sequential path does *)
+  (* resolve scheme names and run the static analysis before fanning out:
+     an unknown scheme raises Not_found on the calling domain, exactly as
+     the sequential path does, and workers only ever read the shared
+     analysis results *)
   let jobs_list =
     List.map
       (fun (scheme, (p : Profile.t)) ->
-        ignore (Config.find_scheme scheme);
-        (scheme, p.Profile.name, trace t p))
+        if not (String.equal scheme oracle_scheme) then
+          ignore (Config.find_scheme scheme);
+        let tr = trace t p in
+        (scheme, p.Profile.name, tr, static_info t tr))
       missing
   in
   match jobs_list with
   | [] -> ()
-  | [ (scheme, name, tr) ] ->
+  | [ (scheme, name, tr, static) ] ->
     Hashtbl.replace t.runs (scheme, name)
-      (simulate ?telemetry:t.telemetry ~scheme tr)
+      (simulate ?telemetry:t.telemetry ~static ~scheme tr)
   | jobs_list ->
     let pool = Domain_pool.get () in
     let results =
       Domain_pool.map pool
-        (fun (scheme, name, tr) ->
-          ((scheme, name), simulate ?telemetry:t.telemetry ~scheme tr))
+        (fun (scheme, name, tr, static) ->
+          ((scheme, name), simulate ?telemetry:t.telemetry ~static ~scheme tr))
         (Array.of_list jobs_list)
     in
     (* keyed, order-independent merge: each worker simulated its own

@@ -25,6 +25,11 @@ val length : t -> int
 val trace : t -> Hc_trace.Profile.t -> Hc_trace.Trace.t
 (** Memoized sliced trace for a profile (keyed by profile name). *)
 
+val static_info : t -> Hc_trace.Trace.t -> Hc_analysis.Static.t
+(** Memoized static width analysis of a trace (keyed by trace name,
+    default 8-bit narrow cut). Computed once on the calling domain; the
+    result is shared read-only with parallel simulation workers. *)
+
 val ensure_traces : t -> Hc_trace.Profile.t list -> unit
 (** Generate every not-yet-memoized trace in the list, fanning the
     generation out across the shared {!Domain_pool}. Each profile's trace
@@ -48,6 +53,12 @@ val ensure_spec : t -> string list -> unit
 val metrics : t -> scheme:string -> Hc_trace.Profile.t -> Hc_sim.Metrics.t
 (** Memoized simulation of a profile under a named scheme (names from
     {!Hc_steering.Policy.stack}: ["baseline"], ["8_8_8"], ["+BR"], …).
+    The pseudo-scheme ["static_888"] is also accepted (here and in
+    {!ensure}): the 8_8_8 machine steered by
+    {!Hc_steering.Policy.static_oracle} over the trace's static
+    width-inference proof — the zero-recovery steering bound. Every
+    returned metrics record carries
+    [static_narrow_bound = Some (static_info _ tr).steerable_count].
     @raise Not_found for an unknown scheme name. *)
 
 val speedup_pct : t -> scheme:string -> Hc_trace.Profile.t -> float

@@ -74,6 +74,9 @@ let attrib_table runs =
   Table.add_row t
     ("narrow total"
     :: List.map (fun (_, j) -> attrib_cell j "steered_narrow") runs);
+  Table.add_row t
+    ("provable (static)"
+    :: List.map (fun (_, j) -> attrib_cell j "static_narrow_bound") runs);
   Table.add_separator t;
   List.iter
     (fun (label, key) ->
@@ -81,6 +84,11 @@ let attrib_table runs =
         (label :: List.map (fun (_, j) -> attrib_cell j key) runs))
     wide_rows;
   Table.render t
+
+let over_static_bound j =
+  match (field j "steered_888", field j "static_narrow_bound") with
+  | Some predicted, Some bound -> predicted > bound
+  | _ -> false
 
 let attrib_consistent j =
   match

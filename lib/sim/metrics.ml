@@ -21,6 +21,7 @@ type t = {
   nready_w2n : int;
   nready_n2w : int;
   issued_total : int;
+  static_narrow_bound : int option;
   counters : Hc_stats.Counter.t;
 }
 
@@ -93,7 +94,7 @@ let to_json t =
   let b = Buffer.create 1024 in
   let p fmt = Printf.ksprintf (Buffer.add_string b) fmt in
   p "{";
-  p "\"schema\":2,";
+  p "\"schema\":3,";
   p "\"name\":\"%s\"," (json_escape t.name);
   p "\"scheme\":\"%s\"," (json_escape t.scheme_name);
   p "\"committed\":%d," t.committed;
@@ -118,6 +119,9 @@ let to_json t =
   p "\"nready_w2n\":%d," t.nready_w2n;
   p "\"nready_n2w\":%d," t.nready_n2w;
   p "\"issued_total\":%d," t.issued_total;
+  ( match t.static_narrow_bound with
+  | Some b -> p "\"static_narrow_bound\":%d," b
+  | None -> () );
   p "\"counters\":{";
   let names = Hc_stats.Counter.names t.counters in
   List.iteri

@@ -38,6 +38,12 @@ type t = {
   nready_w2n : int;  (** NREADY samples: ready in wide, idle slots in narrow *)
   nready_n2w : int;
   issued_total : int;  (** issue slots actually used, both clusters *)
+  static_narrow_bound : int option;
+      (** provably-narrow oracle steering bound of the trace this run
+          simulated ([Hc_analysis.Static.steerable_count]): the
+          helper-cluster commits a zero-recovery policy can reach. The
+          pipeline itself reports [None]; [Hc_core.Runs] attaches the
+          bound so exported metrics carry the headroom column. *)
   counters : Hc_stats.Counter.t;  (** raw activity counters for the power model *)
 }
 
@@ -92,6 +98,8 @@ val to_json : t -> string
     derived IPC/cycles, and the raw activity counters keyed by name.
     Shared by the CSV/JSON export layer and the telemetry writers so a
     run's numbers serialize identically everywhere. Carries
-    ["schema"]:2 (schema 2 added the steering-attribution columns). *)
+    ["schema"]:3 (schema 2 added the steering-attribution columns;
+    schema 3 the optional ["static_narrow_bound"] key, present only
+    when the bound is attached). *)
 
 val pp : Format.formatter -> t -> unit

@@ -13,7 +13,7 @@ module Sink = Hc_obs.Sink
 module Event = Hc_obs.Event
 module Sample = Hc_obs.Sample
 
-type decide = Steer.ctx -> Uop.t -> Steer.decision
+type decide = Steer.decide
 
 let never = max_int
 
@@ -1372,5 +1372,6 @@ let run ?(max_ticks = 200_000_000) ?sink ~cfg ~decide ~scheme_name trace =
     nready_w2n = st.nready_w2n;
     nready_n2w = st.nready_n2w;
     issued_total = st.issued_total;
+    static_narrow_bound = None;
     counters = st.counters;
   }

@@ -29,7 +29,7 @@
     to detect mispredictions at execute/writeback, as the hardware's
     detectors would. *)
 
-type decide = Steer.ctx -> Hc_isa.Uop.t -> Steer.decision
+type decide = Steer.decide
 (** A steering policy (see {!Hc_steering.Policy} for the paper's stack). *)
 
 val run :

@@ -22,6 +22,8 @@ type decision =
   | Steer_narrow of reason
   | Split
 
+type decide = ctx -> Hc_isa.Uop.t -> decision
+
 let reason_to_string = function
   | R888 -> "888"
   | Rbr -> "br"

@@ -49,6 +49,12 @@ type decision =
   | Steer_narrow of reason
   | Split  (** IR: crack into four chained 8-bit slices in the helper *)
 
+type decide = ctx -> Hc_isa.Uop.t -> decision
+(** A steering policy as the rename stage calls it. [Pipeline.run] takes
+    any [decide]; the paper's stack lives in [Hc_steering.Policy], and
+    oracle policies (e.g. the static-width bound) are just other values
+    of this type. *)
+
 val reason_to_string : reason -> string
 (** Short lowercase tag ("888", "br", "cr", "ir") used by the attribution
     tables and telemetry artifacts. *)

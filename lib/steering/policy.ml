@@ -113,4 +113,19 @@ let decide (ctx : Steer.ctx) (u : Uop.t) =
     else Steer.Steer Config.Wide
   end
 
+(* Oracle counterpart of [decide]'s 8-8-8 rule: instead of predictor
+   beliefs, steer on a static proof that the uop is all-narrow. The proof
+   comes from outside (the [Hc_analysis] known-bits pass) as a plain
+   predicate so this library keeps zero dependency on the analysis. A
+   provably-narrow uop can never trigger a width-violation recovery, so
+   the resulting run is the predictor-free steering bound. *)
+let static_oracle ~provably_narrow (ctx : Steer.ctx) (u : Uop.t) =
+  let scheme = ctx.Steer.cfg.Config.scheme in
+  if not scheme.Config.helper then Steer.Steer Config.Wide
+  else if not (helper_capable u) then Steer.Steer Config.Wide
+  else if Opcode.is_branch u.Uop.op || u.Uop.op = Opcode.Store then
+    Steer.Steer Config.Wide
+  else if provably_narrow u then Steer.Steer_narrow Steer.R888
+  else Steer.Steer Config.Wide
+
 let stack = ("baseline", Config.monolithic) :: Config.scheme_stack

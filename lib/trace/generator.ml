@@ -392,6 +392,9 @@ let gen_uop st (s : static) =
     let result = draw_by_character st s in
     let dl0_miss = Rng.bool st.rng p.p_dl0_miss in
     let ul1_miss = dl0_miss && Rng.bool st.rng p.p_ul1_miss in
+    (* miss monotonicity is a construction-time invariant (hc_lint E105):
+       a UL1 miss can only happen on the DL0 miss path *)
+    assert ((not ul1_miss) || dl0_miss);
     advance st;
     Uop.make ~id ~pc ~op:Opcode.Load ~srcs:[ Uop.Reg base; offset_src ]
       ~dst:s.s_dst ~src_vals:[ base_val; offset_val ] ~result ~mem_addr:addr

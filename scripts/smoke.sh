@@ -53,4 +53,23 @@ dune exec bin/hc_report.exe -- report "$SMOKE_DIR/gcc_smoke.json" \
   --trace "$SMOKE_DIR/smoke_trace.json"
 echo "regression gate OK"
 
+echo "== hc_lint gate =="
+# Every seed workload must lint clean (structure, semantics, realized-mix
+# drift, and the static width-analysis soundness invariant E110), as must
+# every built-in configuration and a saved-and-reloaded trace file.
+dune exec bin/hc_lint.exe -- seeds --length 10000
+dune exec bin/hc_lint.exe -- config
+dune exec bin/hc_trace.exe -- generate --benchmark gcc --length 6000 \
+  --out "$SMOKE_DIR/lint_gcc.trace" > /dev/null
+dune exec bin/hc_lint.exe -- trace "$SMOKE_DIR/lint_gcc.trace" --benchmark gcc
+# ...and prove this gate can fail too: flip UL1-miss bits (violating miss
+# monotonicity, E105) and expect a non-zero exit
+sed 's/dl0=0 ul1=0/dl0=0 ul1=1/' "$SMOKE_DIR/lint_gcc.trace" \
+  > "$SMOKE_DIR/lint_bad.trace"
+if dune exec bin/hc_lint.exe -- trace "$SMOKE_DIR/lint_bad.trace" > /dev/null; then
+  echo "FAIL: hc_lint accepted a corrupted trace"
+  exit 1
+fi
+echo "lint gate OK"
+
 echo "smoke OK"

@@ -1,0 +1,292 @@
+(* The static width-inference engine: abstract-domain transfers, the
+   forward pass's soundness gate, the linter's diagnostics, and the
+   static_888 oracle's zero-recovery guarantee. *)
+
+module Opcode = Hc_isa.Opcode
+module Reg = Hc_isa.Reg
+module Uop = Hc_isa.Uop
+module Semantics = Hc_isa.Semantics
+module Profile = Hc_trace.Profile
+module Generator = Hc_trace.Generator
+module Trace = Hc_trace.Trace
+module Config = Hc_sim.Config
+module Metrics = Hc_sim.Metrics
+module Counter = Hc_stats.Counter
+module Absval = Hc_analysis.Absval
+module Static = Hc_analysis.Static
+module Lint = Hc_analysis.Lint
+
+let rng = Random.State.make [| 0x57a71c; 2006 |]
+
+let rand32 () = Int64.to_int (Random.State.int64 rng 0x1_0000_0000L)
+
+(* partially known abstraction containing both values *)
+let pair_abs v w = Absval.join (Absval.const v) (Absval.const w)
+
+(* ----- abstract domain ----- *)
+
+let test_transfer_exact_on_consts () =
+  List.iter
+    (fun op ->
+      for _ = 1 to 25 do
+        let vals = [ rand32 (); rand32 (); rand32 () ] in
+        let abs = Absval.transfer op (List.map Absval.const vals) in
+        match (Semantics.eval op vals, abs) with
+        | Some r, Some a ->
+          Alcotest.(check (option int))
+            (Printf.sprintf "%s exact on constants" (Opcode.to_string op))
+            (Some r) (Absval.to_const a)
+        | None, None -> ()
+        | Some _, None | None, Some _ ->
+          Alcotest.failf "%s: transfer/eval disagree on producing a result"
+            (Opcode.to_string op)
+      done)
+    Opcode.all
+
+let test_add_partial_known () =
+  (* low nibble unknown, upper 28 bits proven zero on both operands *)
+  let a = pair_abs 3 12 and b = pair_abs 5 10 in
+  let sum = Absval.add a b in
+  List.iter
+    (fun x ->
+      List.iter
+        (fun y ->
+          Alcotest.(check bool) "sum contained" true
+            (Absval.contains sum (x + y)))
+        [ 5; 10 ])
+    [ 3; 12 ];
+  Alcotest.(check bool) "bounded sum provably narrow" true
+    (Absval.is_narrow ~bits:8 sum);
+  Alcotest.(check bool) "top + top proves nothing" true
+    (Absval.equal Absval.top (Absval.add Absval.top Absval.top))
+
+let test_shift_partial_known () =
+  let a = pair_abs 3 12 in
+  let shifted = Absval.shl a (Absval.const 2) in
+  List.iter
+    (fun x ->
+      Alcotest.(check bool) "shifted value contained" true
+        (Absval.contains shifted (x lsl 2)))
+    [ 3; 12 ];
+  Alcotest.(check int) "low bits provably zero" 2
+    (Absval.trailing_known_zeros shifted);
+  Alcotest.(check bool) "unknown amount gives top" true
+    (Absval.equal Absval.top (Absval.shl (Absval.const 1) Absval.top))
+
+let test_mul_width_bound () =
+  let a = pair_abs 5 9 and b = pair_abs 3 7 in
+  let p = Absval.mul a b in
+  List.iter
+    (fun x ->
+      List.iter
+        (fun y ->
+          Alcotest.(check bool) "product contained" true
+            (Absval.contains p (x * y)))
+        [ 3; 7 ])
+    [ 5; 9 ];
+  (* 4-bit times 3-bit magnitudes: bits >= 7 provably zero *)
+  Alcotest.(check bool) "product provably narrow" true
+    (Absval.is_narrow ~bits:8 p)
+
+let test_narrow_mirrors_detector () =
+  for _ = 1 to 500 do
+    let v = rand32 () in
+    let a = Absval.const v in
+    Alcotest.(check bool)
+      (Printf.sprintf "is_narrow(const %x) = Detector.narrow" v)
+      (Hc_isa.Detector.narrow ~bits:8 v)
+      (Absval.is_narrow ~bits:8 a)
+  done
+
+(* ----- the forward pass ----- *)
+
+let test_soundness_all_seeds () =
+  (* the tentpole invariant: across every seed workload, no uop the pass
+     calls provably narrow has wide ground truth *)
+  List.iter
+    (fun (p : Profile.t) ->
+      let tr = Generator.generate_sliced ~length:20_000 p in
+      let st = Static.analyze tr in
+      Alcotest.(check int)
+        (p.Profile.name ^ ": zero soundness violations")
+        0
+        (List.length (Static.soundness_violations st tr));
+      Alcotest.(check bool)
+        (p.Profile.name ^ ": steerable is a subset of provable")
+        true
+        (st.Static.steerable_count <= st.Static.provable_count);
+      Alcotest.(check bool)
+        (p.Profile.name ^ ": the pass proves something")
+        true
+        (st.Static.steerable_count > 0))
+    Profile.spec_int
+
+let test_verdict_lookup () =
+  let p = Profile.find_spec_int "gcc" in
+  let tr = Generator.generate_sliced ~length:4_000 p in
+  let st = Static.analyze tr in
+  let in_window = Trace.get tr 0 in
+  Alcotest.(check bool) "first uop has a verdict" true
+    (Static.provably_narrow st in_window
+    || not (Static.provably_narrow st in_window));
+  let foreign = { in_window with Uop.id = in_window.Uop.id + 1_000_000 } in
+  Alcotest.(check bool) "out-of-window uop is never provable" false
+    (Static.provably_narrow st foreign);
+  Alcotest.(check bool) "out-of-window uop is never steerable" false
+    (Static.steerable_uop st foreign)
+
+(* ----- linter ----- *)
+
+let gcc_trace = lazy (Generator.generate_sliced ~length:6_000 (Profile.find_spec_int "gcc"))
+
+let with_uop tr i u =
+  let uops = Array.copy tr.Trace.uops in
+  uops.(i) <- u;
+  { tr with Trace.uops }
+
+let find_uop tr pred =
+  let found = ref None in
+  Array.iteri
+    (fun i u -> if !found = None && pred u then found := Some (i, u))
+    tr.Trace.uops;
+  match !found with
+  | Some iu -> iu
+  | None -> Alcotest.fail "fixture uop not found in trace"
+
+let has_error code diags =
+  List.exists
+    (fun (d : Lint.diagnostic) ->
+      d.Lint.code = code && d.Lint.severity = Lint.Error)
+    diags
+
+let test_lint_clean () =
+  let tr = Lazy.force gcc_trace in
+  let diags =
+    Lint.check_trace ~file:"gcc" ~expected_profile:(Profile.find_spec_int "gcc")
+      tr
+  in
+  Alcotest.(check bool) "no errors" false (Lint.has_errors diags);
+  Alcotest.(check int) "no warnings" 0 (Lint.count Lint.Warning diags)
+
+let test_lint_ul1_monotonicity () =
+  let tr = Lazy.force gcc_trace in
+  let i, u =
+    find_uop tr (fun u -> u.Uop.op = Opcode.Load && not u.Uop.dl0_miss)
+  in
+  let bad = with_uop tr i { u with Uop.ul1_miss = true } in
+  Alcotest.(check bool) "E105 reported" true
+    (has_error "E105" (Lint.check_trace bad))
+
+let test_lint_id_density () =
+  let tr = Lazy.force gcc_trace in
+  let u = Trace.get tr 100 in
+  let bad = with_uop tr 100 { u with Uop.id = u.Uop.id + 7 } in
+  Alcotest.(check bool) "E101 reported" true
+    (has_error "E101" (Lint.check_trace bad))
+
+let test_lint_result_consistency () =
+  let tr = Lazy.force gcc_trace in
+  let i, u = find_uop tr (fun u -> u.Uop.op = Opcode.Add) in
+  let bad = with_uop tr i { u with Uop.result = u.Uop.result lxor 1 } in
+  Alcotest.(check bool) "E106 reported" true
+    (has_error "E106" (Lint.check_trace bad))
+
+let test_lint_mem_addr () =
+  let tr = Lazy.force gcc_trace in
+  let i, u = find_uop tr (fun u -> u.Uop.op = Opcode.Load) in
+  let bad = with_uop tr i { u with Uop.mem_addr = u.Uop.mem_addr lxor 0x10 } in
+  Alcotest.(check bool) "E107 reported" true
+    (has_error "E107" (Lint.check_trace bad))
+
+let test_lint_flag_pairing () =
+  let tr = Lazy.force gcc_trace in
+  let i, u = find_uop tr (fun u -> u.Uop.op = Opcode.Branch_cond) in
+  let bad = with_uop tr i { u with Uop.srcs = []; src_vals = [] } in
+  Alcotest.(check bool) "E104 reported" true
+    (has_error "E104" (Lint.check_trace bad))
+
+let test_lint_report_cap () =
+  (* a systematic corruption must not flood the report: per-code cap plus
+     an Info overflow summary *)
+  let tr = Lazy.force gcc_trace in
+  let uops =
+    Array.map
+      (fun u ->
+        if u.Uop.op = Opcode.Load && not u.Uop.dl0_miss then
+          { u with Uop.ul1_miss = true }
+        else u)
+      tr.Trace.uops
+  in
+  let diags = Lint.check_trace { tr with Trace.uops } in
+  Alcotest.(check bool) "errors capped" true (Lint.count Lint.Error diags <= 5);
+  Alcotest.(check bool) "overflow summarized" true
+    (Lint.count Lint.Info diags >= 1)
+
+let test_lint_config () =
+  Alcotest.(check int) "default config clean" 0
+    (List.length (Lint.check_config Config.default));
+  let bad = { Config.default with Config.narrow_bits = 0 } in
+  Alcotest.(check bool) "E201 reported" true
+    (has_error "E201" (Lint.check_config bad));
+  let inert =
+    { Config.default with
+      Config.scheme =
+        { Config.helper = false; s888 = true; br = false; lr = false;
+          cr = false; cp = false; ir = Config.Ir_off } }
+  in
+  let diags = Lint.check_config inert in
+  Alcotest.(check int) "W202 is a warning, not an error" 1
+    (Lint.count Lint.Warning diags);
+  Alcotest.(check bool) "inert scheme alone passes the gate" false
+    (Lint.has_errors diags)
+
+(* ----- the static_888 oracle ----- *)
+
+let test_oracle_zero_recoveries () =
+  let runs = Hc_core.Runs.create ~length:8_000 () in
+  let p = Profile.find_spec_int "gcc" in
+  Hc_core.Runs.ensure runs [ ("8_8_8", p); ("static_888", p) ];
+  let oracle = Hc_core.Runs.metrics runs ~scheme:"static_888" p in
+  Alcotest.(check int) "zero width flushes" 0
+    (Counter.get oracle.Metrics.counters "width_flush");
+  Alcotest.(check int) "zero demotions" 0 oracle.Metrics.wide_demoted;
+  Alcotest.(check bool) "attribution consistent" true
+    (Metrics.attrib_consistent oracle);
+  let st = Hc_core.Runs.static_info runs (Hc_core.Runs.trace runs p) in
+  Alcotest.(check int) "oracle steers exactly the provable bound"
+    st.Static.steerable_count oracle.Metrics.steered_narrow;
+  Alcotest.(check (option int)) "bound attached to oracle metrics"
+    (Some st.Static.steerable_count) oracle.Metrics.static_narrow_bound;
+  let pred = Hc_core.Runs.metrics runs ~scheme:"8_8_8" p in
+  Alcotest.(check (option int)) "bound attached to predictor metrics"
+    (Some st.Static.steerable_count) pred.Metrics.static_narrow_bound
+
+let suite =
+  ( "analysis_static",
+    [
+      Alcotest.test_case "transfers exact on constants" `Quick
+        test_transfer_exact_on_consts;
+      Alcotest.test_case "add with partial knowledge" `Quick
+        test_add_partial_known;
+      Alcotest.test_case "shift with partial knowledge" `Quick
+        test_shift_partial_known;
+      Alcotest.test_case "mul magnitude bound" `Quick test_mul_width_bound;
+      Alcotest.test_case "is_narrow mirrors Detector.narrow" `Quick
+        test_narrow_mirrors_detector;
+      Alcotest.test_case "soundness on every seed workload" `Slow
+        test_soundness_all_seeds;
+      Alcotest.test_case "verdict lookup bounds" `Quick test_verdict_lookup;
+      Alcotest.test_case "lint: clean trace" `Quick test_lint_clean;
+      Alcotest.test_case "lint: ul1 without dl0" `Quick
+        test_lint_ul1_monotonicity;
+      Alcotest.test_case "lint: id density" `Quick test_lint_id_density;
+      Alcotest.test_case "lint: eval result mismatch" `Quick
+        test_lint_result_consistency;
+      Alcotest.test_case "lint: memory address" `Quick test_lint_mem_addr;
+      Alcotest.test_case "lint: flag pairing" `Quick test_lint_flag_pairing;
+      Alcotest.test_case "lint: per-code report cap" `Quick
+        test_lint_report_cap;
+      Alcotest.test_case "lint: configurations" `Quick test_lint_config;
+      Alcotest.test_case "static_888 oracle: zero recoveries" `Slow
+        test_oracle_zero_recoveries;
+    ] )

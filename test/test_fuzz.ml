@@ -96,9 +96,78 @@ let prop_monolithic_ignores_helper_knobs =
           { Config.baseline with
             Config.narrow_bits = bits; helper_fast_clock = fast })
 
+(* ----- differential fuzz: the known-bits domain vs the evaluator ----- *)
+
+module Absval = Hc_analysis.Absval
+module Semantics = Hc_isa.Semantics
+module Detector = Hc_isa.Detector
+module Opcode = Hc_isa.Opcode
+
+let val32_gen = QCheck.Gen.(map (fun x -> x land 0xFFFF_FFFF) (int_range 0 max_int))
+
+(* one operand: a concrete value plus a mask of bits the abstraction
+   forgets; joining the two flips makes exactly those bits unknown while
+   keeping the concrete value contained *)
+let operand_gen = QCheck.Gen.pair val32_gen val32_gen
+
+let abstract_of (v, m) = Absval.join (Absval.const v) (Absval.const (v lxor m))
+
+let domain_case_gen =
+  QCheck.Gen.(
+    triple (oneofl Opcode.all) (int_range 2 3) (list_size (return 3) operand_gen))
+
+let print_domain_case (op, arity, ops) =
+  Format.asprintf "%s/%d over %a" (Opcode.to_string op) arity
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       (fun ppf (v, m) -> Format.fprintf ppf "%x (unknown %x)" v m))
+    ops
+
+let prop_transfer_sound =
+  (* the soundness induction step: when the abstract inputs contain the
+     concrete operands, the abstract output contains the concrete result,
+     and provable narrowness implies detector narrowness of the result *)
+  QCheck.Test.make ~name:"abstract transfer contains Semantics.eval" ~count:2000
+    (QCheck.make ~print:print_domain_case domain_case_gen)
+    (fun (op, arity, ops) ->
+      let ops = List.filteri (fun i _ -> i < arity) ops in
+      let vals = List.map fst ops in
+      let abs = List.map abstract_of ops in
+      List.iter2
+        (fun a v ->
+          if not (Absval.contains a v) then
+            QCheck.Test.fail_reportf "input abstraction broken")
+        abs vals;
+      match (Semantics.eval op vals, Absval.transfer op abs) with
+      | None, None -> true
+      | Some r, Some a ->
+        if not (Absval.contains a r) then
+          QCheck.Test.fail_reportf "result %x escapes the abstract output" r;
+        (not (Absval.is_narrow ~bits:8 a)) || Detector.narrow ~bits:8 r
+      | Some _, None | None, Some _ ->
+        QCheck.Test.fail_reportf
+          "transfer and eval disagree about producing a result")
+
+let prop_const_transfer_exact =
+  (* on fully known inputs the domain must collapse to the evaluator *)
+  QCheck.Test.make ~name:"abstract transfer exact on constants" ~count:1000
+    (QCheck.make
+       ~print:(fun (op, vals) ->
+         Format.asprintf "%s %a" (Opcode.to_string op)
+           (Format.pp_print_list Format.pp_print_int)
+           vals)
+       QCheck.Gen.(pair (oneofl Opcode.all) (list_size (return 2) val32_gen)))
+    (fun (op, vals) ->
+      match (Semantics.eval op vals, Absval.transfer op (List.map Absval.const vals)) with
+      | Some r, Some a -> Absval.to_const a = Some r
+      | None, None -> true
+      | _ -> false)
+
 let suite =
   ( "fuzz",
     [
       QCheck_alcotest.to_alcotest prop_simulator_total;
       QCheck_alcotest.to_alcotest prop_monolithic_ignores_helper_knobs;
+      QCheck_alcotest.to_alcotest prop_transfer_sound;
+      QCheck_alcotest.to_alcotest prop_const_transfer_exact;
     ] )

@@ -28,6 +28,7 @@ let () =
       Test_related.suite;
       Test_export.suite;
       Test_trace_io.suite;
+      Test_analysis_static.suite;
       Test_fuzz.suite;
       Test_parallel.suite;
       Test_obs.suite;
