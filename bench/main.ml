@@ -26,10 +26,13 @@ module Experiments = Hc_core.Experiments
 module Runs = Hc_core.Runs
 module Domain_pool = Hc_core.Domain_pool
 module Meta = Hc_core.Meta
+module Artifact_cache = Hc_core.Artifact_cache
 module Profile = Hc_trace.Profile
 module Generator = Hc_trace.Generator
 module Analysis = Hc_trace.Analysis
 module Workloads = Hc_trace.Workloads
+module Trace_io = Hc_trace.Trace_io
+module Codec = Hc_trace.Codec
 module Config = Hc_sim.Config
 module Pipeline = Hc_sim.Pipeline
 module Width_predictor = Hc_predictors.Width_predictor
@@ -58,6 +61,38 @@ let regenerate () =
 
 let bench_trace =
   lazy (Generator.generate_sliced ~length:5_000 (Profile.find_spec_int "gcc"))
+
+(* codec kernel inputs, prepared once: the binary blob in memory, the
+   same trace as a text file on disk, and a one-entry artifact cache the
+   warm-reload kernel hits every iteration. The decode-vs-text-load pair
+   is the codec's headline comparison. *)
+let bench_encoded = lazy (Codec.encode (Lazy.force bench_trace))
+
+let bench_text_file =
+  lazy
+    (let path = Filename.temp_file "hc_bench_trace" ".trace" in
+     at_exit (fun () -> try Sys.remove path with Sys_error _ -> ());
+     Trace_io.save (Lazy.force bench_trace) path;
+     path)
+
+let rec rm_rf path =
+  match Sys.is_directory path with
+  | true ->
+    Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+    Sys.rmdir path
+  | false -> Sys.remove path
+  | exception Sys_error _ -> ()
+
+let bench_cache =
+  lazy
+    (let root = Filename.temp_file "hc_bench_cache" "" in
+     Sys.remove root;
+     at_exit (fun () -> rm_rf root);
+     let c = Artifact_cache.create ~root () in
+     let profile = Profile.find_spec_int "gcc" in
+     Artifact_cache.store_trace c ~profile ~length:5_000
+       (Lazy.force bench_trace);
+     c)
 
 (* one memoized trace shared by every fig*:sim-* kernel: the kernels time
    the simulator, not the generator *)
@@ -106,6 +141,22 @@ let tests =
     stage "cp:sim-CP" (sim_kernel "+CP");
     stage "ir:sim-IR" (sim_kernel "+IR");
     stage "tab2:suite-derivation" (fun () -> ignore (Workloads.suite ()));
+    stage "codec:encode" (fun () ->
+        ignore (Codec.encode (Lazy.force bench_trace)));
+    stage "codec:decode" (fun () ->
+        ignore
+          (Codec.decode
+             ~profile:(Profile.find_spec_int "gcc")
+             (Lazy.force bench_encoded)));
+    stage "codec:text-load" (fun () ->
+        ignore (Trace_io.load (Lazy.force bench_text_file)));
+    stage "cache:warm-reload" (fun () ->
+        match
+          Artifact_cache.find_trace (Lazy.force bench_cache)
+            ~profile:(Profile.find_spec_int "gcc") ~length:5_000
+        with
+        | Some _ -> ()
+        | None -> failwith "cache:warm-reload: entry vanished (expected hit)");
     stage "fig14:one-app-end-to-end" (fun () ->
         let p = List.hd (Workloads.category_apps Profile.Multimedia) in
         let tr = Generator.generate_sliced ~length:1_000 p in
@@ -176,12 +227,45 @@ let timed_regenerate ~jobs =
   regenerate ();
   Unix.gettimeofday () -. t0
 
-let write_json ~path ~kernels ~regen =
+(* Cold-vs-warm artifact cache, measured end to end on the full SPEC
+   sweep (the 8_8_8 scheme x 12 profiles x 30k uops) against a fresh
+   temp root: the cold pass generates, simulates and publishes, a
+   second Runs instance over the same root then satisfies every cell
+   from its finished-metrics entry without touching a trace. The warm
+   counters must show 12 run hits / 0 trace activity — anything else
+   is a caching bug worth failing the bench run over. *)
+let timed_cache ~jobs =
+  Domain_pool.set_jobs jobs;
+  let root = Filename.temp_file "hc_bench_cachecw" "" in
+  Sys.remove root;
+  Fun.protect
+    ~finally:(fun () -> rm_rf root)
+    (fun () ->
+      let sweep = List.map (fun p -> ("8_8_8", p)) Runs.spec_profiles in
+      let cold_cache = Artifact_cache.create ~root () in
+      let cold = Runs.create ~length:30_000 ~cache:cold_cache () in
+      let t0 = Unix.gettimeofday () in
+      Runs.ensure cold sweep;
+      let cold_s = Unix.gettimeofday () -. t0 in
+      let warm_cache = Artifact_cache.create ~root () in
+      let warm = Runs.create ~length:30_000 ~cache:warm_cache () in
+      let t0 = Unix.gettimeofday () in
+      Runs.ensure warm sweep;
+      let warm_s = Unix.gettimeofday () -. t0 in
+      let counts = Artifact_cache.counts warm_cache in
+      if counts.Artifact_cache.run_hits <> List.length sweep then
+        failwith "bench: warm cache pass missed (expected all run hits)";
+      if counts.Artifact_cache.trace_hits + counts.Artifact_cache.trace_misses
+         <> 0
+      then failwith "bench: warm cache pass touched traces (expected none)";
+      (cold_s, warm_s, Artifact_cache.counts cold_cache, counts))
+
+let write_json ~path ~kernels ~regen ~cache =
   let pool = Domain_pool.get () in
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
-  p "  \"schema\": 2,\n";
+  p "  \"schema\": 3,\n";
   (* run metadata: git SHA, host cores, jobs, seed fingerprint, wall
      clock — so a BENCH_*.json snapshot is self-describing *)
   p "  %s,\n"
@@ -218,6 +302,23 @@ let write_json ~path ~kernels ~regen =
     p "    \"parallel_jobs\": %d,\n" par_jobs;
     p "    \"parallel_wall_s\": %.3f,\n" par_s;
     p "    \"speedup\": %.3f\n" (if par_s > 0. then seq_s /. par_s else 0.);
+    p "  }" );
+  ( match cache with
+  | None -> ()
+  | Some (cold_s, warm_s, cold_c, warm_c) ->
+    p ",\n  \"cache\": {\n";
+    p "    \"length\": 30000,\n";
+    p "    \"scheme\": \"8_8_8\",\n";
+    p "    \"profiles\": %d,\n" (List.length Runs.spec_profiles);
+    p "    \"cold_wall_s\": %.3f,\n" cold_s;
+    p "    \"warm_wall_s\": %.3f,\n" warm_s;
+    p "    \"speedup\": %.1f,\n" (if warm_s > 0. then cold_s /. warm_s else 0.);
+    p "    \"cold_run_hits\": %d,\n" cold_c.Artifact_cache.run_hits;
+    p "    \"cold_run_misses\": %d,\n" cold_c.Artifact_cache.run_misses;
+    p "    \"cold_trace_misses\": %d,\n" cold_c.Artifact_cache.trace_misses;
+    p "    \"warm_run_hits\": %d,\n" warm_c.Artifact_cache.run_hits;
+    p "    \"warm_run_misses\": %d,\n" warm_c.Artifact_cache.run_misses;
+    p "    \"warm_trace_hits\": %d\n" warm_c.Artifact_cache.trace_hits;
     p "  }" );
   p "\n}\n";
   close_out oc;
@@ -257,8 +358,12 @@ let () =
         Some (seq_s, par_jobs, par_s)
       end
     in
+    let cache =
+      if only_micro then None
+      else Some (timed_cache ~jobs:(Domain_pool.default_jobs ()))
+    in
     let kernels = if only_tables then [] else run_bechamel () in
-    write_json ~path ~kernels ~regen
+    write_json ~path ~kernels ~regen ~cache
   | None ->
     if not only_micro then regenerate ();
     if not only_tables then ignore (run_bechamel ())

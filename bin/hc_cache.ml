@@ -1,0 +1,107 @@
+(* Artifact-cache maintenance:
+
+     hc_cache stats                    entry counts and bytes on disk
+     hc_cache verify [--fix]           decode every entry end to end
+     hc_cache gc --max-mb 64           evict oldest-first to a size budget
+
+   All subcommands take --cache-dir DIR (default: $HC_CACHE_DIR or
+   _hc_cache). `verify` exits 1 when any entry fails its CRC / parse /
+   byte-exact re-serialization check, so CI can gate on cache integrity
+   the way it gates on the lint. *)
+
+module Artifact_cache = Hc_core.Artifact_cache
+
+open Cmdliner
+
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:
+          "Cache root to operate on (default: $(b,HC_CACHE_DIR) or \
+           $(b,_hc_cache)).")
+
+let cache_of cache_dir =
+  match Artifact_cache.of_cli cache_dir with
+  | Some c -> c
+  | None ->
+    prerr_endline "hc_cache: cache disabled (--cache-dir none)";
+    exit 3
+
+let mb bytes = float_of_int bytes /. (1024. *. 1024.)
+
+let stats_cmd =
+  let run cache_dir =
+    let c = cache_of cache_dir in
+    let d = Artifact_cache.disk c in
+    Printf.printf "cache root: %s\n" (Artifact_cache.root c);
+    Printf.printf "traces: %5d entries, %8.2f MiB\n"
+      d.Artifact_cache.trace_entries (mb d.Artifact_cache.trace_bytes);
+    Printf.printf "runs:   %5d entries, %8.2f MiB\n"
+      d.Artifact_cache.run_entries (mb d.Artifact_cache.run_bytes);
+    Printf.printf "total:  %5d entries, %8.2f MiB\n"
+      (d.Artifact_cache.trace_entries + d.Artifact_cache.run_entries)
+      (mb (d.Artifact_cache.trace_bytes + d.Artifact_cache.run_bytes))
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"print entry counts and on-disk size")
+    Term.(const run $ cache_dir_arg)
+
+let verify_cmd =
+  let run cache_dir fix =
+    let c = cache_of cache_dir in
+    let d = Artifact_cache.disk c in
+    let total = d.Artifact_cache.trace_entries + d.Artifact_cache.run_entries in
+    let bad = Artifact_cache.verify ~fix c in
+    List.iter
+      (fun (b : Artifact_cache.bad) ->
+        Printf.printf "corrupt%s: %s (%s)\n"
+          (if fix then " [deleted]" else "")
+          b.Artifact_cache.path b.Artifact_cache.reason)
+      bad;
+    Printf.printf "verified %d entries under %s: %d corrupt\n" total
+      (Artifact_cache.root c) (List.length bad);
+    if bad <> [] then exit 1
+  in
+  let fix =
+    Arg.(
+      value & flag
+      & info [ "fix" ]
+          ~doc:
+            "Delete every corrupt entry (the next cold run regenerates \
+             it).")
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "decode every cache entry end to end (CRC + structural decode \
+          for traces, parse + byte-exact re-serialization for run \
+          metrics); exit 1 if any entry is corrupt")
+    Term.(const run $ cache_dir_arg $ fix)
+
+let gc_cmd =
+  let run cache_dir max_mb =
+    let c = cache_of cache_dir in
+    let evicted =
+      Artifact_cache.gc c ~max_bytes:(max_mb * 1024 * 1024)
+    in
+    List.iter (fun path -> Printf.printf "evicted: %s\n" path) evicted;
+    let d = Artifact_cache.disk c in
+    Printf.printf "evicted %d entries; %s now holds %.2f MiB\n"
+      (List.length evicted) (Artifact_cache.root c)
+      (mb (d.Artifact_cache.trace_bytes + d.Artifact_cache.run_bytes))
+  in
+  let max_mb =
+    Arg.(
+      value & opt int 256
+      & info [ "max-mb" ] ~docv:"MIB"
+          ~doc:"Size budget; oldest entries (mtime) are evicted first.")
+  in
+  Cmd.v
+    (Cmd.info "gc" ~doc:"evict oldest entries until the cache fits a budget")
+    Term.(const run $ cache_dir_arg $ max_mb)
+
+let () =
+  let doc = "inspect, verify and garbage-collect the artifact cache" in
+  exit (Cmd.eval (Cmd.group (Cmd.info "hc_cache" ~doc) [ stats_cmd; verify_cmd; gc_cmd ]))

@@ -6,17 +6,19 @@
      hc_experiments --length 50000  longer traces (slower, smoother)
      hc_experiments --jobs 4        size the simulation domain pool
      hc_experiments --list          list experiment ids
-     hc_experiments --telemetry-dir DIR   per-run interval series + metrics *)
+     hc_experiments --telemetry-dir DIR   per-run interval series + metrics
+     hc_experiments --cache-dir DIR       warm reruns skip generation + sim *)
 
 module Experiments = Hc_core.Experiments
 module Ablations = Hc_core.Ablations
 module Runs = Hc_core.Runs
 module Domain_pool = Hc_core.Domain_pool
+module Artifact_cache = Hc_core.Artifact_cache
 
 open Cmdliner
 
-let run_ids ids length telemetry =
-  let runs = Runs.create ~length ?telemetry () in
+let run_ids ids length telemetry cache =
+  let runs = Runs.create ~length ?telemetry ?cache () in
   let selected =
     match ids with
     | [] -> Experiments.all
@@ -75,13 +77,13 @@ let list_experiments () =
       Printf.printf "%-12s %s\n" a.Ablations.id a.Ablations.title)
     Ablations.all
 
-let export dir length telemetry =
-  let runs = Runs.create ~length ?telemetry () in
+let export dir length telemetry cache =
+  let runs = Runs.create ~length ?telemetry ?cache () in
   let written = Hc_core.Export.write_all runs ~dir in
   List.iter print_endline written
 
 let main list_flag ablations csv_dir length jobs telemetry_dir
-    metrics_interval ids =
+    metrics_interval cache_dir ids =
   ( match jobs with
   | Some n when n > 0 -> Domain_pool.set_jobs n
   | Some _ | None -> () );
@@ -90,12 +92,13 @@ let main list_flag ablations csv_dir length jobs telemetry_dir
       (fun dir -> { Hc_core.Telemetry.dir; interval = metrics_interval })
       telemetry_dir
   in
+  let cache = Artifact_cache.of_cli cache_dir in
   if list_flag then list_experiments ()
   else if ablations then run_ablations ids length
   else
     match csv_dir with
-    | Some dir -> export dir length telemetry
-    | None -> run_ids ids length telemetry
+    | Some dir -> export dir length telemetry cache
+    | None -> run_ids ids length telemetry cache
 
 let cmd =
   let list_flag =
@@ -144,6 +147,18 @@ let cmd =
             "Interval sampler period, in fast ticks, for \
              $(b,--telemetry-dir) runs.")
   in
+  let cache_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:
+            "Artifact-cache root: traces and finished run metrics reload \
+             from (and publish to) $(docv), so a warm rerun of a sweep \
+             skips generation and simulation with bit-identical numbers \
+             (default: $(b,HC_CACHE_DIR) or $(b,_hc_cache); $(b,none) \
+             disables).")
+  in
   let ids =
     Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT")
   in
@@ -151,6 +166,6 @@ let cmd =
   Cmd.v (Cmd.info "hc_experiments" ~doc)
     Term.(
       const main $ list_flag $ ablations $ csv_dir $ length $ jobs
-      $ telemetry_dir $ metrics_interval $ ids)
+      $ telemetry_dir $ metrics_interval $ cache_dir $ ids)
 
 let () = exit (Cmd.eval cmd)

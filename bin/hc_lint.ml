@@ -4,18 +4,19 @@
      hc_lint seeds [--length 10000]
      hc_lint config
 
-   Every finding carries a stable code (E1xx trace structure, E110
-   static-analysis soundness, W201 mix drift, x2xx configuration), a
-   severity and a file:uop-id location; see lib/analysis/lint.mli for the
-   full catalogue. Exit status is 1 exactly when any Error-severity
-   finding exists, so CI can gate on the lint the way it gates on the
-   baseline diff. *)
+   Every finding carries a stable code (E1xx trace structure incl. E108
+   corrupt binary artifacts, E110 static-analysis soundness, W201 mix
+   drift, x2xx configuration), a severity and a file:uop-id location; see
+   lib/analysis/lint.mli for the full catalogue. Exit status is 1 exactly
+   when any Error-severity finding exists, so CI can gate on the lint the
+   way it gates on the baseline diff. *)
 
 module Profile = Hc_trace.Profile
-module Generator = Hc_trace.Generator
 module Trace_io = Hc_trace.Trace_io
+module Codec = Hc_trace.Codec
 module Config = Hc_sim.Config
 module Lint = Hc_analysis.Lint
+module Artifact_cache = Hc_core.Artifact_cache
 
 open Cmdliner
 
@@ -57,19 +58,23 @@ let trace_cmd =
     let all =
       List.map
         (fun path ->
-          let tr =
-            try Trace_io.load path
-            with
-            | Failure msg -> die "hc_lint trace: %s" msg
-            | Sys_error msg -> die "hc_lint trace: %s" msg
-          in
-          let diags =
-            Lint.check_trace ~file:(Filename.basename path) ?expected_profile
-              ~bits tr
-          in
-          print_diags diags;
-          summarize path diags;
-          diags)
+          let file = Filename.basename path in
+          match Trace_io.load path with
+          | tr ->
+            let diags = Lint.check_trace ~file ?expected_profile ~bits tr in
+            print_diags diags;
+            summarize path diags;
+            diags
+          (* a corrupt binary artifact is a finding (E108), not a usage
+             error: report it through the normal diagnostic stream so the
+             gate exits 1 and keeps linting the remaining files *)
+          | exception Codec.Corrupt reason ->
+            let diags = [ Lint.corrupt_artifact ~file reason ] in
+            print_diags diags;
+            summarize path diags;
+            diags
+          | exception Failure msg -> die "hc_lint trace: %s" msg
+          | exception Sys_error msg -> die "hc_lint trace: %s" msg)
         files
     in
     finish all
@@ -91,11 +96,12 @@ let trace_cmd =
 (* ---- seeds: lint every generated seed workload ---- *)
 
 let seeds_cmd =
-  let run length bits =
+  let run length bits cache_dir =
+    let cache = Artifact_cache.of_cli cache_dir in
     let all =
       List.map
         (fun (p : Profile.t) ->
-          let tr = Generator.generate_sliced ~length p in
+          let tr = Artifact_cache.trace_or_generate cache ~profile:p ~length in
           let diags =
             Lint.check_trace ~file:p.Profile.name ~expected_profile:p ~bits tr
           in
@@ -111,11 +117,20 @@ let seeds_cmd =
       value & opt int 30_000
       & info [ "length" ] ~docv:"UOPS" ~doc:"Trace length per benchmark.")
   in
+  let cache_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:
+            "Artifact-cache root for the seed traces (default: \
+             $(b,HC_CACHE_DIR) or $(b,_hc_cache); $(b,none) disables).")
+  in
   let doc =
     "generate and verify all 12 SPEC seed workloads (incl. mix drift and \
      the static-analysis soundness gate)"
   in
-  Cmd.v (Cmd.info "seeds" ~doc) Term.(const run $ length $ bits_arg)
+  Cmd.v (Cmd.info "seeds" ~doc) Term.(const run $ length $ bits_arg $ cache_dir)
 
 (* ---- config: lint the built-in machine configurations ---- *)
 

@@ -8,13 +8,13 @@
             --metrics-interval 1000            # Perfetto trace + time series *)
 
 module Profile = Hc_trace.Profile
-module Generator = Hc_trace.Generator
 module Config = Hc_sim.Config
 module Pipeline = Hc_sim.Pipeline
 module Metrics = Hc_sim.Metrics
 module Model = Hc_power.Model
 module Domain_pool = Hc_core.Domain_pool
 module Export = Hc_core.Export
+module Artifact_cache = Hc_core.Artifact_cache
 module Sink = Hc_obs.Sink
 module Sample = Hc_obs.Sample
 module Chrome_trace = Hc_obs.Chrome_trace
@@ -47,7 +47,7 @@ let totals_match (a : Sample.totals) (m : Metrics.t) =
   && a.Sample.issued_total = m.Metrics.issued_total
 
 let run benchmark scheme length power compare_baseline jobs trace_out
-    metrics_interval interval_out trace_buffer metrics_out =
+    metrics_interval interval_out trace_buffer metrics_out cache_dir =
   ( match jobs with
   | Some n when n > 0 -> Domain_pool.set_jobs n
   | Some _ | None -> () );
@@ -68,7 +68,10 @@ let run benchmark scheme length power compare_baseline jobs trace_out
           (String.concat ", " scheme_names);
         exit 1
   in
-  let trace = Generator.generate_sliced ~length profile in
+  let trace =
+    Artifact_cache.trace_or_generate (Artifact_cache.of_cli cache_dir) ~profile
+      ~length
+  in
   let sink =
     if trace_out <> None || metrics_interval > 0 then
       Some
@@ -222,11 +225,22 @@ let cmd =
             "Write the scheme run's full metrics as JSON (schema 2, the \
              format $(b,hc_report) reads and diffs) to $(docv).")
   in
+  let cache_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:
+            "Artifact-cache root: the workload trace is reloaded from its \
+             binary cache entry when present and published there after a \
+             cold generation (default: $(b,HC_CACHE_DIR) or \
+             $(b,_hc_cache); the value $(b,none) disables caching).")
+  in
   let doc = "cycle-level helper-cluster simulator" in
   Cmd.v (Cmd.info "hc_sim" ~doc)
     Term.(
       const run $ benchmark $ scheme $ length $ power $ compare_baseline $ jobs
       $ trace_out $ metrics_interval $ interval_out $ trace_buffer
-      $ metrics_out)
+      $ metrics_out $ cache_dir)
 
 let () = exit (Cmd.eval cmd)

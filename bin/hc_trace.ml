@@ -1,15 +1,17 @@
 (* Trace tooling: generate, save, load, inspect.
 
      hc_trace generate --benchmark gcc --length 10000 --out gcc.trace
+     hc_trace generate --benchmark gcc --format binary --out gcc.hct
      hc_trace dump --file gcc.trace --head 20
      hc_trace stats --file gcc.trace
      hc_trace run --file gcc.trace --scheme +CR
 
    The text format (see Hc_trace.Trace_io) is the interchange point for
-   running the evaluation on externally captured traces. *)
+   running the evaluation on externally captured traces; --format binary
+   writes the compact Hc_trace.Codec stream instead. Loading dispatches
+   on the magic bytes, so every subcommand reads both. *)
 
 module Profile = Hc_trace.Profile
-module Generator = Hc_trace.Generator
 module Trace = Hc_trace.Trace
 module Trace_io = Hc_trace.Trace_io
 module Analysis = Hc_trace.Analysis
@@ -19,6 +21,7 @@ module Metrics = Hc_sim.Metrics
 module Sink = Hc_obs.Sink
 module Chrome_trace = Hc_obs.Chrome_trace
 module Export = Hc_core.Export
+module Artifact_cache = Hc_core.Artifact_cache
 
 open Cmdliner
 
@@ -44,9 +47,15 @@ let profile_of name =
     Printf.eprintf "unknown benchmark %S\n" name;
     exit 1
 
-let generate benchmark length out =
-  let trace = Generator.generate_sliced ~length (profile_of benchmark) in
-  Trace_io.save trace out;
+let generate benchmark length out format cache_dir =
+  let profile = profile_of benchmark in
+  let trace =
+    Artifact_cache.trace_or_generate (Artifact_cache.of_cli cache_dir) ~profile
+      ~length
+  in
+  ( match format with
+  | `Text -> Trace_io.save trace out
+  | `Binary -> Trace_io.save_binary trace out );
   Printf.printf "wrote %s (%d uops)\n" out (Trace.length trace)
 
 let dump file head =
@@ -139,9 +148,28 @@ let generate_cmd =
       value & opt string "trace.txt"
       & info [ "o"; "out" ] ~docv:"PATH" ~doc:"Output path.")
   in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("binary", `Binary) ]) `Text
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:
+            "Output encoding: $(b,text) (the line-oriented interchange \
+             format) or $(b,binary) (the compact CRC-checked codec \
+             stream; ~5-10x smaller, ~20x faster to load).")
+  in
+  let cache_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:
+            "Artifact-cache root consulted before generating (default: \
+             $(b,HC_CACHE_DIR) or $(b,_hc_cache); $(b,none) disables).")
+  in
   Cmd.v
     (Cmd.info "generate" ~doc:"generate a synthetic trace and save it")
-    Term.(const generate $ benchmark_arg $ length_arg $ out)
+    Term.(const generate $ benchmark_arg $ length_arg $ out $ format $ cache_dir)
 
 let dump_cmd =
   let head =

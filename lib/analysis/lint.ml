@@ -25,6 +25,8 @@ module Config = Hc_sim.Config
            recorded source values
      E107  memory uop whose address is not base + offset of its first
            two source values (or with fewer than two sources)
+     E108  binary trace artifact is unreadable: truncated stream, CRC
+           mismatch, or structurally invalid codec payload
      E110  static-analysis soundness violation: a provably-narrow uop
            with wide ground truth (hard analysis bug)
      W201  realized instruction mix drifts from the generating profile
@@ -214,6 +216,17 @@ let check_trace ?(file = "<trace>") ?expected_profile ?(bits = 8) tr =
   | Some p -> check_mix e p tr
   | None -> () );
   finish e
+
+(* A binary trace that fails to decode never reaches [check_trace] — the
+   codec raises before a [Trace.t] exists — so the E108 finding is
+   constructed directly from the decoder's complaint. *)
+let corrupt_artifact ~file reason =
+  {
+    code = "E108";
+    severity = Error;
+    loc = file ^ ":-";
+    message = Printf.sprintf "corrupt binary trace artifact: %s" reason;
+  }
 
 (* ----- configuration checks ----- *)
 

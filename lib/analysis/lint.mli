@@ -11,6 +11,8 @@
     - [E105] [ul1_miss] without [dl0_miss]
     - [E106] pure-ALU result inconsistent with [Semantics.eval]
     - [E107] memory address is not base + offset
+    - [E108] binary trace artifact corrupt (truncated, CRC mismatch, or
+      structurally invalid — see {!Hc_trace.Codec})
     - [E110] static-analysis soundness violation (provably-narrow uop
       with wide ground truth)
     - [W201] realized instruction mix drifts from the generating profile
@@ -56,3 +58,10 @@ val check_trace :
     soundness gate (default 8). *)
 
 val check_config : ?file:string -> Hc_sim.Config.t -> diagnostic list
+
+val corrupt_artifact : file:string -> string -> diagnostic
+(** The E108 finding for a binary trace file that failed to decode
+    ({!Hc_trace.Codec.Corrupt}): truncated stream, CRC mismatch, or a
+    structurally invalid payload. Built by the caller because decode
+    failures surface as exceptions before any [Trace.t] exists to
+    check. *)

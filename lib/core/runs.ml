@@ -8,18 +8,20 @@ module Metrics = Hc_sim.Metrics
 type t = {
   len : int;
   telemetry : Telemetry.config option;
+  cache : Artifact_cache.t option;
   traces : (string, Trace.t) Hashtbl.t;
   statics : (string, Hc_analysis.Static.t) Hashtbl.t;
   runs : (string * string, Metrics.t) Hashtbl.t;
 }
 
-let create ?(length = 30_000) ?telemetry () =
+let create ?(length = 30_000) ?telemetry ?cache () =
   ( match telemetry with
   | Some { Telemetry.dir; _ } -> Telemetry.mkdir_p dir
   | None -> () );
   {
     len = length;
     telemetry;
+    cache;
     traces = Hashtbl.create 32;
     statics = Hashtbl.create 32;
     runs = Hashtbl.create 64;
@@ -27,7 +29,13 @@ let create ?(length = 30_000) ?telemetry () =
 
 let length t = t.len
 
-let generate t (p : Profile.t) = Generator.generate_sliced ~length:t.len p
+(* Trace acquisition goes through the artifact cache when one is
+   attached: a warm cache turns the ~1.5 s generate into a millisecond
+   binary reload, and cold generations publish for the next process.
+   Safe from pool workers: distinct profiles land on distinct keys, and
+   publishes are atomic renames. *)
+let generate t (p : Profile.t) =
+  Artifact_cache.trace_or_generate t.cache ~profile:p ~length:t.len
 
 let trace t (p : Profile.t) =
   match Hashtbl.find_opt t.traces p.Profile.name with
@@ -96,16 +104,42 @@ let simulate ?telemetry ~(static : Hc_analysis.Static.t) ~scheme tr =
     ignore (Telemetry.write_metrics_json ~path:(base ^ ".metrics.json") m);
     m
 
+(* Run-metrics caching. Telemetry runs bypass the metrics cache (their
+   side artifacts — interval CSVs, metrics JSON in the telemetry dir —
+   must be produced every time); the trace cache still applies. The
+   scheme name is validated before any cache lookup so an unknown scheme
+   raises Not_found warm exactly as it does cold. *)
+let validate_scheme scheme =
+  if not (String.equal scheme oracle_scheme) then
+    ignore (Config.find_scheme scheme)
+
+let find_cached_metrics t ~scheme (p : Profile.t) =
+  match (t.cache, t.telemetry) with
+  | Some c, None -> Artifact_cache.find_metrics c ~scheme ~profile:p ~length:t.len
+  | _ -> None
+
+let store_cached_metrics t ~scheme (p : Profile.t) m =
+  match (t.cache, t.telemetry) with
+  | Some c, None -> Artifact_cache.store_metrics c ~scheme ~profile:p ~length:t.len m
+  | _ -> ()
+
 let metrics t ~scheme (p : Profile.t) =
   let key = (scheme, p.Profile.name) in
   match Hashtbl.find_opt t.runs key with
   | Some m -> m
-  | None ->
-    let tr = trace t p in
-    let static = static_info t tr in
-    let m = simulate ?telemetry:t.telemetry ~static ~scheme tr in
-    Hashtbl.add t.runs key m;
-    m
+  | None -> (
+    validate_scheme scheme;
+    match find_cached_metrics t ~scheme p with
+    | Some m ->
+      Hashtbl.add t.runs key m;
+      m
+    | None ->
+      let tr = trace t p in
+      let static = static_info t tr in
+      let m = simulate ?telemetry:t.telemetry ~static ~scheme tr in
+      store_cached_metrics t ~scheme p m;
+      Hashtbl.add t.runs key m;
+      m)
 
 (* ----- parallel batch fill ----- *)
 
@@ -148,7 +182,6 @@ let ensure_traces t profiles =
       generated
 
 let ensure t pairs =
-  ensure_traces t (List.map snd pairs);
   let missing =
     dedup
       (fun (scheme, (p : Profile.t)) -> (scheme, p.Profile.name))
@@ -157,36 +190,52 @@ let ensure t pairs =
            not (Hashtbl.mem t.runs (scheme, p.Profile.name)))
          pairs)
   in
-  (* resolve scheme names and run the static analysis before fanning out:
-     an unknown scheme raises Not_found on the calling domain, exactly as
-     the sequential path does, and workers only ever read the shared
-     analysis results *)
+  (* resolve scheme names before any cache lookup or fan-out: an unknown
+     scheme raises Not_found on the calling domain, warm or cold *)
+  List.iter (fun (scheme, _) -> validate_scheme scheme) missing;
+  (* metrics-cache pass: cells with a cached run merge directly and need
+     neither their trace nor its static analysis — the warm path of a
+     full sweep touches no generator state at all *)
+  let cold =
+    List.filter
+      (fun (scheme, (p : Profile.t)) ->
+        match find_cached_metrics t ~scheme p with
+        | Some m ->
+          Hashtbl.replace t.runs (scheme, p.Profile.name) m;
+          false
+        | None -> true)
+      missing
+  in
+  ensure_traces t (List.map snd cold);
   let jobs_list =
     List.map
       (fun (scheme, (p : Profile.t)) ->
-        if not (String.equal scheme oracle_scheme) then
-          ignore (Config.find_scheme scheme);
         let tr = trace t p in
-        (scheme, p.Profile.name, tr, static_info t tr))
-      missing
+        (scheme, p, tr, static_info t tr))
+      cold
+  in
+  let commit (scheme, (p : Profile.t), _, _) m =
+    store_cached_metrics t ~scheme p m;
+    Hashtbl.replace t.runs (scheme, p.Profile.name) m
   in
   match jobs_list with
   | [] -> ()
-  | [ (scheme, name, tr, static) ] ->
-    Hashtbl.replace t.runs (scheme, name)
-      (simulate ?telemetry:t.telemetry ~static ~scheme tr)
+  | [ ((scheme, _, tr, static) as job) ] ->
+    commit job (simulate ?telemetry:t.telemetry ~static ~scheme tr)
   | jobs_list ->
     let pool = Domain_pool.get () in
     let results =
       Domain_pool.map pool
-        (fun (scheme, name, tr, static) ->
-          ((scheme, name), simulate ?telemetry:t.telemetry ~static ~scheme tr))
+        (fun (scheme, _, tr, static) ->
+          simulate ?telemetry:t.telemetry ~static ~scheme tr)
         (Array.of_list jobs_list)
     in
     (* keyed, order-independent merge: each worker simulated its own
        (scheme, profile) cell with fresh pipeline state over the shared
-       read-only trace, so results are bit-identical to sequential runs *)
-    Array.iter (fun (key, m) -> Hashtbl.replace t.runs key m) results
+       read-only trace, so results are bit-identical to sequential runs.
+       Cache publishes happen here on the calling domain, one atomic
+       rename per cell. *)
+    List.iteri (fun i job -> commit job results.(i)) jobs_list
 
 let speedup_pct t ~scheme p =
   let baseline = metrics t ~scheme:"baseline" p in

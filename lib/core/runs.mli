@@ -8,7 +8,12 @@
 
 type t
 
-val create : ?length:int -> ?telemetry:Telemetry.config -> unit -> t
+val create :
+  ?length:int ->
+  ?telemetry:Telemetry.config ->
+  ?cache:Artifact_cache.t ->
+  unit ->
+  t
 (** [length] is the per-benchmark trace length (default [30_000] uops,
     generated with the paper's slice-skipping methodology).
 
@@ -18,7 +23,15 @@ val create : ?length:int -> ?telemetry:Telemetry.config -> unit -> t
     [<scheme>__<benchmark>.metrics.json] in [telemetry.dir] (created,
     with parents, up front). Metrics are bit-identical with or without
     telemetry, and the parallel fan-out writes distinct files per cell,
-    so the option composes with {!ensure}. *)
+    so the option composes with {!ensure}.
+
+    [cache] attaches the on-disk {!Artifact_cache}: traces load from
+    (and publish to) their content-addressed binary entries instead of
+    being regenerated, and finished run metrics reload from their cached
+    JSON — warm sweeps skip generation {e and} simulation entirely while
+    returning bit-identical metrics (see [test/test_cache.ml]). With
+    [telemetry] also set, the metrics cache is bypassed (every run must
+    produce its telemetry artifacts) but the trace cache still applies. *)
 
 val length : t -> int
 

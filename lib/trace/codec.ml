@@ -1,0 +1,334 @@
+module Uop = Hc_isa.Uop
+module Reg = Hc_isa.Reg
+module Opcode = Hc_isa.Opcode
+
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+
+let schema_version = 1
+
+let magic = "HCTB"
+
+let is_binary s =
+  String.length s >= String.length magic
+  && String.sub s 0 (String.length magic) = magic
+
+(* ----- name tables ----- *)
+
+let reg_names =
+  lazy
+    (let h = Hashtbl.create (2 * Reg.count) in
+     for i = 0 to Reg.count - 1 do
+       let r = Reg.of_index i in
+       Hashtbl.replace h (Reg.to_string r) r
+     done;
+     h)
+
+let reg_of_name n = Hashtbl.find_opt (Lazy.force reg_names) n
+
+let op_names =
+  lazy
+    (let h = Hashtbl.create 64 in
+     List.iter (fun op -> Hashtbl.replace h (Opcode.to_string op) op) Opcode.all;
+     h)
+
+let op_of_name n = Hashtbl.find_opt (Lazy.force op_names) n
+
+let op_indices =
+  lazy
+    (let h = Hashtbl.create 64 in
+     List.iteri (fun i op -> Hashtbl.replace h op i) Opcode.all;
+     h)
+
+let op_index op = Hashtbl.find (Lazy.force op_indices) op
+
+(* ----- CRC-32 (IEEE 802.3, reflected, 0xEDB88320) ----- *)
+
+(* Slicing-by-4: tables.(k*256+i) advances the register by 4 bytes per
+   step instead of 1, which matters because the CRC pass touches every
+   byte of every cache reload. *)
+let crc_tables =
+  lazy
+    (let t = Array.make (4 * 256) 0 in
+     for n = 0 to 255 do
+       let c = ref n in
+       for _ = 0 to 7 do
+         c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+       done;
+       t.(n) <- !c
+     done;
+     for k = 1 to 3 do
+       for n = 0 to 255 do
+         let prev = t.(((k - 1) * 256) + n) in
+         t.((k * 256) + n) <- t.(prev land 0xFF) lxor (prev lsr 8)
+       done
+     done;
+     t)
+
+let crc32 s ~pos ~len =
+  let tbl = Lazy.force crc_tables in
+  let c = ref 0xFFFF_FFFF in
+  let i = ref pos in
+  let stop = pos + len in
+  while !i + 4 <= stop do
+    let w =
+      (Int32.to_int (String.get_int32_le s !i) land 0xFFFF_FFFF) lxor !c
+    in
+    c :=
+      Array.unsafe_get tbl (768 + (w land 0xFF))
+      lxor Array.unsafe_get tbl (512 + ((w lsr 8) land 0xFF))
+      lxor Array.unsafe_get tbl (256 + ((w lsr 16) land 0xFF))
+      lxor Array.unsafe_get tbl ((w lsr 24) land 0xFF);
+    i := !i + 4
+  done;
+  while !i < stop do
+    c :=
+      Array.unsafe_get tbl ((!c lxor Char.code (String.unsafe_get s !i)) land 0xFF)
+      lxor (!c lsr 8);
+    incr i
+  done;
+  !c lxor 0xFFFF_FFFF
+
+(* ----- varints ----- *)
+
+(* LEB128 on non-negative ints; signed deltas go through zigzag so small
+   magnitudes of either sign stay one byte. *)
+
+let rec add_varint b n =
+  if n land lnot 0x7F = 0 then Buffer.add_char b (Char.unsafe_chr n)
+  else begin
+    Buffer.add_char b (Char.unsafe_chr (0x80 lor (n land 0x7F)));
+    add_varint b (n lsr 7)
+  end
+
+let zigzag n = (n lsl 1) lxor (n asr 62)
+
+let unzigzag n = (n lsr 1) lxor (- (n land 1))
+
+let add_svarint b n = add_varint b (zigzag n)
+
+let add_string b s =
+  add_varint b (String.length s);
+  Buffer.add_string b s
+
+(* ----- encode ----- *)
+
+let encode (t : Trace.t) =
+  let b = Buffer.create (64 + (16 * Trace.length t)) in
+  Buffer.add_string b magic;
+  Buffer.add_char b (Char.chr schema_version);
+  add_string b t.Trace.name;
+  add_varint b (Trace.length t);
+  (* name tables: full enum vocabularies, indexed by position *)
+  add_varint b (List.length Opcode.all);
+  List.iter (fun op -> add_string b (Opcode.to_string op)) Opcode.all;
+  add_varint b Reg.count;
+  for i = 0 to Reg.count - 1 do
+    add_string b (Reg.to_string (Reg.of_index i))
+  done;
+  let prev_id = ref (-1) and prev_pc = ref 0 in
+  Trace.iter
+    (fun (u : Uop.t) ->
+      add_svarint b (u.Uop.id - !prev_id - 1);
+      prev_id := u.Uop.id;
+      add_svarint b (u.Uop.pc - !prev_pc);
+      prev_pc := u.Uop.pc;
+      add_varint b (op_index u.Uop.op);
+      add_varint b
+        (match u.Uop.dst with None -> 0 | Some r -> Reg.to_index r + 1);
+      let flags =
+        (if u.Uop.taken then 1 else 0)
+        lor (if u.Uop.branch_mispredicted then 2 else 0)
+        lor (if u.Uop.dl0_miss then 4 else 0)
+        lor if u.Uop.ul1_miss then 8 else 0
+      in
+      Buffer.add_char b (Char.chr flags);
+      add_varint b (List.length u.Uop.srcs);
+      List.iter2
+        (fun src v ->
+          ( match src with
+          | Uop.Imm _ -> Buffer.add_char b '\000'
+          | Uop.Reg r ->
+            Buffer.add_char b '\001';
+            add_varint b (Reg.to_index r) );
+          add_varint b v)
+        u.Uop.srcs u.Uop.src_vals;
+      add_varint b u.Uop.result;
+      (* mem_addr is base + offset of the first two source values for
+         every well-formed memory uop (lint E107), so it delta-codes
+         against that sum to one byte; 0 (non-memory) keeps its own code
+         so it never pays for the full-magnitude delta. *)
+      ( match u.Uop.mem_addr with
+      | 0 -> add_varint b 0
+      | addr ->
+        let base =
+          match u.Uop.src_vals with a :: o :: _ -> a + o | _ -> 0
+        in
+        add_varint b (1 + zigzag (addr - base)) ))
+    t;
+  let payload = Buffer.contents b in
+  let hdr = String.length magic + 1 in
+  let crc = crc32 payload ~pos:hdr ~len:(String.length payload - hdr) in
+  let out = Buffer.create (String.length payload + 4) in
+  Buffer.add_string out payload;
+  for i = 0 to 3 do
+    Buffer.add_char out (Char.chr ((crc lsr (8 * i)) land 0xFF))
+  done;
+  Buffer.contents out
+
+(* ----- decode ----- *)
+
+type reader = { s : string; mutable pos : int; limit : int }
+
+let read_byte r =
+  if r.pos >= r.limit then corrupt "truncated at byte %d" r.pos;
+  let c = Char.code (String.unsafe_get r.s r.pos) in
+  r.pos <- r.pos + 1;
+  c
+
+let rec read_varint_at r acc shift =
+  if shift > 62 then corrupt "varint overflow at byte %d" r.pos;
+  let byte = read_byte r in
+  let acc = acc lor ((byte land 0x7F) lsl shift) in
+  if byte land 0x80 = 0 then acc else read_varint_at r acc (shift + 7)
+
+let read_varint r = read_varint_at r 0 0
+
+let read_svarint r = unzigzag (read_varint r)
+
+let read_string r =
+  let len = read_varint r in
+  if len < 0 || r.pos + len > r.limit then
+    corrupt "truncated string at byte %d" r.pos;
+  let s = String.sub r.s r.pos len in
+  r.pos <- r.pos + len;
+  s
+
+let decode ?profile s =
+  let profile =
+    match profile with Some p -> p | None -> List.hd Profile.spec_int
+  in
+  let total = String.length s in
+  let hdr = String.length magic + 1 in
+  if total < hdr + 4 then corrupt "short file (%d bytes)" total;
+  if not (is_binary s) then corrupt "bad magic (not a binary trace)";
+  let schema = Char.code s.[String.length magic] in
+  if schema <> schema_version then
+    corrupt "unsupported schema %d (this build reads %d)" schema schema_version;
+  let stored =
+    Char.code s.[total - 4]
+    lor (Char.code s.[total - 3] lsl 8)
+    lor (Char.code s.[total - 2] lsl 16)
+    lor (Char.code s.[total - 1] lsl 24)
+  in
+  let actual = crc32 s ~pos:hdr ~len:(total - hdr - 4) in
+  if stored <> actual then
+    corrupt "crc mismatch (stored 0x%08X, computed 0x%08X): truncated or \
+             bit-flipped file"
+      stored actual;
+  let r = { s; pos = hdr; limit = total - 4 } in
+  let name = read_string r in
+  let count = read_varint r in
+  let nops = read_varint r in
+  let ops =
+    Array.init nops (fun _ ->
+        let n = read_string r in
+        match op_of_name n with
+        | Some op -> op
+        | None -> corrupt "unknown opcode %S in header table" n)
+  in
+  let nregs = read_varint r in
+  let regs =
+    Array.init nregs (fun _ ->
+        let n = read_string r in
+        match reg_of_name n with
+        | Some reg -> reg
+        | None -> corrupt "unknown register %S in header table" n)
+  in
+  let op_at i =
+    if i < 0 || i >= nops then corrupt "opcode index %d out of table" i;
+    ops.(i)
+  in
+  let reg_at i =
+    if i < 0 || i >= nregs then corrupt "register index %d out of table" i;
+    regs.(i)
+  in
+  let prev_id = ref (-1) and prev_pc = ref 0 in
+  let uops =
+    Array.init count (fun _ ->
+        let id = !prev_id + 1 + read_svarint r in
+        prev_id := id;
+        let pc = !prev_pc + read_svarint r in
+        prev_pc := pc;
+        let op = op_at (read_varint r) in
+        let dst =
+          match read_varint r with 0 -> None | d -> Some (reg_at (d - 1))
+        in
+        let flags = read_byte r in
+        let nsrcs = read_varint r in
+        if nsrcs < 0 || nsrcs > 16 then
+          corrupt "implausible operand count %d at uop %d" nsrcs id;
+        (* operands arrive in order; build both lists backwards and
+           reverse once — no intermediate representation *)
+        let srcs = ref [] and src_vals = ref [] in
+        for _ = 1 to nsrcs do
+          ( match read_byte r with
+          | 0 ->
+            let v = read_varint r in
+            srcs := Uop.Imm v :: !srcs;
+            src_vals := v :: !src_vals
+          | 1 ->
+            let reg = reg_at (read_varint r) in
+            let v = read_varint r in
+            srcs := Uop.Reg reg :: !srcs;
+            src_vals := v :: !src_vals
+          | t -> corrupt "bad operand tag %d at uop %d" t id )
+        done;
+        let result = read_varint r in
+        let src_vals = List.rev !src_vals in
+        let mem_addr =
+          match read_varint r with
+          | 0 -> 0
+          | m ->
+            let base =
+              match src_vals with a :: o :: _ -> a + o | _ -> 0
+            in
+            base + unzigzag (m - 1)
+        in
+        (* literal record build: [Uop.make] would re-check list lengths
+           and box six optional arguments per uop, which is measurable
+           across a 30k-uop reload on the warm path *)
+        {
+          Uop.id;
+          pc;
+          op;
+          srcs = List.rev !srcs;
+          dst;
+          src_vals;
+          result;
+          mem_addr;
+          taken = flags land 1 <> 0;
+          branch_mispredicted = flags land 2 <> 0;
+          dl0_miss = flags land 4 <> 0;
+          ul1_miss = flags land 8 <> 0;
+        })
+  in
+  if r.pos <> r.limit then
+    corrupt "%d trailing bytes after uop %d" (r.limit - r.pos) !prev_id;
+  { Trace.name; profile; uops }
+
+let save (t : Trace.t) path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (encode t))
+
+let load ?profile path =
+  let ic = open_in_bin path in
+  let s =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  decode ?profile s

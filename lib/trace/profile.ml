@@ -277,6 +277,24 @@ let archetype = function
 
 let with_seed p seed = { p with seed }
 
+(* Canonical dump of every generation-relevant field. fraction_fields
+   covers the [0,1] rates; the remaining knobs are appended explicitly so
+   a new field that skips both lists shows up as a compile error here
+   rather than as a silently-stale cache key. *)
+let canonical p =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "name=%s|cat=%s|seed=0x%Lx|static=%d" p.name
+       (category_to_string p.category) p.seed p.static_size);
+  List.iter
+    (fun (k, v) -> Buffer.add_string b (Printf.sprintf "|%s=%.17g" k v))
+    (fraction_fields p
+    @ [ ("dep_distance_mean", p.dep_distance_mean);
+        ("loop_back_mean", p.loop_back_mean) ]);
+  Buffer.contents b
+
+let fingerprint p = Digest.to_hex (Digest.string ("hc-profile-v1|" ^ canonical p))
+
 let pp ppf p =
   Format.fprintf ppf
     "@[<v>%s (%a)@ mix: ld=%.2f st=%.2f jcc=%.2f jmp=%.2f mul=%.3f div=%.3f \

@@ -105,4 +105,10 @@ val archetype : category -> t
 
 val with_seed : t -> int64 -> t
 
+val fingerprint : t -> string
+(** Hex digest over {e every} field of the profile (name, category, RNG
+    seed, sizes, all rates). Two profiles generate the same trace
+    universe iff their fingerprints match, which is what makes it the
+    profile component of the on-disk artifact-cache key. *)
+
 val pp : Format.formatter -> t -> unit

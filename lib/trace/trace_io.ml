@@ -2,20 +2,16 @@ module Uop = Hc_isa.Uop
 module Reg = Hc_isa.Reg
 module Opcode = Hc_isa.Opcode
 
-let reg_names =
-  List.init Reg.count (fun i ->
-      let r = Reg.of_index i in
-      (Reg.to_string r, r))
+(* Name lookups go through the Hashtbls Codec builds once — the old
+   List.assoc pair cost O(registers) per operand token. *)
 
 let reg_of_string name =
-  match List.assoc_opt name reg_names with
+  match Codec.reg_of_name name with
   | Some r -> r
   | None -> failwith (Printf.sprintf "unknown register %S" name)
 
-let op_names = List.map (fun op -> (Opcode.to_string op, op)) Opcode.all
-
 let op_of_string name =
-  match List.assoc_opt name op_names with
+  match Codec.op_of_name name with
   | Some op -> op
   | None -> failwith (Printf.sprintf "unknown opcode %S" name)
 
@@ -48,6 +44,8 @@ let save (t : Trace.t) path =
       Printf.fprintf oc "helper-cluster-trace v1 %s %d\n" t.Trace.name
         (Trace.length t);
       Trace.iter (fun u -> output_string oc (uop_to_line u ^ "\n")) t)
+
+let save_binary = Codec.save
 
 let split_kv field =
   match String.index_opt field '=' with
@@ -101,33 +99,42 @@ let uop_of_line line =
       ()
   | _ -> failwith "wrong field count"
 
+let load_text ~profile content =
+  (* trailing newline yields one final "" entry; lines past the declared
+     count are ignored, exactly as the old line-reader did *)
+  let lines = Array.of_list (String.split_on_char '\n' content) in
+  if Array.length lines = 0 then failwith "bad header (empty file)";
+  let header = lines.(0) in
+  let name, count =
+    match String.split_on_char ' ' header with
+    | [ "helper-cluster-trace"; "v1"; name; count ] -> (
+      match int_of_string_opt count with
+      | Some n when n >= 0 -> (name, n)
+      | Some _ | None -> failwith "bad header count")
+    | _ -> failwith "bad header (expected helper-cluster-trace v1 ...)"
+  in
+  let uops =
+    Array.init count (fun i ->
+        if i + 1 >= Array.length lines || lines.(i + 1) = "" then
+          failwith (Printf.sprintf "truncated at uop %d" i);
+        try uop_of_line lines.(i + 1)
+        with Failure msg ->
+          failwith (Printf.sprintf "line %d: %s" (i + 2) msg))
+  in
+  { Trace.name; profile; uops }
+
 let load ?profile path =
   let profile =
     match profile with Some p -> p | None -> List.hd Profile.spec_int
   in
-  let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-      let header = input_line ic in
-      let name, count =
-        match String.split_on_char ' ' header with
-        | [ "helper-cluster-trace"; "v1"; name; count ] -> (
-          match int_of_string_opt count with
-          | Some n when n >= 0 -> (name, n)
-          | Some _ | None -> failwith "bad header count")
-        | _ -> failwith "bad header (expected helper-cluster-trace v1 ...)"
-      in
-      let uops =
-        Array.init count (fun i ->
-            let line = try input_line ic with End_of_file ->
-              failwith (Printf.sprintf "truncated at uop %d" i)
-            in
-            try uop_of_line line
-            with Failure msg ->
-              failwith (Printf.sprintf "line %d: %s" (i + 2) msg))
-      in
-      { Trace.name; profile; uops })
+  let ic = open_in_bin path in
+  let content =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  if Codec.is_binary content then Codec.decode ~profile content
+  else load_text ~profile content
 
 let roundtrip_equal (a : Trace.t) (b : Trace.t) =
   Trace.length a = Trace.length b

@@ -72,4 +72,53 @@ if dune exec bin/hc_lint.exe -- trace "$SMOKE_DIR/lint_bad.trace" > /dev/null; t
 fi
 echo "lint gate OK"
 
+echo "== artifact cache gate =="
+# Cold populate, then prove the warm path returns bit-identical metrics:
+# the 0-tolerance hc_report diff between the cold and warm runs of the
+# same cell must pass, every cache entry must verify, and a truncated
+# entry must (a) trip hc_cache verify and (b) self-heal on the next run
+# without changing a single metric.
+CACHE_DIR="$SMOKE_DIR/cache"
+dune exec bin/hc_sim.exe -- --benchmark mcf --scheme 8_8_8 --length 8000 \
+  --compare false --cache-dir "$CACHE_DIR" \
+  --metrics-out "$SMOKE_DIR/cache_cold.json" > /dev/null
+dune exec bin/hc_sim.exe -- --benchmark mcf --scheme 8_8_8 --length 8000 \
+  --compare false --cache-dir "$CACHE_DIR" \
+  --metrics-out "$SMOKE_DIR/cache_warm.json" > /dev/null
+dune exec bin/hc_report.exe -- diff "$SMOKE_DIR/cache_cold.json" \
+  "$SMOKE_DIR/cache_warm.json"
+dune exec bin/hc_cache.exe -- verify --cache-dir "$CACHE_DIR"
+# truncate the published trace entry in place: verify must now fail...
+for entry in "$CACHE_DIR"/traces/*.hct; do
+  head -c 100 "$entry" > "$entry.cut" && mv "$entry.cut" "$entry"
+done
+if dune exec bin/hc_cache.exe -- verify --cache-dir "$CACHE_DIR" > /dev/null; then
+  echo "FAIL: hc_cache verify accepted a truncated trace entry"
+  exit 1
+fi
+# ...and the next run must self-heal around it, bit-identically
+dune exec bin/hc_sim.exe -- --benchmark mcf --scheme 8_8_8 --length 8000 \
+  --compare false --cache-dir "$CACHE_DIR" \
+  --metrics-out "$SMOKE_DIR/cache_healed.json" > /dev/null
+dune exec bin/hc_report.exe -- diff "$SMOKE_DIR/cache_cold.json" \
+  "$SMOKE_DIR/cache_healed.json"
+dune exec bin/hc_cache.exe -- verify --cache-dir "$CACHE_DIR"
+dune exec bin/hc_cache.exe -- stats --cache-dir "$CACHE_DIR"
+echo "cache gate OK"
+
+echo "== binary trace gate =="
+# A binary trace must load and lint exactly like its text twin, and a
+# truncated binary file must surface as lint error E108, not a crash.
+dune exec bin/hc_trace.exe -- generate --benchmark gcc --length 6000 \
+  --format binary --out "$SMOKE_DIR/lint_gcc.hct" > /dev/null
+dune exec bin/hc_lint.exe -- trace "$SMOKE_DIR/lint_gcc.hct" --benchmark gcc
+head -c 1000 "$SMOKE_DIR/lint_gcc.hct" > "$SMOKE_DIR/lint_cut.hct"
+if dune exec bin/hc_lint.exe -- trace "$SMOKE_DIR/lint_cut.hct" \
+    > "$SMOKE_DIR/lint_cut.out"; then
+  echo "FAIL: hc_lint accepted a truncated binary trace"
+  exit 1
+fi
+grep -q E108 "$SMOKE_DIR/lint_cut.out"
+echo "binary trace gate OK"
+
 echo "smoke OK"

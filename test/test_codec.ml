@@ -1,0 +1,193 @@
+(* Tests for the binary trace codec: roundtrips (example-based and
+   property-based against the text format), format dispatch, and clean
+   rejection of every corruption mode the cache self-heals from. *)
+
+module Uop = Hc_isa.Uop
+module Reg = Hc_isa.Reg
+module Opcode = Hc_isa.Opcode
+module Trace = Hc_trace.Trace
+module Trace_io = Hc_trace.Trace_io
+module Codec = Hc_trace.Codec
+module Generator = Hc_trace.Generator
+module Profile = Hc_trace.Profile
+
+let temp name = Filename.concat (Filename.get_temp_dir_name ()) name
+
+let gcc = Profile.find_spec_int "gcc"
+
+let gen_trace length name =
+  Generator.generate_sliced ~length (Profile.find_spec_int name)
+
+(* ----- roundtrips ----- *)
+
+let test_roundtrip_generated () =
+  let t = gen_trace 3_000 "gcc" in
+  let t' = Codec.decode ~profile:t.Trace.profile (Codec.encode t) in
+  Alcotest.(check string) "name preserved" t.Trace.name t'.Trace.name;
+  Alcotest.(check bool) "uops identical" true (Trace_io.roundtrip_equal t t')
+
+let test_empty_roundtrip () =
+  let t = { Trace.name = "empty"; profile = gcc; uops = [||] } in
+  let t' = Codec.decode ~profile:gcc (Codec.encode t) in
+  Alcotest.(check int) "zero uops" 0 (Trace.length t');
+  Alcotest.(check string) "name preserved" "empty" t'.Trace.name
+
+let test_size_and_speed_claims () =
+  let t = gen_trace 3_000 "mcf" in
+  let enc = Codec.encode t in
+  Alcotest.(check bool) "starts with magic" true (Codec.is_binary enc);
+  let text_path = temp "hc_codec_size.trace" in
+  Trace_io.save t text_path;
+  let text_bytes = (Unix.stat text_path).Unix.st_size in
+  Sys.remove text_path;
+  Alcotest.(check bool)
+    (Printf.sprintf "binary at least 4x smaller (%d vs %d bytes)"
+       (String.length enc) text_bytes)
+    true
+    (String.length enc * 4 < text_bytes)
+
+let test_save_load_dispatch () =
+  let t = gen_trace 1_000 "vpr" in
+  let bin_path = temp "hc_codec_dispatch.hct" in
+  let text_path = temp "hc_codec_dispatch.trace" in
+  Trace_io.save_binary t bin_path;
+  Trace_io.save t text_path;
+  (* the same loader reads both encodings, keyed off the magic bytes *)
+  let from_bin = Trace_io.load ~profile:t.Trace.profile bin_path in
+  let from_text = Trace_io.load ~profile:t.Trace.profile text_path in
+  Sys.remove bin_path;
+  Sys.remove text_path;
+  Alcotest.(check bool) "binary load identical" true
+    (Trace_io.roundtrip_equal t from_bin);
+  Alcotest.(check bool) "text load identical" true
+    (Trace_io.roundtrip_equal t from_text)
+
+(* ----- property: binary and text roundtrips agree on random uops ----- *)
+
+(* Random uops within the representable envelope of both formats:
+   non-negative 32-bit values, immediates equal to their recorded source
+   value (the trace generator's invariant, and all the text format can
+   express), registers and opcodes from the real enums. Ids are made
+   dense and pcs non-negative after generation. *)
+let uop_gen =
+  let open QCheck.Gen in
+  let value =
+    oneof
+      [
+        int_bound 0xFF;
+        (let* hi = int_bound 0xFFFF in
+         let* lo = int_bound 0xFFFF in
+         return ((hi lsl 16) lor lo));
+      ]
+  in
+  let reg = map Reg.of_index (int_bound (Reg.count - 1)) in
+  let operand =
+    let* v = value in
+    oneof [ return (Uop.Imm v, v); map (fun r -> (Uop.Reg r, v)) reg ]
+  in
+  let* pc = int_bound 0xFFFFF in
+  let* op = oneofl Opcode.all in
+  let* operands = list_size (int_bound 3) operand in
+  let* dst = option reg in
+  let* result = value in
+  let* mem_addr = oneof [ return 0; value ] in
+  let* taken = bool in
+  let* misp = bool in
+  let* dl0 = bool in
+  let* ul1 = bool in
+  return
+    (Uop.make ~id:0 ~pc ~op ~srcs:(List.map fst operands) ~dst
+       ~src_vals:(List.map snd operands) ~result ~mem_addr ~taken
+       ~branch_mispredicted:misp ~dl0_miss:dl0 ~ul1_miss:ul1 ())
+
+let trace_gen =
+  let open QCheck.Gen in
+  let* uops = list_size (int_bound 60) uop_gen in
+  let uops = Array.of_list uops in
+  Array.iteri (fun i u -> uops.(i) <- { u with Uop.id = i }) uops;
+  return { Trace.name = "prop"; profile = gcc; uops }
+
+let prop_binary_matches_text =
+  QCheck.Test.make ~name:"binary and text roundtrips both reproduce the trace"
+    ~count:30
+    (QCheck.make
+       ~print:(fun t -> Printf.sprintf "<%d random uops>" (Trace.length t))
+       trace_gen)
+    (fun t ->
+      let bin = Codec.decode ~profile:gcc (Codec.encode t) in
+      let path = temp "hc_codec_prop.trace" in
+      Trace_io.save t path;
+      let txt = Trace_io.load ~profile:gcc path in
+      Sys.remove path;
+      Trace_io.roundtrip_equal t bin
+      && Trace_io.roundtrip_equal t txt
+      && Trace_io.roundtrip_equal bin txt)
+
+(* ----- corruption: every defect raises Corrupt, never a wrong trace ----- *)
+
+let expect_corrupt name data =
+  match Codec.decode ~profile:gcc data with
+  | _ -> Alcotest.failf "%s: expected Codec.Corrupt" name
+  | exception Codec.Corrupt _ -> ()
+
+let flip s i =
+  let b = Bytes.of_string s in
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x40));
+  Bytes.to_string b
+
+let test_corrupt_rejected () =
+  let enc = Codec.encode (gen_trace 500 "gzip") in
+  let n = String.length enc in
+  expect_corrupt "truncated body" (String.sub enc 0 (n - 10));
+  expect_corrupt "truncated to header" (String.sub enc 0 6);
+  expect_corrupt "flipped payload byte" (flip enc (n / 2));
+  expect_corrupt "flipped crc byte" (flip enc (n - 1));
+  expect_corrupt "trailing garbage" (enc ^ "junk");
+  expect_corrupt "future schema"
+    (let b = Bytes.of_string enc in
+     Bytes.set b 4 (Char.chr 99);
+     Bytes.to_string b);
+  expect_corrupt "foreign magic" ("XXTB" ^ String.sub enc 4 (n - 4))
+
+let test_corrupt_through_loader () =
+  (* a damaged binary file surfaces as Codec.Corrupt from the dispatching
+     loader; a non-binary file still takes the text path and its errors *)
+  let enc = Codec.encode (gen_trace 300 "mcf") in
+  let path = temp "hc_codec_damaged.hct" in
+  let oc = open_out_bin path in
+  output_string oc (String.sub enc 0 (String.length enc - 5));
+  close_out oc;
+  ( match Trace_io.load ~profile:gcc path with
+  | _ -> Alcotest.fail "expected Codec.Corrupt from dispatching loader"
+  | exception Codec.Corrupt _ -> () );
+  Sys.remove path;
+  let oc = open_out (temp "hc_codec_nottext.trace") in
+  output_string oc "not-a-trace\n";
+  close_out oc;
+  match Trace_io.load ~profile:gcc (temp "hc_codec_nottext.trace") with
+  | _ -> Alcotest.fail "expected Failure from text path"
+  | exception Failure _ -> Sys.remove (temp "hc_codec_nottext.trace")
+
+let test_crc_stability () =
+  (* pinned value so an accidental polynomial / table change cannot pass
+     as a "both sides updated" refactor *)
+  Alcotest.(check int) "crc32 of known vector" 0xCBF43926
+    (Codec.crc32 "123456789" ~pos:0 ~len:9)
+
+let suite =
+  ( "codec",
+    [
+      Alcotest.test_case "roundtrip of generated trace" `Quick
+        test_roundtrip_generated;
+      Alcotest.test_case "empty trace" `Quick test_empty_roundtrip;
+      Alcotest.test_case "binary is much smaller" `Quick
+        test_size_and_speed_claims;
+      Alcotest.test_case "save/load dispatch on magic" `Quick
+        test_save_load_dispatch;
+      QCheck_alcotest.to_alcotest prop_binary_matches_text;
+      Alcotest.test_case "corruption modes rejected" `Quick
+        test_corrupt_rejected;
+      Alcotest.test_case "corruption through Trace_io.load" `Quick
+        test_corrupt_through_loader;
+      Alcotest.test_case "crc32 known vector" `Quick test_crc_stability;
+    ] )

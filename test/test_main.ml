@@ -28,6 +28,8 @@ let () =
       Test_related.suite;
       Test_export.suite;
       Test_trace_io.suite;
+      Test_codec.suite;
+      Test_cache.suite;
       Test_analysis_static.suite;
       Test_fuzz.suite;
       Test_parallel.suite;
