@@ -36,6 +36,8 @@ module Codec = Hc_trace.Codec
 module Config = Hc_sim.Config
 module Pipeline = Hc_sim.Pipeline
 module Width_predictor = Hc_predictors.Width_predictor
+module Registry = Hc_obs.Registry
+module Span = Hc_obs.Span
 
 (* ----- part 1: regenerate every table and figure ----- *)
 
@@ -115,6 +117,32 @@ let predictor_kernel () =
         ~narrow:(Hc_isa.Width.is_narrow u.Hc_isa.Uop.result))
     t
 
+(* Observability overhead kernels. Ambient observability is OFF for the
+   whole bench process (no --obs here), so the *-off kernels measure
+   exactly what every instrumentation point costs on the untraced hot
+   path: one atomic load and a match on None. The *-on kernels use a
+   local registry (never the ambient one — enabling that mid-bench would
+   contaminate the sim kernels) to price the enabled lock-free path. *)
+let obs_local_counter =
+  lazy
+    (let r = Registry.create () in
+     Registry.counter r ~help:"bench overhead kernel" "bench_ops_total")
+
+let obs_local_hist =
+  lazy
+    (let r = Registry.create () in
+     Registry.histogram r ~help:"bench overhead kernel" "bench_obs_ns")
+
+let obs_scrape_registry =
+  lazy
+    (let r = Registry.create () in
+     Registry.add (Registry.counter r "bench_a_total") 7;
+     Registry.gauge_set (Registry.gauge r "bench_b") 3;
+     for i = 1 to 100 do
+       Registry.observe (Registry.histogram r "bench_c") i
+     done;
+     r)
+
 let tests =
   let open Bechamel in
   let stage name f = Test.make ~name (Staged.stage f) in
@@ -150,6 +178,27 @@ let tests =
              (Lazy.force bench_encoded)));
     stage "codec:text-load" (fun () ->
         ignore (Trace_io.load (Lazy.force bench_text_file)));
+    stage "obs:counter-guard-off-x1000" (fun () ->
+        for _ = 1 to 1000 do
+          Registry.with_ambient (fun r ->
+              Registry.inc (Registry.counter r "bench_never_total"))
+        done);
+    stage "obs:span-guard-off-x1000" (fun () ->
+        for _ = 1 to 1000 do
+          Span.with_span "bench-noop" ignore
+        done);
+    stage "obs:counter-add-x1000" (fun () ->
+        let c = Lazy.force obs_local_counter in
+        for _ = 1 to 1000 do
+          Registry.inc c
+        done);
+    stage "obs:histogram-observe-x1000" (fun () ->
+        let h = Lazy.force obs_local_hist in
+        for i = 1 to 1000 do
+          Registry.observe h i
+        done);
+    stage "obs:scrape" (fun () ->
+        ignore (Registry.scrape (Lazy.force obs_scrape_registry)));
     stage "cache:warm-reload" (fun () ->
         match
           Artifact_cache.find_trace (Lazy.force bench_cache)
@@ -260,12 +309,53 @@ let timed_cache ~jobs =
       then failwith "bench: warm cache pass touched traces (expected none)";
       (cold_s, warm_s, Artifact_cache.counts cold_cache, counts))
 
-let write_json ~path ~kernels ~regen ~cache =
+(* A short observed sweep with the ambient registry and span collector
+   on — run after the kernels, so enabling observability can never
+   contaminate their timings: 8_8_8 over the 12 seed profiles at 2k
+   uops, scraped into the snapshot. This regression-tracks the counter
+   surface itself (names, labels, totals) across PRs. *)
+let registry_sweep_length = 2_000
+
+let registry_sweep () =
+  let r = Registry.enable () in
+  Registry.reset r;
+  ignore (Span.enable ());
+  let runs = Runs.create ~length:registry_sweep_length () in
+  Runs.ensure runs (List.map (fun p -> ("8_8_8", p)) Runs.spec_profiles);
+  let samples = Registry.scrape r in
+  let span_count =
+    match Span.ambient () with Some c -> Span.count c | None -> 0
+  in
+  Registry.disable ();
+  Span.disable ();
+  (samples, span_count)
+
+let registry_rows samples =
+  List.concat_map
+    (fun (s : Registry.sample) ->
+      let key =
+        s.Registry.s_name
+        ^
+        match s.Registry.s_labels with
+        | [] -> ""
+        | ls ->
+          "{"
+          ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) ls)
+          ^ "}"
+      in
+      match s.Registry.s_value with
+      | Registry.Counter_v v | Registry.Gauge_v v -> [ (key, v) ]
+      | Registry.Histogram_v hv ->
+        [ (key ^ "_count", hv.Registry.h_count);
+          (key ^ "_sum", hv.Registry.h_sum) ])
+    samples
+
+let write_json ~path ~kernels ~regen ~cache ~registry =
   let pool = Domain_pool.get () in
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
-  p "  \"schema\": 3,\n";
+  p "  \"schema\": 4,\n";
   (* run metadata: git SHA, host cores, jobs, seed fingerprint, wall
      clock — so a BENCH_*.json snapshot is self-describing *)
   p "  %s,\n"
@@ -320,6 +410,24 @@ let write_json ~path ~kernels ~regen ~cache =
     p "    \"warm_run_misses\": %d,\n" warm_c.Artifact_cache.run_misses;
     p "    \"warm_trace_hits\": %d\n" warm_c.Artifact_cache.trace_hits;
     p "  }" );
+  ( match registry with
+  | None -> ()
+  | Some (samples, span_count) ->
+    p ",\n  \"registry\": {\n";
+    p "    \"length\": %d,\n" registry_sweep_length;
+    p "    \"scheme\": \"8_8_8\",\n";
+    p "    \"profiles\": %d,\n" (List.length Runs.spec_profiles);
+    p "    \"spans_recorded\": %d,\n" span_count;
+    p "    \"counters\": {\n";
+    let rows = registry_rows samples in
+    let n = List.length rows in
+    List.iteri
+      (fun i (k, v) ->
+        p "      \"%s\": %d%s\n" (json_escape k) v
+          (if i = n - 1 then "" else ","))
+      rows;
+    p "    }\n";
+    p "  }" );
   p "\n}\n";
   close_out oc;
   Printf.printf "\nwrote %s\n" path
@@ -363,7 +471,10 @@ let () =
       else Some (timed_cache ~jobs:(Domain_pool.default_jobs ()))
     in
     let kernels = if only_tables then [] else run_bechamel () in
-    write_json ~path ~kernels ~regen ~cache
+    (* observed sweep last: the ambient registry only turns on after
+       every timed pass has finished *)
+    let registry = Some (registry_sweep ()) in
+    write_json ~path ~kernels ~regen ~cache ~registry
   | None ->
     if not only_micro then regenerate ();
     if not only_tables then ignore (run_bechamel ())

@@ -10,6 +10,7 @@
    the way it gates on the lint. *)
 
 module Artifact_cache = Hc_core.Artifact_cache
+module Registry = Hc_obs.Registry
 
 open Cmdliner
 
@@ -31,22 +32,58 @@ let cache_of cache_dir =
 
 let mb bytes = float_of_int bytes /. (1024. *. 1024.)
 
+(* The machine-readable stats object: disk truth plus this process's
+   registry-sourced operation counters (hits / misses / self-heals /
+   bytes moved — zero in a bare `stats` call, populated when the same
+   process has exercised the cache, as the tests do). *)
+let stats_json c =
+  let d = Artifact_cache.disk c in
+  let samples = Registry.scrape (Registry.enable ()) in
+  let kind k name = Registry.counter_value samples ~labels:[ ("kind", k) ] name in
+  let both name = kind "trace" name + kind "run" name in
+  Printf.sprintf
+    "{\"schema\":1,\"root\":%S,\"disk\":{\"trace_entries\":%d,\
+     \"trace_bytes\":%d,\"run_entries\":%d,\"run_bytes\":%d},\
+     \"counters\":{\"hits\":%d,\"misses\":%d,\"self_heals\":%d,\
+     \"stores\":%d,\"read_bytes\":%d,\"written_bytes\":%d}}"
+    (Artifact_cache.root c) d.Artifact_cache.trace_entries
+    d.Artifact_cache.trace_bytes d.Artifact_cache.run_entries
+    d.Artifact_cache.run_bytes
+    (both "hc_cache_hits_total")
+    (both "hc_cache_misses_total")
+    (both "hc_cache_self_heals_total")
+    (both "hc_cache_stores_total")
+    (Registry.counter_value samples "hc_cache_read_bytes_total")
+    (Registry.counter_value samples "hc_cache_written_bytes_total")
+
 let stats_cmd =
-  let run cache_dir =
+  let run cache_dir json =
     let c = cache_of cache_dir in
-    let d = Artifact_cache.disk c in
-    Printf.printf "cache root: %s\n" (Artifact_cache.root c);
-    Printf.printf "traces: %5d entries, %8.2f MiB\n"
-      d.Artifact_cache.trace_entries (mb d.Artifact_cache.trace_bytes);
-    Printf.printf "runs:   %5d entries, %8.2f MiB\n"
-      d.Artifact_cache.run_entries (mb d.Artifact_cache.run_bytes);
-    Printf.printf "total:  %5d entries, %8.2f MiB\n"
-      (d.Artifact_cache.trace_entries + d.Artifact_cache.run_entries)
-      (mb (d.Artifact_cache.trace_bytes + d.Artifact_cache.run_bytes))
+    if json then print_endline (stats_json c)
+    else begin
+      let d = Artifact_cache.disk c in
+      Printf.printf "cache root: %s\n" (Artifact_cache.root c);
+      Printf.printf "traces: %5d entries, %8.2f MiB\n"
+        d.Artifact_cache.trace_entries (mb d.Artifact_cache.trace_bytes);
+      Printf.printf "runs:   %5d entries, %8.2f MiB\n"
+        d.Artifact_cache.run_entries (mb d.Artifact_cache.run_bytes);
+      Printf.printf "total:  %5d entries, %8.2f MiB\n"
+        (d.Artifact_cache.trace_entries + d.Artifact_cache.run_entries)
+        (mb (d.Artifact_cache.trace_bytes + d.Artifact_cache.run_bytes))
+    end
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit one strict-JSON object (disk entry counts and bytes plus \
+             the process's registry-sourced hit/miss/self-heal/byte \
+             counters) instead of the human table.")
   in
   Cmd.v
     (Cmd.info "stats" ~doc:"print entry counts and on-disk size")
-    Term.(const run $ cache_dir_arg)
+    Term.(const run $ cache_dir_arg $ json)
 
 let verify_cmd =
   let run cache_dir fix =

@@ -14,11 +14,13 @@ module Ablations = Hc_core.Ablations
 module Runs = Hc_core.Runs
 module Domain_pool = Hc_core.Domain_pool
 module Artifact_cache = Hc_core.Artifact_cache
+module Telemetry = Hc_core.Telemetry
+module Obs_setup = Hc_core.Obs_setup
 
 open Cmdliner
 
-let run_ids ids length telemetry cache =
-  let runs = Runs.create ~length ?telemetry ?cache () in
+let run_ids ids length telemetry cache progress =
+  let runs = Runs.create ~length ?telemetry ?cache ?progress () in
   let selected =
     match ids with
     | [] -> Experiments.all
@@ -77,13 +79,14 @@ let list_experiments () =
       Printf.printf "%-12s %s\n" a.Ablations.id a.Ablations.title)
     Ablations.all
 
-let export dir length telemetry cache =
-  let runs = Runs.create ~length ?telemetry ?cache () in
+let export dir length telemetry cache progress =
+  let runs = Runs.create ~length ?telemetry ?cache ?progress () in
   let written = Hc_core.Export.write_all runs ~dir in
   List.iter print_endline written
 
 let main list_flag ablations csv_dir length jobs telemetry_dir
-    metrics_interval cache_dir ids =
+    metrics_interval cache_dir obs span_log prom_out progress_flag ids =
+  let obs_t = Obs_setup.setup ~obs ?span_log ?prom_out () in
   ( match jobs with
   | Some n when n > 0 -> Domain_pool.set_jobs n
   | Some _ | None -> () );
@@ -93,12 +96,21 @@ let main list_flag ablations csv_dir length jobs telemetry_dir
       telemetry_dir
   in
   let cache = Artifact_cache.of_cli cache_dir in
-  if list_flag then list_experiments ()
-  else if ablations then run_ablations ids length
-  else
-    match csv_dir with
-    | Some dir -> export dir length telemetry cache
-    | None -> run_ids ids length telemetry cache
+  let progress =
+    if progress_flag then
+      Some (Telemetry.progress_create ~label:"campaign" ~enabled:true ())
+    else None
+  in
+  ( if list_flag then list_experiments ()
+    else if ablations then run_ablations ids length
+    else
+      match csv_dir with
+      | Some dir -> export dir length telemetry cache progress
+      | None -> run_ids ids length telemetry cache progress );
+  ( match progress with
+  | Some p -> Telemetry.progress_finish p
+  | None -> () );
+  Obs_setup.finish obs_t
 
 let cmd =
   let list_flag =
@@ -159,6 +171,40 @@ let cmd =
              (default: $(b,HC_CACHE_DIR) or $(b,_hc_cache); $(b,none) \
              disables).")
   in
+  let obs =
+    Arg.(
+      value & flag
+      & info [ "obs" ]
+          ~doc:
+            "Enable the process-wide observability layer (metrics registry \
+             + stage-span collector).")
+  in
+  let span_log =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "span-log" ] ~docv:"FILE"
+          ~doc:
+            "Write recorded stage spans as JSONL to $(docv); implies \
+             observability on.")
+  in
+  let prom_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "prom-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the final metrics-registry scrape as Prometheus text \
+             exposition to $(docv); implies observability on.")
+  in
+  let progress =
+    Arg.(
+      value & flag
+      & info [ "progress" ]
+          ~doc:
+            "Live campaign reporter on stderr: cells done/total, warm-hit \
+             rate and ETA, updated as the sweep resolves.")
+  in
   let ids =
     Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT")
   in
@@ -166,6 +212,7 @@ let cmd =
   Cmd.v (Cmd.info "hc_experiments" ~doc)
     Term.(
       const main $ list_flag $ ablations $ csv_dir $ length $ jobs
-      $ telemetry_dir $ metrics_interval $ cache_dir $ ids)
+      $ telemetry_dir $ metrics_interval $ cache_dir $ obs $ span_log
+      $ prom_out $ progress $ ids)
 
 let () = exit (Cmd.eval cmd)

@@ -96,7 +96,8 @@ let trace_cmd =
 (* ---- seeds: lint every generated seed workload ---- *)
 
 let seeds_cmd =
-  let run length bits cache_dir =
+  let run length bits cache_dir obs span_log prom_out =
+    let obs_t = Hc_core.Obs_setup.setup ~obs ?span_log ?prom_out () in
     let cache = Artifact_cache.of_cli cache_dir in
     let all =
       List.map
@@ -110,6 +111,7 @@ let seeds_cmd =
           diags)
         Profile.spec_int
     in
+    Hc_core.Obs_setup.finish obs_t;
     finish all
   in
   let length =
@@ -126,11 +128,35 @@ let seeds_cmd =
             "Artifact-cache root for the seed traces (default: \
              $(b,HC_CACHE_DIR) or $(b,_hc_cache); $(b,none) disables).")
   in
+  let obs =
+    Arg.(
+      value & flag
+      & info [ "obs" ]
+          ~doc:"Enable the observability layer (registry + span collector).")
+  in
+  let span_log =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "span-log" ] ~docv:"FILE"
+          ~doc:"Write recorded stage spans as JSONL to $(docv).")
+  in
+  let prom_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "prom-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the final registry scrape as Prometheus text exposition \
+             to $(docv).")
+  in
   let doc =
     "generate and verify all 12 SPEC seed workloads (incl. mix drift and \
      the static-analysis soundness gate)"
   in
-  Cmd.v (Cmd.info "seeds" ~doc) Term.(const run $ length $ bits_arg $ cache_dir)
+  Cmd.v (Cmd.info "seeds" ~doc)
+    Term.(
+      const run $ length $ bits_arg $ cache_dir $ obs $ span_log $ prom_out)
 
 (* ---- config: lint the built-in machine configurations ---- *)
 

@@ -146,6 +146,85 @@ let attrib_cmd =
   let doc = "steering-attribution breakdown (and its sum invariant)" in
   Cmd.v (Cmd.info "attrib" ~doc) Term.(const run $ files)
 
+(* ---- spans ---- *)
+
+(* Read a --span-log JSONL file back through the strict parser: every
+   line must be one well-formed object with the span-record shape, so
+   this doubles as a validator for the structured event log. *)
+let spans_cmd =
+  let run path =
+    let ic =
+      try open_in path with Sys_error e -> die "hc_report spans: %s" e
+    in
+    let lines = ref [] in
+    ( try
+        while true do
+          lines := input_line ic :: !lines
+        done
+      with End_of_file -> close_in ic );
+    let rows =
+      List.mapi
+        (fun i line ->
+          let lineno = i + 1 in
+          match Json.parse line with
+          | Error at ->
+            die "hc_report spans: %s:%d: malformed JSON at byte %d" path
+              lineno at
+          | Ok j ->
+            let str key =
+              match Option.bind (Json.member key j) Json.string_value with
+              | Some s -> s
+              | None ->
+                die "hc_report spans: %s:%d: missing string field %S" path
+                  lineno key
+            in
+            let num key =
+              match Option.bind (Json.member key j) Json.number with
+              | Some n -> n
+              | None ->
+                die "hc_report spans: %s:%d: missing numeric field %S" path
+                  lineno key
+            in
+            if num "schema" <> 1. then
+              die "hc_report spans: %s:%d: unsupported schema" path lineno;
+            if str "kind" <> "span" then
+              die "hc_report spans: %s:%d: not a span record" path lineno;
+            (str "name", str "track", num "dur_ns", num "gc_minor_words"))
+        (List.rev !lines)
+    in
+    if rows = [] then die "hc_report spans: %s is empty" path;
+    (* aggregate by stage name *)
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun (name, _, dur, minor) ->
+        let c, total, mx, mw =
+          Option.value (Hashtbl.find_opt tbl name) ~default:(0, 0., 0., 0.)
+        in
+        Hashtbl.replace tbl name (c + 1, total +. dur, Float.max mx dur, mw +. minor))
+      rows;
+    let stages =
+      List.sort compare
+        (Hashtbl.fold (fun name v acc -> (name, v) :: acc) tbl [])
+    in
+    Printf.printf "%s: %d spans, %d stages\n" path (List.length rows)
+      (List.length stages);
+    Printf.printf "%-18s %7s %12s %12s %14s\n" "stage" "count" "total ms"
+      "max ms" "minor kwords";
+    List.iter
+      (fun (name, (c, total, mx, mw)) ->
+        Printf.printf "%-18s %7d %12.2f %12.2f %14.0f\n" name c (total /. 1e6)
+          (mx /. 1e6) (mw /. 1e3))
+      stages
+  in
+  let path =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SPANS.jsonl")
+  in
+  let doc =
+    "read a --span-log JSONL file (strict parse of every line) and print \
+     the per-stage aggregate"
+  in
+  Cmd.v (Cmd.info "spans" ~doc) Term.(const run $ path)
+
 (* ---- diff / baseline ---- *)
 
 let tol_conv =
@@ -235,4 +314,5 @@ let () =
   let info = Cmd.info "hc_report" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ report_cmd; attrib_cmd; diff_cmd; baseline_cmd ]))
+       (Cmd.group info
+          [ report_cmd; attrib_cmd; spans_cmd; diff_cmd; baseline_cmd ]))

@@ -18,6 +18,7 @@ module Artifact_cache = Hc_core.Artifact_cache
 module Sink = Hc_obs.Sink
 module Sample = Hc_obs.Sample
 module Chrome_trace = Hc_obs.Chrome_trace
+module Obs_setup = Hc_core.Obs_setup
 
 open Cmdliner
 
@@ -47,7 +48,9 @@ let totals_match (a : Sample.totals) (m : Metrics.t) =
   && a.Sample.issued_total = m.Metrics.issued_total
 
 let run benchmark scheme length power compare_baseline jobs trace_out
-    metrics_interval interval_out trace_buffer metrics_out cache_dir =
+    metrics_interval interval_out trace_buffer metrics_out cache_dir obs
+    span_log prom_out =
+  let obs_t = Obs_setup.setup ~obs ?span_log ?prom_out () in
   ( match jobs with
   | Some n when n > 0 -> Domain_pool.set_jobs n
   | Some _ | None -> () );
@@ -121,10 +124,13 @@ let run benchmark scheme length power compare_baseline jobs trace_out
       let written =
         Chrome_trace.write
           ~ring:(Sink.events_pushed sink, Sink.events_dropped sink)
-          ~path ~events:(Sink.events sink) ~samples:(Sink.samples sink) ()
+          ~stage_spans:(Obs_setup.spans ()) ~path ~events:(Sink.events sink)
+          ~samples:(Sink.samples sink) ()
       in
-      Format.printf "trace: wrote %s (%d events, %d dropped by ring wrap)@."
-        written (Sink.events_pushed sink) (Sink.events_dropped sink)
+      Format.printf "trace: wrote %s (%s)@." written (Sink.summary sink)
+    | None -> () );
+    ( match Sink.dropped_warning sink with
+    | Some w -> Printf.eprintf "%s\n%!" w
     | None -> () );
     if Sink.interval sink > 0 then begin
       let path =
@@ -147,7 +153,13 @@ let run benchmark scheme length power compare_baseline jobs trace_out
     List.iter
       (fun (name, e) -> Format.printf "  %-20s %12.0f@." name e)
       report.Model.breakdown
-  end
+  end;
+  if obs then begin
+    Printf.eprintf "-- stage spans --\n";
+    List.iter (fun l -> Printf.eprintf "%s\n" l) (Obs_setup.stage_lines ());
+    Printf.eprintf "%!"
+  end;
+  Obs_setup.finish obs_t
 
 let cmd =
   let benchmark =
@@ -236,11 +248,38 @@ let cmd =
              cold generation (default: $(b,HC_CACHE_DIR) or \
              $(b,_hc_cache); the value $(b,none) disables caching).")
   in
+  let obs =
+    Arg.(
+      value & flag
+      & info [ "obs" ]
+          ~doc:
+            "Enable the process-wide observability layer (metrics registry \
+             + stage-span collector) and print the per-stage aggregate to \
+             stderr on exit. Off, the untraced hot path is bit-identical.")
+  in
+  let span_log =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "span-log" ] ~docv:"FILE"
+          ~doc:
+            "Write every recorded stage span as JSONL (one strict-JSON \
+             object per line) to $(docv); implies observability on.")
+  in
+  let prom_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "prom-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the final metrics-registry scrape as Prometheus text \
+             exposition to $(docv); implies observability on.")
+  in
   let doc = "cycle-level helper-cluster simulator" in
   Cmd.v (Cmd.info "hc_sim" ~doc)
     Term.(
       const run $ benchmark $ scheme $ length $ power $ compare_baseline $ jobs
       $ trace_out $ metrics_interval $ interval_out $ trace_buffer
-      $ metrics_out $ cache_dir)
+      $ metrics_out $ cache_dir $ obs $ span_log $ prom_out)
 
 let () = exit (Cmd.eval cmd)

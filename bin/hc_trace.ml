@@ -22,6 +22,7 @@ module Sink = Hc_obs.Sink
 module Chrome_trace = Hc_obs.Chrome_trace
 module Export = Hc_core.Export
 module Artifact_cache = Hc_core.Artifact_cache
+module Obs_setup = Hc_core.Obs_setup
 
 open Cmdliner
 
@@ -81,7 +82,8 @@ let stats file =
     (Analysis.mean_distance trace)
 
 let run file scheme trace_out metrics_interval interval_out trace_buffer
-    metrics_out =
+    metrics_out obs span_log prom_out =
+  let obs_t = Obs_setup.setup ~obs ?span_log ?prom_out () in
   let trace = Trace_io.load file in
   let cfg =
     if scheme = "ics05" then Config.ics05
@@ -116,7 +118,7 @@ let run file scheme trace_out metrics_interval interval_out trace_buffer
   | Some path ->
     Format.printf "metrics: wrote %s@." (Export.write_metrics_json ~path m)
   | None -> () );
-  match sink with
+  ( match sink with
   | None -> ()
   | Some sink ->
     ( match trace_out with
@@ -124,10 +126,13 @@ let run file scheme trace_out metrics_interval interval_out trace_buffer
       let written =
         Chrome_trace.write
           ~ring:(Sink.events_pushed sink, Sink.events_dropped sink)
-          ~path ~events:(Sink.events sink) ~samples:(Sink.samples sink) ()
+          ~stage_spans:(Obs_setup.spans ()) ~path ~events:(Sink.events sink)
+          ~samples:(Sink.samples sink) ()
       in
-      Format.printf "trace: wrote %s (%d events, %d dropped by ring wrap)@."
-        written (Sink.events_pushed sink) (Sink.events_dropped sink)
+      Format.printf "trace: wrote %s (%s)@." written (Sink.summary sink)
+    | None -> () );
+    ( match Sink.dropped_warning sink with
+    | Some w -> Printf.eprintf "%s\n%!" w
     | None -> () );
     if Sink.interval sink > 0 then begin
       let path =
@@ -140,7 +145,8 @@ let run file scheme trace_out metrics_interval interval_out trace_buffer
       let written = Export.write_intervals_csv ~path samples in
       Format.printf "intervals: wrote %s (%d samples of %d ticks)@." written
         (List.length samples) (Sink.interval sink)
-    end
+    end );
+  Obs_setup.finish obs_t
 
 let generate_cmd =
   let out =
@@ -234,11 +240,33 @@ let run_cmd =
             "Write the scheme run's full metrics as JSON (the format \
              $(b,hc_report) reads and diffs) to $(docv).")
   in
+  let obs =
+    Arg.(
+      value & flag
+      & info [ "obs" ]
+          ~doc:"Enable the observability layer (registry + span collector).")
+  in
+  let span_log =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "span-log" ] ~docv:"FILE"
+          ~doc:"Write recorded stage spans as JSONL to $(docv).")
+  in
+  let prom_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "prom-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the final registry scrape as Prometheus text exposition \
+             to $(docv).")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"simulate a saved trace under a scheme")
     Term.(
       const run $ file_arg $ scheme $ trace_out $ metrics_interval
-      $ interval_out $ trace_buffer $ metrics_out)
+      $ interval_out $ trace_buffer $ metrics_out $ obs $ span_log $ prom_out)
 
 let cmd =
   Cmd.group

@@ -6,13 +6,35 @@ module Metrics = Hc_sim.Metrics
 module Counter = Hc_stats.Counter
 module Json = Hc_report.Json
 
+module Registry = Hc_obs.Registry
+module Span = Hc_obs.Span
+
 type t = {
   root : string;
   h_traces : int Atomic.t;
   m_traces : int Atomic.t;
   h_runs : int Atomic.t;
   m_runs : int Atomic.t;
+  heal_traces : int Atomic.t;
+  heal_runs : int Atomic.t;
 }
+
+(* Registry mirrors: every ad-hoc Atomic above has a registry twin,
+   incremented at the same site, so a scrape reproduces the ground-truth
+   counts exactly (asserted in test_registry.ml). One atomic load when
+   observability is off. *)
+let obs_count name ~kind ?(n = 1) () =
+  Registry.with_ambient (fun r ->
+      Registry.add
+        (Registry.counter r ~labels:[ ("kind", kind) ]
+           ~help:"Artifact-cache events by entry kind" name)
+        n)
+
+let obs_bytes name n =
+  Registry.with_ambient (fun r ->
+      Registry.add
+        (Registry.counter r ~help:"Artifact-cache bytes moved" name)
+        n)
 
 (* bump to invalidate every existing entry at once (key-space version) *)
 let cache_version = 1
@@ -31,6 +53,8 @@ let create ?root () =
     m_traces = Atomic.make 0;
     h_runs = Atomic.make 0;
     m_runs = Atomic.make 0;
+    heal_traces = Atomic.make 0;
+    heal_runs = Atomic.make 0;
   }
 
 let of_cli = function
@@ -109,34 +133,51 @@ let write_atomic ~path data =
 (* ----- traces ----- *)
 
 let find_trace t ~profile ~length =
-  let path = trace_path t ~profile ~length in
-  match read_file path with
-  | None ->
-    Atomic.incr t.m_traces;
-    None
-  | Some data -> (
-    match Codec.decode ~profile data with
-    | tr ->
-      Atomic.incr t.h_traces;
-      Some tr
-    | exception (Codec.Corrupt _ | Failure _ | Invalid_argument _) ->
-      (* self-heal: drop the bad entry so the caller's regeneration
-         republishes a good one *)
-      remove_quietly path;
-      Atomic.incr t.m_traces;
-      None)
+  Span.with_span "cache-lookup"
+    ~meta:[ ("kind", "trace"); ("name", profile.Profile.name) ]
+    (fun () ->
+      let path = trace_path t ~profile ~length in
+      match read_file path with
+      | None ->
+        Atomic.incr t.m_traces;
+        obs_count "hc_cache_misses_total" ~kind:"trace" ();
+        None
+      | Some data -> (
+        obs_bytes "hc_cache_read_bytes_total" (String.length data);
+        match Codec.decode ~profile data with
+        | tr ->
+          Atomic.incr t.h_traces;
+          obs_count "hc_cache_hits_total" ~kind:"trace" ();
+          Some tr
+        | exception (Codec.Corrupt _ | Failure _ | Invalid_argument _) ->
+          (* self-heal: drop the bad entry so the caller's regeneration
+             republishes a good one *)
+          remove_quietly path;
+          Atomic.incr t.m_traces;
+          Atomic.incr t.heal_traces;
+          obs_count "hc_cache_misses_total" ~kind:"trace" ();
+          obs_count "hc_cache_self_heals_total" ~kind:"trace" ();
+          None))
 
 let store_trace t ~profile ~length tr =
-  write_atomic ~path:(trace_path t ~profile ~length) (Codec.encode tr)
+  let data = Codec.encode tr in
+  obs_count "hc_cache_stores_total" ~kind:"trace" ();
+  obs_bytes "hc_cache_written_bytes_total" (String.length data);
+  write_atomic ~path:(trace_path t ~profile ~length) data
+
+let generate profile ~length =
+  Span.with_span "generate"
+    ~meta:[ ("benchmark", profile.Profile.name) ]
+    (fun () -> Generator.generate_sliced ~length profile)
 
 let trace_or_generate cache ~profile ~length =
   match cache with
-  | None -> Generator.generate_sliced ~length profile
+  | None -> generate profile ~length
   | Some t -> (
     match find_trace t ~profile ~length with
     | Some tr -> tr
     | None ->
-      let tr = Generator.generate_sliced ~length profile in
+      let tr = generate profile ~length in
       store_trace t ~profile ~length tr;
       tr)
 
@@ -207,23 +248,36 @@ let decode_metrics data =
   m
 
 let find_metrics t ~scheme ~profile ~length =
-  let path = run_path t ~scheme ~profile ~length in
-  match read_file path with
-  | None ->
-    Atomic.incr t.m_runs;
-    None
-  | Some data -> (
-    match decode_metrics data with
-    | m ->
-      Atomic.incr t.h_runs;
-      Some m
-    | exception Failure _ ->
-      remove_quietly path;
-      Atomic.incr t.m_runs;
-      None)
+  Span.with_span "cache-lookup"
+    ~meta:
+      [ ("kind", "run"); ("name", profile.Profile.name); ("scheme", scheme) ]
+    (fun () ->
+      let path = run_path t ~scheme ~profile ~length in
+      match read_file path with
+      | None ->
+        Atomic.incr t.m_runs;
+        obs_count "hc_cache_misses_total" ~kind:"run" ();
+        None
+      | Some data -> (
+        obs_bytes "hc_cache_read_bytes_total" (String.length data);
+        match decode_metrics data with
+        | m ->
+          Atomic.incr t.h_runs;
+          obs_count "hc_cache_hits_total" ~kind:"run" ();
+          Some m
+        | exception Failure _ ->
+          remove_quietly path;
+          Atomic.incr t.m_runs;
+          Atomic.incr t.heal_runs;
+          obs_count "hc_cache_misses_total" ~kind:"run" ();
+          obs_count "hc_cache_self_heals_total" ~kind:"run" ();
+          None))
 
 let store_metrics t ~scheme ~profile ~length m =
-  write_atomic ~path:(run_path t ~scheme ~profile ~length) (Metrics.to_json m)
+  let data = Metrics.to_json m in
+  obs_count "hc_cache_stores_total" ~kind:"run" ();
+  obs_bytes "hc_cache_written_bytes_total" (String.length data);
+  write_atomic ~path:(run_path t ~scheme ~profile ~length) data
 
 (* ----- inspection, verification, eviction ----- *)
 
@@ -232,6 +286,8 @@ type counts = {
   trace_misses : int;
   run_hits : int;
   run_misses : int;
+  trace_heals : int;
+  run_heals : int;
 }
 
 let counts t =
@@ -240,6 +296,8 @@ let counts t =
     trace_misses = Atomic.get t.m_traces;
     run_hits = Atomic.get t.h_runs;
     run_misses = Atomic.get t.m_runs;
+    trace_heals = Atomic.get t.heal_traces;
+    run_heals = Atomic.get t.heal_runs;
   }
 
 type entry = { e_path : string; e_trace : bool; e_bytes : int; e_mtime : float }

@@ -81,8 +81,11 @@ type counts = {
   trace_misses : int;
   run_hits : int;
   run_misses : int;
+  trace_heals : int;
+  run_heals : int;
 }
-(** In-process hit/miss counters (atomic — workers share the instance). *)
+(** In-process hit/miss/self-heal counters (atomic — workers share the
+    instance). *)
 
 val counts : t -> counts
 

@@ -1,3 +1,6 @@
+module Registry = Hc_obs.Registry
+module Span = Hc_obs.Span
+
 type task = unit -> unit
 
 type worker_stats = {
@@ -25,13 +28,20 @@ let default_jobs () =
     | Some _ | None -> Domain.recommended_domain_count ())
   | None -> Domain.recommended_domain_count ()
 
+let obs_task_done () =
+  Registry.with_ambient (fun r ->
+      Registry.inc
+        (Registry.counter r ~help:"Domain_pool tasks executed"
+           "hc_pool_tasks_total"))
+
 (* Each worker owns its stats slot exclusively, so the profiling stores
    are race-free; readers only see settled values after a batch. *)
 let run_task stats task =
   let t0 = Unix.gettimeofday () in
-  task ();
+  Span.with_span "task" task;
   stats.w_busy_s <- stats.w_busy_s +. (Unix.gettimeofday () -. t0);
-  stats.w_tasks <- stats.w_tasks + 1
+  stats.w_tasks <- stats.w_tasks + 1;
+  obs_task_done ()
 
 let rec worker_loop t idx =
   let stats = t.stats.(idx) in
@@ -69,7 +79,9 @@ let create ~jobs =
   if jobs > 1 then
     t.workers <-
       List.init (jobs - 1) (fun i ->
-          Domain.spawn (fun () -> worker_loop t (i + 1)));
+          Domain.spawn (fun () ->
+              Span.set_track ("worker" ^ string_of_int (i + 1));
+              worker_loop t (i + 1)));
   t
 
 let jobs t = t.pool_jobs
@@ -114,9 +126,10 @@ let map t f xs =
     Array.map
       (fun x ->
         let t0 = Unix.gettimeofday () in
-        let y = f x in
+        let y = Span.with_span "task" (fun () -> f x) in
         stats.w_busy_s <- stats.w_busy_s +. (Unix.gettimeofday () -. t0);
         stats.w_tasks <- stats.w_tasks + 1;
+        obs_task_done ();
         y)
       xs
   end
@@ -143,6 +156,11 @@ let map t f xs =
         t.queue
     done;
     t.max_depth <- max t.max_depth (Queue.length t.queue);
+    Registry.with_ambient (fun r ->
+        Registry.gauge_max
+          (Registry.gauge r ~help:"Deepest task queue observed at submit"
+             "hc_pool_queue_depth_max")
+          t.max_depth);
     Condition.broadcast t.work_available;
     Mutex.unlock t.m;
     help_drain t;

@@ -7,6 +7,7 @@ type t = {
   seed : string;
   timestamp_utc : string;
   unix_time_s : float;
+  obs_enabled : bool;
 }
 
 let read_process_line cmd =
@@ -46,6 +47,7 @@ let capture ?seed ?jobs () =
     seed = (match seed with Some s -> s | None -> spec_seed_fingerprint ());
     timestamp_utc = timestamp_of now;
     unix_time_s = now;
+    obs_enabled = Hc_obs.Registry.is_enabled ();
   }
 
 (* the object's fields without surrounding braces, so callers can splice
@@ -54,8 +56,8 @@ let capture ?seed ?jobs () =
 let to_json_fields t =
   Printf.sprintf
     "\"git_sha\":%s,\"host_cores\":%d,\"jobs\":%d,\"seed\":\"%s\",\
-     \"timestamp_utc\":\"%s\",\"unix_time_s\":%.3f"
+     \"timestamp_utc\":\"%s\",\"unix_time_s\":%.3f,\"obs_enabled\":%b"
     (match t.git_sha with Some s -> "\"" ^ s ^ "\"" | None -> "null")
-    t.host_cores t.jobs t.seed t.timestamp_utc t.unix_time_s
+    t.host_cores t.jobs t.seed t.timestamp_utc t.unix_time_s t.obs_enabled
 
 let to_json t = "{" ^ to_json_fields t ^ "}"

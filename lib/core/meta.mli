@@ -12,6 +12,8 @@ type t = {
   seed : string;  (** trace-seed fingerprint (or a caller-supplied seed) *)
   timestamp_utc : string;  (** ISO-8601, UTC *)
   unix_time_s : float;
+  obs_enabled : bool;
+      (** whether the ambient metrics registry was on for this run *)
 }
 
 val capture : ?seed:string -> ?jobs:int -> unit -> t

@@ -1,0 +1,49 @@
+module Registry = Hc_obs.Registry
+module Span = Hc_obs.Span
+module Log = Hc_obs.Log
+module Prom = Hc_obs.Prom
+
+type t = {
+  enabled : bool;
+  span_log : string option;
+  prom_out : string option;
+}
+
+let off = { enabled = false; span_log = None; prom_out = None }
+
+let setup ?(obs = false) ?span_log ?prom_out () =
+  let enabled = obs || span_log <> None || prom_out <> None in
+  if enabled then begin
+    ignore (Registry.enable ());
+    ignore (Span.enable ())
+  end;
+  { enabled; span_log; prom_out }
+
+let spans () = match Span.ambient () with Some c -> Span.spans c | None -> []
+
+let scrape () =
+  match Registry.ambient () with Some r -> Registry.scrape r | None -> []
+
+let finish t =
+  if t.enabled then begin
+    ( match t.span_log with
+    | Some path ->
+      Telemetry.mkdir_p (Filename.dirname path);
+      ignore (Log.write_spans ~path (spans ()))
+    | None -> () );
+    match t.prom_out with
+    | Some path ->
+      Telemetry.mkdir_p (Filename.dirname path);
+      ignore (Prom.write ~path (scrape ()))
+    | None -> ()
+  end
+
+let stage_lines () =
+  List.map
+    (fun (st : Span.stage_stats) ->
+      Printf.sprintf "%-16s %5dx  %8.1f ms total  %6.1f ms max  %.0f kw minor"
+        st.Span.st_name st.Span.st_count
+        (float_of_int st.Span.st_total_ns /. 1e6)
+        (float_of_int st.Span.st_max_ns /. 1e6)
+        (st.Span.st_minor_words /. 1e3))
+    (Span.by_stage (spans ()))

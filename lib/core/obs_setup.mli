@@ -1,0 +1,33 @@
+(** CLI wiring for the observability layer.
+
+    Every binary exposes the same three flags ([--obs], [--span-log
+    FILE], [--prom-out FILE]); this module is the shared glue behind
+    them: {!setup} turns the ambient {!Hc_obs.Registry} and
+    {!Hc_obs.Span} collector on when any of the three asks for
+    observability, and {!finish} exports whatever was recorded. With
+    all three unset nothing is enabled and the process runs the exact
+    untraced hot path. *)
+
+type t
+
+val off : t
+(** Observability stays down; {!finish} is a no-op. *)
+
+val setup :
+  ?obs:bool -> ?span_log:string -> ?prom_out:string -> unit -> t
+(** Enable the ambient registry and span collector when [obs] is set or
+    either output path is given. *)
+
+val finish : t -> unit
+(** Export: span JSONL to [span_log], Prometheus text exposition of the
+    final scrape to [prom_out] (parent directories created). *)
+
+val spans : unit -> Hc_obs.Span.span list
+(** Whatever the ambient collector holds ([[]] when off). *)
+
+val scrape : unit -> Hc_obs.Registry.sample list
+(** Final ambient-registry scrape ([[]] when off). *)
+
+val stage_lines : unit -> string list
+(** Human-readable per-stage aggregate (count, total/max wall, minor
+    allocation), one line per stage — what [--obs] prints to stderr. *)

@@ -4,17 +4,20 @@ module Trace = Hc_trace.Trace
 module Config = Hc_sim.Config
 module Pipeline = Hc_sim.Pipeline
 module Metrics = Hc_sim.Metrics
+module Registry = Hc_obs.Registry
+module Span = Hc_obs.Span
 
 type t = {
   len : int;
   telemetry : Telemetry.config option;
   cache : Artifact_cache.t option;
+  progress : Telemetry.progress option;
   traces : (string, Trace.t) Hashtbl.t;
   statics : (string, Hc_analysis.Static.t) Hashtbl.t;
   runs : (string * string, Metrics.t) Hashtbl.t;
 }
 
-let create ?(length = 30_000) ?telemetry ?cache () =
+let create ?(length = 30_000) ?telemetry ?cache ?progress () =
   ( match telemetry with
   | Some { Telemetry.dir; _ } -> Telemetry.mkdir_p dir
   | None -> () );
@@ -22,6 +25,7 @@ let create ?(length = 30_000) ?telemetry ?cache () =
     len = length;
     telemetry;
     cache;
+    progress;
     traces = Hashtbl.create 32;
     statics = Hashtbl.create 32;
     runs = Hashtbl.create 64;
@@ -52,7 +56,11 @@ let static_info t (tr : Trace.t) =
   match Hashtbl.find_opt t.statics tr.Trace.name with
   | Some s -> s
   | None ->
-    let s = Hc_analysis.Static.analyze tr in
+    let s =
+      Span.with_span "static-analysis"
+        ~meta:[ ("benchmark", tr.Trace.name) ]
+        (fun () -> Hc_analysis.Static.analyze tr)
+    in
     Hashtbl.add t.statics tr.Trace.name s;
     s
 
@@ -80,7 +88,24 @@ let resolve_policy ~(static : Hc_analysis.Static.t) ~scheme =
    returned metrics (bit-identical, see test_obs.ml), so the memo tables
    stay oblivious to whether a run was observed. Workers write distinct
    per-cell files, so the parallel fan-out needs no locking. *)
+let obs_run (m : Metrics.t) =
+  Registry.with_ambient (fun r ->
+      Registry.inc
+        (Registry.counter r ~help:"Completed pipeline simulations"
+           "hc_sim_runs_total");
+      Registry.add
+        (Registry.counter r ~help:"Uops retired across all simulations"
+           "hc_uops_retired_total")
+        m.Metrics.committed;
+      Registry.observe
+        (Registry.histogram r ~help:"Ticks to completion per simulation"
+           "hc_sim_run_ticks")
+        m.Metrics.ticks)
+
 let simulate ?telemetry ~(static : Hc_analysis.Static.t) ~scheme tr =
+  Span.with_span "simulate"
+    ~meta:[ ("benchmark", tr.Trace.name); ("scheme", scheme) ]
+  @@ fun () ->
   let cfg, decide = resolve_policy ~static ~scheme in
   let attach m =
     {
@@ -89,20 +114,24 @@ let simulate ?telemetry ~(static : Hc_analysis.Static.t) ~scheme tr =
         Some static.Hc_analysis.Static.steerable_count;
     }
   in
-  match telemetry with
-  | None -> attach (Pipeline.run ~cfg ~decide ~scheme_name:scheme tr)
-  | Some { Telemetry.dir; interval } ->
-    let sink = Hc_obs.Sink.create ~interval ~tracing:false () in
-    let m = attach (Pipeline.run ~sink ~cfg ~decide ~scheme_name:scheme tr) in
-    let base =
-      Filename.concat dir
-        (Telemetry.run_basename ~scheme ~name:tr.Trace.name)
-    in
-    ignore
-      (Telemetry.write_intervals_csv ~path:(base ^ ".intervals.csv")
-         (Hc_obs.Sink.samples sink));
-    ignore (Telemetry.write_metrics_json ~path:(base ^ ".metrics.json") m);
-    m
+  let m =
+    match telemetry with
+    | None -> attach (Pipeline.run ~cfg ~decide ~scheme_name:scheme tr)
+    | Some { Telemetry.dir; interval } ->
+      let sink = Hc_obs.Sink.create ~interval ~tracing:false () in
+      let m = attach (Pipeline.run ~sink ~cfg ~decide ~scheme_name:scheme tr) in
+      let base =
+        Filename.concat dir
+          (Telemetry.run_basename ~scheme ~name:tr.Trace.name)
+      in
+      ignore
+        (Telemetry.write_intervals_csv ~path:(base ^ ".intervals.csv")
+           (Hc_obs.Sink.samples sink));
+      ignore (Telemetry.write_metrics_json ~path:(base ^ ".metrics.json") m);
+      m
+  in
+  obs_run m;
+  m
 
 (* Run-metrics caching. Telemetry runs bypass the metrics cache (their
    side artifacts — interval CSVs, metrics JSON in the telemetry dir —
@@ -193,6 +222,14 @@ let ensure t pairs =
   (* resolve scheme names before any cache lookup or fan-out: an unknown
      scheme raises Not_found on the calling domain, warm or cold *)
   List.iter (fun (scheme, _) -> validate_scheme scheme) missing;
+  ( match t.progress with
+  | Some p -> Telemetry.progress_add_total p (List.length missing)
+  | None -> () );
+  let tick ?cached () =
+    match t.progress with
+    | Some p -> Telemetry.progress_tick ?cached p
+    | None -> ()
+  in
   (* metrics-cache pass: cells with a cached run merge directly and need
      neither their trace nor its static analysis — the warm path of a
      full sweep touches no generator state at all *)
@@ -202,6 +239,7 @@ let ensure t pairs =
         match find_cached_metrics t ~scheme p with
         | Some m ->
           Hashtbl.replace t.runs (scheme, p.Profile.name) m;
+          tick ~cached:true ();
           false
         | None -> true)
       missing
@@ -221,13 +259,17 @@ let ensure t pairs =
   match jobs_list with
   | [] -> ()
   | [ ((scheme, _, tr, static) as job) ] ->
-    commit job (simulate ?telemetry:t.telemetry ~static ~scheme tr)
+    commit job (simulate ?telemetry:t.telemetry ~static ~scheme tr);
+    tick ()
   | jobs_list ->
     let pool = Domain_pool.get () in
     let results =
       Domain_pool.map pool
         (fun (scheme, _, tr, static) ->
-          simulate ?telemetry:t.telemetry ~static ~scheme tr)
+          let m = simulate ?telemetry:t.telemetry ~static ~scheme tr in
+          (* live progress from the worker: the reporter is mutex-guarded *)
+          tick ();
+          m)
         (Array.of_list jobs_list)
     in
     (* keyed, order-independent merge: each worker simulated its own

@@ -12,6 +12,7 @@ val create :
   ?length:int ->
   ?telemetry:Telemetry.config ->
   ?cache:Artifact_cache.t ->
+  ?progress:Telemetry.progress ->
   unit ->
   t
 (** [length] is the per-benchmark trace length (default [30_000] uops,
@@ -31,7 +32,12 @@ val create :
     JSON — warm sweeps skip generation {e and} simulation entirely while
     returning bit-identical metrics (see [test/test_cache.ml]). With
     [telemetry] also set, the metrics cache is bypassed (every run must
-    produce its telemetry artifacts) but the trace cache still applies. *)
+    produce its telemetry artifacts) but the trace cache still applies.
+
+    [progress] attaches a live {!Telemetry.progress} reporter: every
+    {!ensure} batch announces its missing cells up front and ticks the
+    reporter as each resolves — warm metrics-cache merges tick as
+    cached, cold simulations tick on completion (from pool workers). *)
 
 val length : t -> int
 

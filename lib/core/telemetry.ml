@@ -35,6 +35,97 @@ let write_intervals_json ~path samples =
 
 let write_metrics_json ~path m = write_file path [ Metrics.to_json m ]
 
+(* ----- live campaign progress ----- *)
+
+(* A mutex-guarded line reporter: Runs ticks it from pool workers, so
+   updates must be serialized; rendering is throttled so a 100k-cell
+   campaign doesn't spend its time repainting stderr. *)
+type progress = {
+  p_out : out_channel;
+  p_enabled : bool;
+  p_label : string;
+  p_m : Mutex.t;
+  mutable p_total : int;
+  mutable p_done : int;
+  mutable p_cached : int;
+  p_t0 : float;
+  mutable p_last_print : float;
+  mutable p_printed : bool;
+}
+
+let progress_create ?(out = stderr) ?(label = "campaign") ~enabled () =
+  {
+    p_out = out;
+    p_enabled = enabled;
+    p_label = label;
+    p_m = Mutex.create ();
+    p_total = 0;
+    p_done = 0;
+    p_cached = 0;
+    p_t0 = Unix.gettimeofday ();
+    p_last_print = 0.;
+    p_printed = false;
+  }
+
+let progress_render p ~now =
+  let warm_pct =
+    if p.p_done = 0 then 0.
+    else 100. *. float_of_int p.p_cached /. float_of_int p.p_done
+  in
+  let eta =
+    if p.p_done = 0 || p.p_done >= p.p_total then ""
+    else
+      let elapsed = now -. p.p_t0 in
+      Printf.sprintf " ETA %.1fs"
+        (elapsed /. float_of_int p.p_done
+        *. float_of_int (p.p_total - p.p_done))
+  in
+  Printf.sprintf "%s: %d/%d tasks, %d warm (%.1f%% hit)%s" p.p_label p.p_done
+    p.p_total p.p_cached warm_pct eta
+
+(* caller holds p_m *)
+let progress_print p ~force =
+  if p.p_enabled then begin
+    let now = Unix.gettimeofday () in
+    if force || now -. p.p_last_print >= 0.1 then begin
+      p.p_last_print <- now;
+      p.p_printed <- true;
+      (* \r + erase-to-eol keeps one live line on a terminal; in a log
+         file each repaint is just a long line *)
+      Printf.fprintf p.p_out "\r\027[K%s%!" (progress_render p ~now)
+    end
+  end
+
+let progress_add_total p n =
+  Mutex.lock p.p_m;
+  p.p_total <- p.p_total + n;
+  progress_print p ~force:false;
+  Mutex.unlock p.p_m
+
+let progress_tick ?(cached = false) p =
+  Mutex.lock p.p_m;
+  p.p_done <- p.p_done + 1;
+  if cached then p.p_cached <- p.p_cached + 1;
+  progress_print p ~force:(p.p_done >= p.p_total);
+  Mutex.unlock p.p_m
+
+let progress_snapshot p =
+  Mutex.lock p.p_m;
+  let s = (p.p_done, p.p_total, p.p_cached) in
+  Mutex.unlock p.p_m;
+  s
+
+let progress_finish p =
+  Mutex.lock p.p_m;
+  if p.p_enabled then begin
+    progress_print p ~force:true;
+    if p.p_printed then begin
+      output_char p.p_out '\n';
+      flush p.p_out
+    end
+  end;
+  Mutex.unlock p.p_m
+
 let run_basename ~scheme ~name =
   let sanitize s =
     String.map

@@ -30,3 +30,30 @@ val write_metrics_json : path:string -> Hc_sim.Metrics.t -> string
 
 val run_basename : scheme:string -> name:string -> string
 (** Filesystem-safe ["<scheme>__<benchmark>"] stem for per-run files. *)
+
+(** {2 Live campaign progress}
+
+    What [--progress] turns on: a single self-overwriting stderr line
+    ([tasks done/total, warm hits, ETA]) that {!Runs.ensure} ticks as
+    cells resolve — warm cache merges tick as cached, simulations tick
+    on completion (from pool workers; the reporter is mutex-guarded).
+    With [enabled = false] every call is a lock/unlock and no output, so
+    the reporter can be threaded unconditionally. *)
+
+type progress
+
+val progress_create :
+  ?out:out_channel -> ?label:string -> enabled:bool -> unit -> progress
+(** [out] defaults to [stderr], [label] to ["campaign"]. *)
+
+val progress_add_total : progress -> int -> unit
+(** Announce [n] more cells to resolve (called at batch entry). *)
+
+val progress_tick : ?cached:bool -> progress -> unit
+(** One cell resolved; [cached] marks a warm artifact-cache merge. *)
+
+val progress_snapshot : progress -> int * int * int
+(** [(done, total, cached)] under the lock. *)
+
+val progress_finish : progress -> unit
+(** Repaint once unconditionally and terminate the line. *)

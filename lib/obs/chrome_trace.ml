@@ -88,7 +88,52 @@ let put_event em (e : Event.t) =
        writeback never happened (still useful when the ring wrapped) *)
     ()
 
-let to_buffer ?ring buf ~events ~samples =
+(* Stage spans (Span.t) render as complete events on their own tracks,
+   one tid per distinct span track ("main", "worker3", ...), appended
+   after the pipeline tids so Perfetto shows machine activity on top and
+   host-side stages below. Span timestamps are wall-clock ns from the
+   collector epoch; Chrome traces want integer microseconds. *)
+let span_tid_base = 16
+
+let put_spans em spans =
+  let tracks = Hashtbl.create 8 in
+  let next = ref span_tid_base in
+  let tid_of track =
+    match Hashtbl.find_opt tracks track with
+    | Some tid -> tid
+    | None ->
+      let tid = !next in
+      incr next;
+      Hashtbl.add tracks track tid;
+      meta_thread em ~tid ~name:("stage: " ^ track) ~sort:tid;
+      tid
+  in
+  List.iter
+    (fun (sp : Span.span) ->
+      let tid = tid_of sp.Span.sp_track in
+      let args =
+        String.concat ","
+          (Printf.sprintf "\"gc_minor_words\":%.1f" sp.Span.sp_minor_words
+          :: Printf.sprintf "\"gc_major_words\":%.1f" sp.Span.sp_major_words
+          :: Printf.sprintf "\"gc_minor_collections\":%d"
+               sp.Span.sp_minor_collections
+          :: Printf.sprintf "\"gc_major_collections\":%d"
+               sp.Span.sp_major_collections
+          :: List.map
+               (fun (k, v) ->
+                 Printf.sprintf "\"%s\":\"%s\"" (escape k) (escape v))
+               sp.Span.sp_meta)
+      in
+      event em
+        "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%d,\"dur\":%d,\"pid\":%d,\
+         \"tid\":%d,\"args\":{%s}}"
+        (escape sp.Span.sp_name)
+        (sp.Span.sp_start_ns / 1000)
+        (max 1 (sp.Span.sp_dur_ns / 1000))
+        pid tid args)
+    spans
+
+let to_buffer ?ring ?(stage_spans = []) buf ~events ~samples =
   let em = { buf; first = true } in
   Buffer.add_string buf "{\n  \"displayTimeUnit\": \"ms\",\n";
   (* ring statistics let a reader tell a complete trace from a window
@@ -111,6 +156,7 @@ let to_buffer ?ring buf ~events ~samples =
   meta_thread em ~tid:(tid_iq 1) ~name:"narrow issue queue" ~sort:3;
   meta_thread em ~tid:tid_retire ~name:"retire / recovery" ~sort:4;
   List.iter (put_event em) events;
+  put_spans em stage_spans;
   List.iter
     (fun (s : Sample.t) ->
       counter em ~ts:s.Sample.t_end ~name:"iq_occupancy"
@@ -124,17 +170,17 @@ let to_buffer ?ring buf ~events ~samples =
     samples;
   Buffer.add_string buf "\n  ]\n}\n"
 
-let to_string ?ring ~events ~samples () =
+let to_string ?ring ?stage_spans ~events ~samples () =
   let buf = Buffer.create 65536 in
-  to_buffer ?ring buf ~events ~samples;
+  to_buffer ?ring ?stage_spans buf ~events ~samples;
   Buffer.contents buf
 
-let write ?ring ~path ~events ~samples () =
+let write ?ring ?stage_spans ~path ~events ~samples () =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
       let buf = Buffer.create 65536 in
-      to_buffer ?ring buf ~events ~samples;
+      to_buffer ?ring ?stage_spans buf ~events ~samples;
       Buffer.output_buffer oc buf);
   path

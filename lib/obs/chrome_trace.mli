@@ -7,10 +7,16 @@
     tracks (IQ occupancy, IPC, ROB occupancy). Timestamps are fast ticks
     reported in the trace's microsecond field — absolute time is
     meaningless for a cycle-level simulation, only relative spans
-    matter. *)
+    matter.
+
+    Host-side stage spans ({!Span.span}: generate / simulate /
+    cache-lookup / encode / ...) render on additional tracks, one per
+    recording thread, with their GC deltas and metadata in [args] —
+    machine activity on top, the pipeline-feeding host stages below. *)
 
 val to_buffer :
   ?ring:int * int ->
+  ?stage_spans:Span.span list ->
   Buffer.t ->
   events:Event.t list ->
   samples:Sample.t list ->
@@ -22,6 +28,7 @@ val to_buffer :
 
 val to_string :
   ?ring:int * int ->
+  ?stage_spans:Span.span list ->
   events:Event.t list ->
   samples:Sample.t list ->
   unit ->
@@ -29,6 +36,7 @@ val to_string :
 
 val write :
   ?ring:int * int ->
+  ?stage_spans:Span.span list ->
   path:string ->
   events:Event.t list ->
   samples:Sample.t list ->

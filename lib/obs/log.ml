@@ -1,0 +1,80 @@
+(* Structured JSONL event log: one self-describing JSON object per line,
+   minified, parseable line-by-line with lib/report's strict RFC 8259
+   parser (and greppable with nothing at all). This is the span/event
+   export format the smoke gate validates and hc_report summarizes. *)
+
+let schema = 1
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let meta_json meta =
+  "{"
+  ^ String.concat ","
+      (List.map
+         (fun (k, v) -> Printf.sprintf "\"%s\":\"%s\"" (escape k) (escape v))
+         meta)
+  ^ "}"
+
+(* %.1f keeps GC word counts finite-notation (they are word counts, but
+   Gc reports them as floats that can exceed int precision) *)
+let span_to_json (sp : Span.span) =
+  Printf.sprintf
+    "{\"schema\":%d,\"kind\":\"span\",\"name\":\"%s\",\"track\":\"%s\",\
+     \"start_ns\":%d,\"dur_ns\":%d,\"gc_minor_words\":%.1f,\
+     \"gc_major_words\":%.1f,\"gc_minor_collections\":%d,\
+     \"gc_major_collections\":%d,\"meta\":%s}"
+    schema (escape sp.Span.sp_name) (escape sp.Span.sp_track)
+    sp.Span.sp_start_ns sp.Span.sp_dur_ns sp.Span.sp_minor_words
+    sp.Span.sp_major_words sp.Span.sp_minor_collections
+    sp.Span.sp_major_collections
+    (meta_json sp.Span.sp_meta)
+
+let event_to_json ~name ~fields =
+  Printf.sprintf "{\"schema\":%d,\"kind\":\"event\",\"name\":\"%s\",%s}" schema
+    (escape name)
+    (String.concat ","
+       (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%s" (escape k) v) fields))
+
+(* ----- streaming writer ----- *)
+
+type t = { oc : out_channel; wm : Mutex.t; mutable lines : int }
+
+let create ~path =
+  let oc = open_out path in
+  { oc; wm = Mutex.create (); lines = 0 }
+
+let write_line t line =
+  Mutex.lock t.wm;
+  output_string t.oc line;
+  output_char t.oc '\n';
+  t.lines <- t.lines + 1;
+  Mutex.unlock t.wm
+
+let log_span t sp = write_line t (span_to_json sp)
+
+let log_event t ~name ~fields = write_line t (event_to_json ~name ~fields)
+
+let lines t = t.lines
+
+let close t =
+  Mutex.lock t.wm;
+  close_out t.oc;
+  Mutex.unlock t.wm
+
+let write_spans ~path spans =
+  let t = create ~path in
+  List.iter (log_span t) spans;
+  close t;
+  path

@@ -43,3 +43,17 @@ let sample t ~tick ~iq_wide ~iq_narrow ~rob totals =
 let samples t = List.rev t.samples_rev
 
 let sample_count t = t.sample_count
+
+let summary t =
+  Printf.sprintf "events: %d pushed, %d dropped (ring wrap); samples: %d"
+    (events_pushed t) (events_dropped t) t.sample_count
+
+let dropped_warning t =
+  let dropped = events_dropped t in
+  if dropped = 0 then None
+  else
+    Some
+      (Printf.sprintf
+         "warning: event ring wrapped — %d of %d events dropped (oldest \
+          first); raise --trace-buffer to keep the full run"
+         dropped (events_pushed t))

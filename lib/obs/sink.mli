@@ -39,3 +39,10 @@ val samples : t -> Sample.t list
 (** Chronological interval series. *)
 
 val sample_count : t -> int
+
+val summary : t -> string
+(** One-line sink summary: events pushed/dropped and sample count. *)
+
+val dropped_warning : t -> string option
+(** A human-readable warning when ring wrap-around dropped events
+    ([None] when the trace window is complete). *)

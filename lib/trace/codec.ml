@@ -114,7 +114,15 @@ let add_string b s =
 
 (* ----- encode ----- *)
 
+let obs_bytes name n =
+  Hc_obs.Registry.with_ambient (fun r ->
+      Hc_obs.Registry.add
+        (Hc_obs.Registry.counter r ~help:"Binary trace codec bytes moved" name)
+        n)
+
 let encode (t : Trace.t) =
+  Hc_obs.Span.with_span "encode" ~meta:[ ("benchmark", t.Trace.name) ]
+  @@ fun () ->
   let b = Buffer.create (64 + (16 * Trace.length t)) in
   Buffer.add_string b magic;
   Buffer.add_char b (Char.chr schema_version);
@@ -175,7 +183,9 @@ let encode (t : Trace.t) =
   for i = 0 to 3 do
     Buffer.add_char out (Char.chr ((crc lsr (8 * i)) land 0xFF))
   done;
-  Buffer.contents out
+  let bytes = Buffer.contents out in
+  obs_bytes "hc_codec_encoded_bytes_total" (String.length bytes);
+  bytes
 
 (* ----- decode ----- *)
 
@@ -206,6 +216,9 @@ let read_string r =
   s
 
 let decode ?profile s =
+  Hc_obs.Span.with_span "decode"
+  @@ fun () ->
+  obs_bytes "hc_codec_decoded_bytes_total" (String.length s);
   let profile =
     match profile with Some p -> p | None -> List.hd Profile.spec_int
   in

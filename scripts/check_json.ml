@@ -1,12 +1,15 @@
-(* Standalone JSON well-formedness checker (no dependencies) used by
+(* Standalone artifact well-formedness checker (no dependencies) used by
    scripts/smoke.sh to validate telemetry artifacts:
 
-     ocaml scripts/check_json.ml FILE...
+     ocaml scripts/check_json.ml FILE...           whole-file JSON values
+     ocaml scripts/check_json.ml --jsonl FILE...   one JSON object per line
+     ocaml scripts/check_json.ml --prom FILE...    Prometheus exposition 0.0.4
 
-   Exits 0 when every FILE parses as a single RFC 8259 JSON value with
-   nothing after it, 1 (with a message naming the file and byte offset)
-   otherwise. Deliberately a strict parser, not a lenient scanner: a
-   truncated traceEvents array or an unbalanced brace must fail here. *)
+   Exits 0 when every FILE validates, 1 (with a message naming the file
+   and the byte offset or line) otherwise. Deliberately a strict parser,
+   not a lenient scanner: a truncated traceEvents array, a span-log line
+   cut mid-object, or an exposition sample with a bad metric name must
+   all fail here. *)
 
 exception Bad of int
 
@@ -131,10 +134,177 @@ let check (s : string) : (unit, int) result =
     if !pos = n then Ok () else Error !pos
   with Bad at -> Error at
 
+(* ---- JSONL: every non-empty line is one complete JSON value ---- *)
+
+let split_lines s =
+  (* keep line numbering exact: split on '\n', tolerate a trailing one *)
+  let lines = String.split_on_char '\n' s in
+  match List.rev lines with "" :: rest -> List.rev rest | _ -> lines
+
+let check_jsonl (s : string) : (int, int * int) result =
+  (* Ok count | Error (line, byte-in-line). Empty interior lines are an
+     offence too: a JSONL stream is exactly one object per line. *)
+  let rec go n = function
+    | [] -> Ok n
+    | line :: rest -> (
+      match check line with
+      | Ok () when String.length line > 0 && line.[0] = '{' -> go (n + 1) rest
+      | Ok () -> Error (n + 1, 0)
+      | Error at -> Error (n + 1, at) )
+  in
+  go 0 (split_lines s)
+
+(* ---- Prometheus text exposition 0.0.4 ---- *)
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+
+let is_name_char c = is_name_start c || (c >= '0' && c <= '9')
+
+let is_label_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let check_prom_line (line : string) : bool =
+  let n = String.length line in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some line.[!pos] else None in
+  let scan_name start_ok char_ok =
+    match peek () with
+    | Some c when start_ok c ->
+      incr pos;
+      while (match peek () with Some c -> char_ok c | None -> false) do
+        incr pos
+      done;
+      true
+    | _ -> false
+  in
+  let scan_value () =
+    (* float per strtod, or the exposition specials *)
+    let start = !pos in
+    while !pos < n && line.[!pos] <> ' ' do
+      incr pos
+    done;
+    let tok = String.sub line start (!pos - start) in
+    tok <> ""
+    && ( List.mem tok [ "+Inf"; "-Inf"; "Inf"; "NaN" ]
+       || match float_of_string_opt tok with Some _ -> true | None -> false )
+  in
+  if n = 0 then true
+  else if line.[0] = '#' then begin
+    (* "# HELP name text", "# TYPE name kind", or a plain comment *)
+    if n = 1 || line.[1] <> ' ' then n = 1
+    else begin
+      pos := 2;
+      let start = !pos in
+      while !pos < n && line.[!pos] <> ' ' do
+        incr pos
+      done;
+      match String.sub line start (!pos - start) with
+      | "HELP" ->
+        incr pos;
+        scan_name is_name_start is_name_char
+        && (!pos = n || line.[!pos] = ' ')
+      | "TYPE" ->
+        incr pos;
+        scan_name is_name_start is_name_char
+        &&
+        (match peek () with Some ' ' -> incr pos; true | _ -> false)
+        &&
+        List.mem
+          (String.sub line !pos (n - !pos))
+          [ "counter"; "gauge"; "histogram"; "summary"; "untyped" ]
+      | _ -> true (* arbitrary comment *)
+    end
+  end
+  else begin
+    (* name{label="value",...} value [timestamp] *)
+    scan_name is_name_start is_name_char
+    && begin
+         ( match peek () with
+         | Some '{' ->
+           incr pos;
+           let ok = ref true in
+           let again = ref (peek () <> Some '}') in
+           while !ok && !again do
+             if not (scan_name is_label_start is_name_char) then ok := false
+             else if peek () <> Some '=' then ok := false
+             else begin
+               incr pos;
+               if peek () <> Some '"' then ok := false
+               else begin
+                 incr pos;
+                 let closed = ref false in
+                 while (not !closed) && !ok && !pos < n do
+                   match line.[!pos] with
+                   | '"' -> closed := true; incr pos
+                   | '\\' ->
+                     if
+                       !pos + 1 < n
+                       && (match line.[!pos + 1] with
+                          | '\\' | '"' | 'n' -> true
+                          | _ -> false)
+                     then pos := !pos + 2
+                     else ok := false
+                   | _ -> incr pos
+                 done;
+                 if not !closed then ok := false
+                 else
+                   match peek () with
+                   | Some ',' -> incr pos
+                   | Some '}' -> again := false
+                   | _ -> ok := false
+               end
+             end
+           done;
+           if !ok && peek () = Some '}' then incr pos else ok := false;
+           !ok
+         | _ -> true )
+         &&
+         (match peek () with Some ' ' -> incr pos; true | _ -> false)
+         && scan_value ()
+         &&
+         (* optional timestamp *)
+         ( !pos = n
+         ||
+         (incr pos;
+          !pos < n
+          && (let all = ref (line.[!pos] <> ' ') in
+              let i = ref !pos in
+              if !pos < n && (line.[!pos] = '-' || line.[!pos] = '+') then
+                incr i;
+              while !all && !i < n do
+                (match line.[!i] with
+                | '0' .. '9' -> ()
+                | _ -> all := false);
+                incr i
+              done;
+              !all)) )
+       end
+  end
+
+let check_prom (s : string) : (int, int) result =
+  (* Ok samples | Error line (1-based) *)
+  let rec go n samples = function
+    | [] -> Ok samples
+    | line :: rest ->
+      if check_prom_line line then
+        go (n + 1)
+          (samples + if line <> "" && line.[0] <> '#' then 1 else 0)
+          rest
+      else Error n
+  in
+  go 1 0 (split_lines s)
+
 let () =
-  let files = List.tl (Array.to_list Sys.argv) in
+  let args = List.tl (Array.to_list Sys.argv) in
+  let mode, files =
+    match args with
+    | "--jsonl" :: rest -> (`Jsonl, rest)
+    | "--prom" :: rest -> (`Prom, rest)
+    | rest -> (`Json, rest)
+  in
   if files = [] then begin
-    prerr_endline "usage: ocaml scripts/check_json.ml FILE...";
+    prerr_endline "usage: ocaml scripts/check_json.ml [--jsonl|--prom] FILE...";
     exit 2
   end;
   let failed = ref false in
@@ -147,10 +317,33 @@ let () =
         close_in ic;
         s
       in
-      match check contents with
-      | Ok () -> Printf.printf "%s: valid JSON (%d bytes)\n" file (String.length contents)
-      | Error at ->
-        Printf.eprintf "%s: INVALID JSON at byte %d\n" file at;
-        failed := true)
+      match mode with
+      | `Json -> (
+        match check contents with
+        | Ok () ->
+          Printf.printf "%s: valid JSON (%d bytes)\n" file
+            (String.length contents)
+        | Error at ->
+          Printf.eprintf "%s: INVALID JSON at byte %d\n" file at;
+          failed := true )
+      | `Jsonl -> (
+        match check_jsonl contents with
+        | Ok 0 ->
+          Printf.eprintf "%s: EMPTY JSONL stream\n" file;
+          failed := true
+        | Ok lines -> Printf.printf "%s: valid JSONL (%d records)\n" file lines
+        | Error (line, at) ->
+          Printf.eprintf "%s: INVALID JSONL at line %d byte %d\n" file line at;
+          failed := true )
+      | `Prom -> (
+        match check_prom contents with
+        | Ok 0 ->
+          Printf.eprintf "%s: EMPTY exposition (no samples)\n" file;
+          failed := true
+        | Ok samples ->
+          Printf.printf "%s: valid exposition (%d samples)\n" file samples
+        | Error line ->
+          Printf.eprintf "%s: INVALID exposition at line %d\n" file line;
+          failed := true ))
     files;
   if !failed then exit 1

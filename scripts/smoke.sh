@@ -104,6 +104,10 @@ dune exec bin/hc_report.exe -- diff "$SMOKE_DIR/cache_cold.json" \
   "$SMOKE_DIR/cache_healed.json"
 dune exec bin/hc_cache.exe -- verify --cache-dir "$CACHE_DIR"
 dune exec bin/hc_cache.exe -- stats --cache-dir "$CACHE_DIR"
+# machine-readable stats must be one well-formed JSON object
+dune exec bin/hc_cache.exe -- stats --cache-dir "$CACHE_DIR" --json \
+  > "$SMOKE_DIR/cache_stats.json"
+ocaml scripts/check_json.ml "$SMOKE_DIR/cache_stats.json"
 echo "cache gate OK"
 
 echo "== binary trace gate =="
@@ -120,5 +124,45 @@ if dune exec bin/hc_lint.exe -- trace "$SMOKE_DIR/lint_cut.hct" \
 fi
 grep -q E108 "$SMOKE_DIR/lint_cut.out"
 echo "binary trace gate OK"
+
+echo "== observability gate =="
+# A traced run with the full observability surface on: --obs stage-span
+# stderr table, --span-log structured JSONL, --prom-out registry dump.
+# Both sidecars must pass the dependency-free strict checkers AND the
+# real readers (hc_report spans re-parses every line; hc_metrics show
+# re-parses the exposition) — then both checkers must provably trip on
+# a corrupted file.
+dune exec bin/hc_sim.exe -- --benchmark gzip --scheme 8_8_8 --length 4000 \
+  --compare false --obs --span-log "$SMOKE_DIR/obs_spans.jsonl" \
+  --prom-out "$SMOKE_DIR/obs_sim.prom" > /dev/null
+ocaml scripts/check_json.ml --jsonl "$SMOKE_DIR/obs_spans.jsonl"
+ocaml scripts/check_json.ml --prom "$SMOKE_DIR/obs_sim.prom"
+dune exec bin/hc_report.exe -- spans "$SMOKE_DIR/obs_spans.jsonl"
+dune exec bin/hc_metrics.exe -- show "$SMOKE_DIR/obs_sim.prom" > /dev/null
+# a traced sweep with the live progress line, then a per-series diff of
+# the two registry dumps (also re-validates both expositions)
+dune exec bin/hc_experiments.exe -- fig6 --length 3000 --progress \
+  --span-log "$SMOKE_DIR/obs_fig6.jsonl" \
+  --prom-out "$SMOKE_DIR/obs_fig6.prom" > /dev/null
+ocaml scripts/check_json.ml --jsonl "$SMOKE_DIR/obs_fig6.jsonl"
+ocaml scripts/check_json.ml --prom "$SMOKE_DIR/obs_fig6.prom"
+dune exec bin/hc_metrics.exe -- diff "$SMOKE_DIR/obs_sim.prom" \
+  "$SMOKE_DIR/obs_fig6.prom"
+# ...and prove both gates can fail: a span line truncated mid-object and
+# an exposition sample with an illegal metric name must be rejected
+head -c 40 "$SMOKE_DIR/obs_spans.jsonl" > "$SMOKE_DIR/obs_bad.jsonl"
+if ocaml scripts/check_json.ml --jsonl "$SMOKE_DIR/obs_bad.jsonl" \
+    > /dev/null 2>&1; then
+  echo "FAIL: --jsonl accepted a truncated span-log line"
+  exit 1
+fi
+{ cat "$SMOKE_DIR/obs_sim.prom"; echo '!bad name 1'; } \
+  > "$SMOKE_DIR/obs_bad.prom"
+if ocaml scripts/check_json.ml --prom "$SMOKE_DIR/obs_bad.prom" \
+    > /dev/null 2>&1; then
+  echo "FAIL: --prom accepted a malformed exposition line"
+  exit 1
+fi
+echo "observability gate OK"
 
 echo "smoke OK"

@@ -34,5 +34,6 @@ let () =
       Test_fuzz.suite;
       Test_parallel.suite;
       Test_obs.suite;
+    Test_registry.suite;
       Test_report.suite;
     ]
