@@ -35,6 +35,7 @@ module Trace_io = Hc_trace.Trace_io
 module Codec = Hc_trace.Codec
 module Config = Hc_sim.Config
 module Pipeline = Hc_sim.Pipeline
+module Accounting = Hc_sim.Accounting
 module Width_predictor = Hc_predictors.Width_predictor
 module Registry = Hc_obs.Registry
 module Span = Hc_obs.Span
@@ -199,6 +200,19 @@ let tests =
         done);
     stage "obs:scrape" (fun () ->
         ignore (Registry.scrape (Lazy.force obs_scrape_registry)));
+    (* accounting overhead guard pair: same trace, same scheme, with and
+       without the cycle-accounting accumulator. Off must price only the
+       field-test guard (compare against acct:sim-on and ir:sim-IR). *)
+    stage "acct:sim-off" (sim_kernel "+IR");
+    stage "acct:sim-on" (fun () ->
+        let cfg = Config.with_scheme Config.default (Config.find_scheme "+IR") in
+        let a =
+          Accounting.create ~issue_width:cfg.Config.issue_width
+            ~commit_width:cfg.Config.commit_width ()
+        in
+        ignore
+          (Pipeline.run ~accounting:a ~cfg ~decide:Hc_steering.Policy.decide
+             ~scheme_name:"+IR" (Lazy.force sim_trace)));
     stage "cache:warm-reload" (fun () ->
         match
           Artifact_cache.find_trace (Lazy.force bench_cache)

@@ -42,10 +42,11 @@ let stats_json c =
   let kind k name = Registry.counter_value samples ~labels:[ ("kind", k) ] name in
   let both name = kind "trace" name + kind "run" name in
   Printf.sprintf
-    "{\"schema\":1,\"root\":%S,\"disk\":{\"trace_entries\":%d,\
+    "{\"schema\":2,\"root\":%S,\"disk\":{\"trace_entries\":%d,\
      \"trace_bytes\":%d,\"run_entries\":%d,\"run_bytes\":%d},\
      \"counters\":{\"hits\":%d,\"misses\":%d,\"self_heals\":%d,\
-     \"stores\":%d,\"read_bytes\":%d,\"written_bytes\":%d}}"
+     \"stores\":%d,\"read_bytes\":%d,\"written_bytes\":%d,\
+     \"gc_freed_entries\":%d,\"gc_freed_bytes\":%d}}"
     (Artifact_cache.root c) d.Artifact_cache.trace_entries
     d.Artifact_cache.trace_bytes d.Artifact_cache.run_entries
     d.Artifact_cache.run_bytes
@@ -55,6 +56,8 @@ let stats_json c =
     (both "hc_cache_stores_total")
     (Registry.counter_value samples "hc_cache_read_bytes_total")
     (Registry.counter_value samples "hc_cache_written_bytes_total")
+    (both "hc_cache_gc_freed_entries_total")
+    (both "hc_cache_gc_freed_bytes_total")
 
 let stats_cmd =
   let run cache_dir json =
@@ -120,13 +123,23 @@ let verify_cmd =
 let gc_cmd =
   let run cache_dir max_mb =
     let c = cache_of cache_dir in
+    (* enable the registry first so the eviction counters record, then
+       read the freed totals back from the same scrape stats --json uses *)
+    let reg = Registry.enable () in
     let evicted =
       Artifact_cache.gc c ~max_bytes:(max_mb * 1024 * 1024)
     in
     List.iter (fun path -> Printf.printf "evicted: %s\n" path) evicted;
+    let samples = Registry.scrape reg in
+    let both name =
+      Registry.counter_value samples ~labels:[ ("kind", "trace") ] name
+      + Registry.counter_value samples ~labels:[ ("kind", "run") ] name
+    in
     let d = Artifact_cache.disk c in
-    Printf.printf "evicted %d entries; %s now holds %.2f MiB\n"
-      (List.length evicted) (Artifact_cache.root c)
+    Printf.printf "evicted %d entries (%.2f MiB freed); %s now holds %.2f MiB\n"
+      (both "hc_cache_gc_freed_entries_total")
+      (mb (both "hc_cache_gc_freed_bytes_total"))
+      (Artifact_cache.root c)
       (mb (d.Artifact_cache.trace_bytes + d.Artifact_cache.run_bytes))
   in
   let max_mb =

@@ -14,6 +14,7 @@ module Json = Hc_report.Json
 module Loader = Hc_report.Loader
 module Diff = Hc_report.Diff
 module Render = Hc_report.Render
+module Sparkline = Hc_report.Sparkline
 
 open Cmdliner
 
@@ -145,6 +146,178 @@ let attrib_cmd =
   in
   let doc = "steering-attribution breakdown (and its sum invariant)" in
   Cmd.v (Cmd.info "attrib" ~doc) Term.(const run $ files)
+
+(* ---- topdown ---- *)
+
+let topdown_cmd =
+  let run files intervals width =
+    if files = [] then
+      die "hc_report topdown: give at least one schema-4 metrics file \
+           (hc_sim --topdown --metrics-out)";
+    let runs = load_runs files in
+    List.iter
+      (fun (path, j) ->
+        match Json.member "stall" j with
+        | Some _ -> ()
+        | None ->
+          die "hc_report topdown: %s has no stall object (run hc_sim with \
+               --topdown, or the file predates schema 4)"
+            path)
+      runs;
+    List.iter
+      (fun (path, j) ->
+        Printf.printf "%s (%s)\n" path (Render.run_label j);
+        print_string (Render.topdown_table j);
+        print_newline ())
+      runs;
+    ( match runs with
+    | [ base; cand ] ->
+      print_endline "share deltas (base -> new, percentage points):";
+      print_string
+        (Render.topdown_delta_table
+           ~base:(Render.run_label (snd base), snd base)
+           ~cand:(Render.run_label (snd cand), snd cand));
+      print_newline ()
+    | _ -> () );
+    ( match intervals with
+    | None -> ()
+    | Some path -> (
+      match Loader.load_csv path with
+      | Ok csv ->
+        print_string
+          (Render.timeline ~width ~columns:Render.stall_timeline_columns csv);
+        print_newline ()
+      | Error e -> die "hc_report: %s" e ) );
+    (* the partition invariant is the CI gate: slots must sum to exactly
+       width x rounds per lane — any tolerance would let a leak hide *)
+    let bad =
+      List.filter (fun (_, j) -> not (Render.topdown_consistent j)) runs
+    in
+    List.iter
+      (fun (path, _) ->
+        Printf.printf
+          "FAIL: %s: stall categories do not sum to lane slots (partition \
+           invariant violated)\n"
+          path)
+      bad;
+    if bad <> [] then exit 1;
+    print_endline "topdown partition exact (sum(categories) == width x rounds)"
+  in
+  let files =
+    Arg.(value & pos_all string [] & info [] ~docv:"METRICS.json")
+  in
+  let intervals =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "intervals" ] ~docv:"CSV"
+          ~doc:
+            "Stall-interval CSV (hc_sim --stall-out) to render as sparkline \
+             timelines.")
+  in
+  let width =
+    Arg.(
+      value & opt int 60
+      & info [ "width" ] ~docv:"CHARS" ~doc:"Sparkline width.")
+  in
+  let doc =
+    "top-down stall attribution tables (exit 1 if the slot partition is \
+     not exact); two files add a policy-vs-policy delta view"
+  in
+  Cmd.v (Cmd.info "topdown" ~doc)
+    Term.(const run $ files $ intervals $ width)
+
+(* ---- trend ---- *)
+
+let trend_cmd =
+  let run files tolerance width =
+    if List.length files < 2 then
+      die "hc_report trend: give at least two BENCH snapshots (oldest first)";
+    let snaps = load_runs files in
+    (* per-kernel nanosecond series across the snapshots, arg order *)
+    let leaves =
+      List.map
+        (fun (_, j) ->
+          List.filter_map
+            (fun (key, v) ->
+              let prefix = "kernels_ns_per_run." in
+              if String.starts_with ~prefix key then
+                Some
+                  ( String.sub key (String.length prefix)
+                      (String.length key - String.length prefix),
+                    v )
+              else None)
+            (Loader.numeric_leaves j))
+        snaps
+    in
+    if List.exists (( = ) []) leaves then
+      die "hc_report trend: a snapshot has no kernels_ns_per_run leaves \
+           (not a bench --json file?)";
+    (* kernels present in every snapshot, in first-snapshot order *)
+    let kernels =
+      List.filter
+        (fun k -> List.for_all (List.mem_assoc k) leaves)
+        (List.map fst (List.hd leaves))
+    in
+    let dropped =
+      List.length (List.hd leaves) - List.length kernels
+    in
+    if dropped > 0 then
+      Printf.printf
+        "note: %d kernel%s not present in every snapshot, skipped\n" dropped
+        (if dropped = 1 then "" else "s");
+    Printf.printf "%d kernels across %d snapshots (oldest -> newest):\n"
+      (List.length kernels) (List.length snaps);
+    let regressions = ref 0 in
+    List.iter
+      (fun k ->
+        let series =
+          Array.of_list (List.map (fun l -> List.assoc k l) leaves)
+        in
+        print_endline (Sparkline.render_labelled ~width ~label:k series);
+        let first = series.(0) and last = series.(Array.length series - 1) in
+        let delta =
+          if first > 0. then 100. *. (last -. first) /. first else 0.
+        in
+        Printf.printf "  %12.0f -> %12.0f ns/run  %+.1f%%\n" first last delta;
+        if first > 0. && last > first *. (1. +. tolerance) then begin
+          incr regressions;
+          Printf.printf
+            "  WARNING: %s regressed %+.1f%% first -> last (tolerance \
+             %.0f%%)\n"
+            k delta (100. *. tolerance)
+        end)
+      kernels;
+    if !regressions > 0 then
+      Printf.printf
+        "%d kernel%s beyond tolerance — check the machines/the change \
+         history before trusting cross-snapshot comparisons\n"
+        !regressions
+        (if !regressions = 1 then "" else "s")
+    else print_endline "no kernel regressed beyond tolerance"
+  in
+  let files =
+    Arg.(value & pos_all string [] & info [] ~docv:"BENCH.json")
+  in
+  let tolerance =
+    Arg.(
+      value & opt float 0.25
+      & info [ "tolerance" ] ~docv:"REL"
+          ~doc:
+            "Relative first->last growth beyond which a kernel is flagged \
+             (default 0.25; wall-clock benches are noisy, so this warns \
+             rather than failing).")
+  in
+  let width =
+    Arg.(
+      value & opt int 40
+      & info [ "width" ] ~docv:"CHARS" ~doc:"Sparkline width.")
+  in
+  let doc =
+    "perf trajectory across BENCH snapshots: per-kernel sparkline and \
+     first->last delta, warning on kernels growing beyond tolerance"
+  in
+  Cmd.v (Cmd.info "trend" ~doc) Term.(const run $ files $ tolerance $ width)
 
 (* ---- spans ---- *)
 
@@ -315,4 +488,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ report_cmd; attrib_cmd; spans_cmd; diff_cmd; baseline_cmd ]))
+          [ report_cmd; attrib_cmd; topdown_cmd; trend_cmd; spans_cmd;
+            diff_cmd; baseline_cmd ]))

@@ -11,6 +11,8 @@ module Profile = Hc_trace.Profile
 module Config = Hc_sim.Config
 module Pipeline = Hc_sim.Pipeline
 module Metrics = Hc_sim.Metrics
+module Accounting = Hc_sim.Accounting
+module Registry = Hc_obs.Registry
 module Model = Hc_power.Model
 module Domain_pool = Hc_core.Domain_pool
 module Export = Hc_core.Export
@@ -47,9 +49,55 @@ let totals_match (a : Sample.totals) (m : Metrics.t) =
   && a.Sample.nready_n2w = m.Metrics.nready_n2w
   && a.Sample.issued_total = m.Metrics.issued_total
 
+(* per-lane top-down table: slot counts and % shares for every category,
+   plus the partition check (sum == width x rounds, exact) *)
+let print_topdown (s : Accounting.totals) =
+  Format.printf "@.-- top-down slot attribution --@.";
+  Format.printf "%-16s" "category";
+  for lane = 0 to Accounting.nlanes - 1 do
+    Format.printf "  %18s" (Accounting.lane_name lane)
+  done;
+  Format.printf "@.";
+  List.iter
+    (fun cat ->
+      Format.printf "%-16s" (Accounting.cat_name cat);
+      for lane = 0 to Accounting.nlanes - 1 do
+        Format.printf "  %10d %6.2f%%"
+          (Accounting.get s ~lane cat)
+          (Accounting.share_pct s ~lane cat)
+      done;
+      Format.printf "@.")
+    Accounting.categories;
+  Format.printf "%-16s" "total slots";
+  for lane = 0 to Accounting.nlanes - 1 do
+    Format.printf "  %10d (%dx%d)" (Accounting.lane_sum s lane)
+      (Accounting.lane_width s lane) s.Accounting.rounds.(lane)
+  done;
+  Format.printf "@.partition invariant: %s@."
+    (if Accounting.consistent s then "exact" else "VIOLATED")
+
+(* NREADY per-interval histograms for the ambient registry (same series
+   Runs records during campaigns), so --prom-out scrapes include them *)
+let obs_nready samples =
+  Registry.with_ambient (fun r ->
+      let w2n =
+        Registry.histogram r
+          ~help:"Per-interval NREADY wide-to-narrow imbalance samples"
+          "hc_nready_w2n_per_interval"
+      and n2w =
+        Registry.histogram r
+          ~help:"Per-interval NREADY narrow-to-wide imbalance samples"
+          "hc_nready_n2w_per_interval"
+      in
+      List.iter
+        (fun (s : Sample.t) ->
+          Registry.observe w2n s.Sample.d.Sample.nready_w2n;
+          Registry.observe n2w s.Sample.d.Sample.nready_n2w)
+        samples)
+
 let run benchmark scheme length power compare_baseline jobs trace_out
     metrics_interval interval_out trace_buffer metrics_out cache_dir obs
-    span_log prom_out =
+    span_log prom_out topdown stall_out =
   let obs_t = Obs_setup.setup ~obs ?span_log ?prom_out () in
   ( match jobs with
   | Some n when n > 0 -> Domain_pool.set_jobs n
@@ -82,27 +130,35 @@ let run benchmark scheme length power compare_baseline jobs trace_out
            ~tracing:(trace_out <> None) ())
     else None
   in
+  let accounting =
+    if topdown || stall_out <> None then
+      Some
+        (Accounting.create ~issue_width:cfg.Config.issue_width
+           ~commit_width:cfg.Config.commit_width ())
+    else None
+  in
   let with_base = compare_baseline && scheme <> "baseline" in
   (* the scheme run and its baseline comparator are independent pipeline
      states over the same read-only trace: run them on the pool. Only the
      scheme run is observed — the baseline exists for the speedup line. *)
   let runs =
     let cfgs =
-      (cfg, scheme, sink)
+      (cfg, scheme, sink, accounting)
       ::
       (if with_base then
-         [ (Config.with_scheme cfg Config.monolithic, "baseline", None) ]
+         [ (Config.with_scheme cfg Config.monolithic, "baseline", None, None) ]
        else [])
     in
     Domain_pool.map_list (Domain_pool.get ())
-      (fun (cfg, scheme_name, sink) ->
-        Pipeline.run ?sink ~cfg ~decide:Hc_steering.Policy.decide ~scheme_name
-          trace)
+      (fun (cfg, scheme_name, sink, accounting) ->
+        Pipeline.run ?sink ?accounting ~cfg ~decide:Hc_steering.Policy.decide
+          ~scheme_name trace)
       cfgs
   in
   let m = List.hd runs in
   Format.printf "%a@." Metrics.pp m;
   assert (Metrics.attrib_consistent m);
+  assert (Metrics.stall_consistent m);
   ( match metrics_out with
   | Some path ->
     Format.printf "metrics: wrote %s@."
@@ -147,6 +203,33 @@ let run benchmark scheme length power compare_baseline jobs trace_out
         written (List.length samples) (Sink.interval sink)
         (if totals_match (Sample.aggregate samples) m then "==" else "<> (BUG)")
     end );
+  ( match accounting with
+  | None -> ()
+  | Some a ->
+    let ivals = Accounting.intervals a in
+    (* every interval delta must itself satisfy the partition, not just
+       the run total — a compensating error would hide in the sum *)
+    List.iter
+      (fun (iv : Accounting.interval) ->
+        assert (Accounting.consistent iv.Accounting.iv_d))
+      ivals;
+    if topdown then print_topdown (Accounting.totals a);
+    ( match stall_out with
+    | Some path ->
+      let written =
+        Hc_core.Telemetry.write_file path
+          (Accounting.csv_header
+          :: List.map Accounting.interval_csv_row ivals)
+      in
+      Format.printf "stall intervals: wrote %s (%d intervals)@." written
+        (List.length ivals)
+    | None -> () ) );
+  ( match sink with
+  | Some sink ->
+    (* same per-interval NREADY distributions Runs records in campaigns;
+       with_ambient is a no-op unless --obs/--prom-out enabled it *)
+    obs_nready (Sink.samples sink)
+  | None -> () );
   if power then begin
     let report = Model.estimate ~narrow_bits:cfg.Config.narrow_bits m in
     Format.printf "@.energy: %.0f units@." report.Model.total;
@@ -275,11 +358,33 @@ let cmd =
             "Write the final metrics-registry scrape as Prometheus text \
              exposition to $(docv); implies observability on.")
   in
+  let topdown =
+    Arg.(
+      value & flag
+      & info [ "topdown" ]
+          ~doc:
+            "Enable the cycle-accounting engine and print the top-down slot \
+             attribution table (every issue and commit slot of every tick \
+             classified into a disjoint stall taxonomy; per-lane sums are \
+             exactly width x rounds). Adds a $(b,stall) object to \
+             $(b,--metrics-out) JSON.")
+  in
+  let stall_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "stall-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the per-interval stall-attribution time series as CSV to \
+             $(docv) (implies $(b,--topdown) accounting; intervals follow \
+             $(b,--metrics-interval), else one whole-run interval).")
+  in
   let doc = "cycle-level helper-cluster simulator" in
   Cmd.v (Cmd.info "hc_sim" ~doc)
     Term.(
       const run $ benchmark $ scheme $ length $ power $ compare_baseline $ jobs
       $ trace_out $ metrics_interval $ interval_out $ trace_buffer
-      $ metrics_out $ cache_dir $ obs $ span_log $ prom_out)
+      $ metrics_out $ cache_dir $ obs $ span_log $ prom_out $ topdown
+      $ stall_out)
 
 let () = exit (Cmd.eval cmd)

@@ -39,7 +39,7 @@ let obs_bytes name n =
 (* bump to invalidate every existing entry at once (key-space version) *)
 let cache_version = 1
 
-let metrics_schema = 3 (* the Metrics.to_json "schema" this build writes *)
+let metrics_schema = 4 (* the Metrics.to_json "schema" this build writes *)
 
 let default_root () =
   match Sys.getenv_opt "HC_CACHE_DIR" with
@@ -183,9 +183,37 @@ let trace_or_generate cache ~profile ~length =
 
 (* ----- run metrics ----- *)
 
-(* Rebuild a Metrics.t from its schema-3 JSON. Every stored field is an
+(* Rebuild a Metrics.t from its schema-4 JSON. Every stored field is an
    int (the floats in the file — cycles, ipc — are derived), so the
    reconstruction is exact; the caller double-checks by re-serializing. *)
+
+let stall_of_json j =
+  let module Acc = Hc_sim.Accounting in
+  let lane_obj name =
+    match Json.member name j with
+    | Some (Json.Object _ as o) -> o
+    | Some _ | None -> failwith ("metrics JSON: bad stall lane " ^ name)
+  in
+  let int_in o name =
+    match Json.member name o with
+    | Some (Json.Number raw) -> int_of_string raw
+    | Some _ | None -> failwith ("metrics JSON: bad stall field " ^ name)
+  in
+  let t =
+    Acc.zero_totals ~issue_width:(int_in j "issue_width")
+      ~commit_width:(int_in j "commit_width")
+  in
+  List.iter
+    (fun lane ->
+      let o = lane_obj (Acc.lane_name lane) in
+      t.Acc.rounds.(lane) <- int_in o "rounds";
+      List.iter
+        (fun c ->
+          t.Acc.slots.(lane).(Acc.cat_index c) <- int_in o (Acc.cat_name c))
+        Acc.categories)
+    [ Acc.lane_wide; Acc.lane_narrow; Acc.lane_commit ];
+  t
+
 let metrics_of_json j =
   let int name =
     match Json.member name j with
@@ -235,6 +263,11 @@ let metrics_of_json j =
       (match Json.member "static_narrow_bound" j with
       | Some (Json.Number raw) -> Some (int_of_string raw)
       | Some _ -> failwith "metrics JSON: bad static_narrow_bound"
+      | None -> None);
+    stall =
+      (match Json.member "stall" j with
+      | Some (Json.Object _ as o) -> Some (stall_of_json o)
+      | Some _ -> failwith "metrics JSON: bad stall"
       | None -> None);
     counters;
   }
@@ -371,12 +404,29 @@ let gc t ~max_bytes =
   in
   let total = List.fold_left (fun acc e -> acc + e.e_bytes) 0 es in
   let excess = ref (total - max_bytes) in
-  List.filter_map
+  let freed =
+    List.filter_map
+      (fun e ->
+        if !excess > 0 then begin
+          excess := !excess - e.e_bytes;
+          remove_quietly e.e_path;
+          Some e
+        end
+        else None)
+      es
+  in
+  (* gc churn lands in the same scrape as hits/misses: freed entries and
+     bytes, by entry kind *)
+  List.iter
     (fun e ->
-      if !excess > 0 then begin
-        excess := !excess - e.e_bytes;
-        remove_quietly e.e_path;
-        Some e.e_path
-      end
-      else None)
-    es
+      let kind = if e.e_trace then "trace" else "run" in
+      obs_count "hc_cache_gc_freed_entries_total" ~kind ();
+      Registry.with_ambient (fun r ->
+          Registry.add
+            (Registry.counter r
+               ~labels:[ ("kind", kind) ]
+               ~help:"Artifact-cache bytes freed by gc eviction"
+               "hc_cache_gc_freed_bytes_total")
+            e.e_bytes))
+    freed;
+  List.map (fun e -> e.e_path) freed

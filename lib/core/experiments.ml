@@ -436,6 +436,105 @@ let related runs =
         measured = stat theirs Metrics.copy_pct };
     ] )
 
+(* ----- bottleneck: where do the cycles go, policy by policy ----- *)
+
+module Accounting = Hc_sim.Accounting
+
+let bottleneck_schemes =
+  [ "baseline"; "8_8_8"; "+BR"; "+CR"; "+IR"; "static_888" ]
+
+let bottleneck runs =
+  (* accounting-enabled simulations bypass the memoized metrics cache
+     (same pattern as the ICS'05 comparator): the cached campaign numbers
+     stay untouched by the instrumented runs. Policies are resolved
+     sequentially first — [static_info] is memoized per trace and the
+     oracle needs it — then the 72 cells fan out on the pool. *)
+  Runs.ensure_traces runs spec;
+  let cells =
+    List.concat_map
+      (fun scheme ->
+        List.map
+          (fun p ->
+            let tr = Runs.trace runs p in
+            let cfg, decide =
+              Runs.resolve_policy ~static:(Runs.static_info runs tr) ~scheme
+            in
+            (scheme, cfg, decide, tr))
+          spec)
+      bottleneck_schemes
+  in
+  let results =
+    Domain_pool.map_list (Domain_pool.get ())
+      (fun (scheme, cfg, decide, tr) ->
+        let a =
+          Accounting.create ~issue_width:cfg.Config.issue_width
+            ~commit_width:cfg.Config.commit_width ()
+        in
+        ignore (Pipeline.run ~accounting:a ~cfg ~decide ~scheme_name:scheme tr);
+        (scheme, Accounting.totals a))
+      cells
+  in
+  (* the partition must be exact on every single run before any share is
+     worth reading *)
+  let violations =
+    List.length (List.filter (fun (_, s) -> not (Accounting.consistent s)) results)
+  in
+  (* per-scheme aggregate over the 12 benchmarks *)
+  let agg =
+    List.map
+      (fun scheme ->
+        let mine =
+          List.filter_map
+            (fun (s, t) -> if s = scheme then Some t else None)
+            results
+        in
+        ( scheme,
+          List.fold_left Accounting.add_totals (List.hd mine) (List.tl mine) ))
+      bottleneck_schemes
+  in
+  let share lane (_, s) cat = Accounting.share_pct s ~lane cat in
+  let lane_table lane =
+    let t =
+      Table.create
+        (Printf.sprintf "%s slots (%%)" (Accounting.lane_name lane)
+        :: bottleneck_schemes)
+    in
+    List.iter
+      (fun cat ->
+        Table.add_row t
+          (Accounting.cat_name cat
+          :: List.map (fun a -> f1 (share lane a cat)) agg))
+      Accounting.categories;
+    Table.render t
+  in
+  let text =
+    String.concat "\n"
+      [ lane_table Accounting.lane_wide; lane_table Accounting.lane_narrow;
+        lane_table Accounting.lane_commit;
+        Printf.sprintf
+          "partition invariant: %s (sum(categories) == width x rounds, \
+           exact, %d runs)"
+          (if violations = 0 then "exact" else "VIOLATED")
+          (List.length results) ]
+  in
+  let pick scheme = List.assoc scheme agg in
+  let issue_share scheme lane =
+    Accounting.share_pct (pick scheme) ~lane Accounting.Issued
+  in
+  ( text,
+    [
+      { label = "runs violating the slot partition (count)"; paper = 0.;
+        measured = float_of_int violations };
+      { label = "wide issued-slot share, baseline (%)"; paper = 30.;
+        measured = issue_share "baseline" Accounting.lane_wide };
+      { label = "narrow issued-slot share, +IR (%)"; paper = 10.;
+        measured = issue_share "+IR" Accounting.lane_narrow };
+      { label = "narrow wait-copy share, 8_8_8 (%)"; paper = 12.;
+        measured =
+          Accounting.share_pct (pick "8_8_8") ~lane:Accounting.lane_narrow
+            Accounting.Wait_copy };
+    ] )
+
 (* ----- Table 2 / Fig 14: the application suite ----- *)
 
 let tab2 _runs =
@@ -668,6 +767,12 @@ let all =
       paper_claim =
         "section 4: copies + flush + confidence (this paper) vs replicated          register file + replay (Gonzalez et al.)";
       run = prep ~schemes:[ "baseline"; "+IR" ] related };
+    { id = "bottleneck";
+      title = "Where do the cycles go: top-down stall profile per policy";
+      paper_claim =
+        "the policy stack converts dispatch/copy stalls into issued slots \
+         (diagnostic; no single paper number)";
+      run = bottleneck };
     { id = "tab2"; title = "Workload suite (Table 2)";
       paper_claim = "7 categories; table counts sum to 409 (text says 412)";
       run = tab2 };

@@ -102,6 +102,26 @@ let obs_run (m : Metrics.t) =
            "hc_sim_run_ticks")
         m.Metrics.ticks)
 
+(* Per-interval NREADY imbalance histograms: one observation per sampled
+   interval, so a scrape (hc_metrics show / --prom-out) carries the
+   distribution of the paper's §3.7 imbalance signal, not just its total. *)
+let obs_nready samples =
+  Registry.with_ambient (fun r ->
+      let w2n =
+        Registry.histogram r
+          ~help:"Per-interval NREADY wide-to-narrow imbalance samples"
+          "hc_nready_w2n_per_interval"
+      and n2w =
+        Registry.histogram r
+          ~help:"Per-interval NREADY narrow-to-wide imbalance samples"
+          "hc_nready_n2w_per_interval"
+      in
+      List.iter
+        (fun (s : Hc_obs.Sample.t) ->
+          Registry.observe w2n s.Hc_obs.Sample.d.Hc_obs.Sample.nready_w2n;
+          Registry.observe n2w s.Hc_obs.Sample.d.Hc_obs.Sample.nready_n2w)
+        samples)
+
 let simulate ?telemetry ~(static : Hc_analysis.Static.t) ~scheme tr =
   Span.with_span "simulate"
     ~meta:[ ("benchmark", tr.Trace.name); ("scheme", scheme) ]
@@ -128,6 +148,7 @@ let simulate ?telemetry ~(static : Hc_analysis.Static.t) ~scheme tr =
         (Telemetry.write_intervals_csv ~path:(base ^ ".intervals.csv")
            (Hc_obs.Sink.samples sink));
       ignore (Telemetry.write_metrics_json ~path:(base ^ ".metrics.json") m);
+      obs_nready (Hc_obs.Sink.samples sink);
       m
   in
   obs_run m;

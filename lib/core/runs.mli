@@ -83,5 +83,17 @@ val metrics : t -> scheme:string -> Hc_trace.Profile.t -> Hc_sim.Metrics.t
 val speedup_pct : t -> scheme:string -> Hc_trace.Profile.t -> float
 (** Performance increase of [scheme] over ["baseline"] for one profile. *)
 
+val resolve_policy :
+  static:Hc_analysis.Static.t ->
+  scheme:string ->
+  Hc_sim.Config.t * Hc_sim.Pipeline.decide
+(** The (config, steering policy) a scheme name denotes: the matching
+    entry of [Config.scheme_stack], or — for the ["static_888"]
+    pseudo-scheme — the 8_8_8 machine steered by
+    {!Hc_steering.Policy.static_oracle} over [static]. For callers that
+    drive {!Hc_sim.Pipeline.run} directly (e.g. accounting-enabled
+    experiment fan-outs that must not pollute the metrics memo/cache).
+    @raise Not_found for an unknown scheme name. *)
+
 val spec_profiles : Hc_trace.Profile.t list
 (** The 12 SPEC Int 2000 profiles, in paper order. *)

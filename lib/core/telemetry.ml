@@ -40,6 +40,14 @@ let write_metrics_json ~path m = write_file path [ Metrics.to_json m ]
 (* A mutex-guarded line reporter: Runs ticks it from pool workers, so
    updates must be serialized; rendering is throttled so a 100k-cell
    campaign doesn't spend its time repainting stderr. *)
+(* ETA window: the rate is measured over the last [eta_window]
+   completions, not the whole campaign. A warm-cache campaign front-loads
+   near-instant cached merges; the global mean then predicts the cold
+   tail ~2000x too fast (and symmetrically, a cold prefix makes a warm
+   tail look slow). The windowed rate converges to the current regime
+   within one window. *)
+let eta_window = 32
+
 type progress = {
   p_out : out_channel;
   p_enabled : bool;
@@ -51,6 +59,8 @@ type progress = {
   p_t0 : float;
   mutable p_last_print : float;
   mutable p_printed : bool;
+  p_recent : float array;  (* completion stamps, ring of [eta_window] *)
+  mutable p_recent_len : int;  (* stamps recorded, caps at the ring size *)
 }
 
 let progress_create ?(out = stderr) ?(label = "campaign") ~enabled () =
@@ -65,6 +75,8 @@ let progress_create ?(out = stderr) ?(label = "campaign") ~enabled () =
     p_t0 = Unix.gettimeofday ();
     p_last_print = 0.;
     p_printed = false;
+    p_recent = Array.make eta_window 0.;
+    p_recent_len = 0;
   }
 
 let progress_render p ~now =
@@ -74,11 +86,24 @@ let progress_render p ~now =
   in
   let eta =
     if p.p_done = 0 || p.p_done >= p.p_total then ""
-    else
-      let elapsed = now -. p.p_t0 in
-      Printf.sprintf " ETA %.1fs"
-        (elapsed /. float_of_int p.p_done
-        *. float_of_int (p.p_total - p.p_done))
+    else begin
+      (* windowed rate: completions-per-second over the span from the
+         oldest retained stamp (or campaign start while the ring is
+         filling) to now *)
+      let window = min p.p_recent_len eta_window in
+      let oldest =
+        if window = 0 then p.p_t0
+        else if p.p_recent_len <= eta_window then p.p_recent.(0)
+        else p.p_recent.(p.p_recent_len mod eta_window)
+      in
+      let span = now -. oldest in
+      let completions = if window = 0 then 1 else window in
+      if span <= 0. then ""
+      else
+        Printf.sprintf " ETA %.1fs"
+          (span /. float_of_int completions
+          *. float_of_int (p.p_total - p.p_done))
+    end
   in
   Printf.sprintf "%s: %d/%d tasks, %d warm (%.1f%% hit)%s" p.p_label p.p_done
     p.p_total p.p_cached warm_pct eta
@@ -106,6 +131,8 @@ let progress_tick ?(cached = false) p =
   Mutex.lock p.p_m;
   p.p_done <- p.p_done + 1;
   if cached then p.p_cached <- p.p_cached + 1;
+  p.p_recent.(p.p_recent_len mod eta_window) <- Unix.gettimeofday ();
+  p.p_recent_len <- p.p_recent_len + 1;
   progress_print p ~force:(p.p_done >= p.p_total);
   Mutex.unlock p.p_m
 

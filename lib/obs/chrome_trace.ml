@@ -166,7 +166,13 @@ let to_buffer ?ring ?(stage_spans = []) buf ~events ~samples =
       counter em ~ts:s.Sample.t_end ~name:"ipc"
         ~pairs:[ ("ipc", Printf.sprintf "%.4f" (Sample.ipc s)) ];
       counter em ~ts:s.Sample.t_end ~name:"rob_occupancy"
-        ~pairs:[ ("rob", string_of_int s.Sample.rob) ])
+        ~pairs:[ ("rob", string_of_int s.Sample.rob) ];
+      (* NREADY imbalance (§3.7) per interval, next to the occupancy
+         tracks it explains *)
+      counter em ~ts:s.Sample.t_end ~name:"nready"
+        ~pairs:
+          [ ("w2n", string_of_int s.Sample.d.Sample.nready_w2n);
+            ("n2w", string_of_int s.Sample.d.Sample.nready_n2w) ])
     samples;
   Buffer.add_string buf "\n  ]\n}\n"
 

@@ -4,7 +4,8 @@
     to writeback tick), one per issue queue (queue-residency spans,
     dispatch tick to issue tick), and a retire/recovery track for commit,
     width-flush and replay instants. Interval samples become counter
-    tracks (IQ occupancy, IPC, ROB occupancy). Timestamps are fast ticks
+    tracks (IQ occupancy, IPC, ROB occupancy, NREADY imbalance per
+    interval). Timestamps are fast ticks
     reported in the trace's microsecond field — absolute time is
     meaningless for a cycle-level simulation, only relative spans
     matter.

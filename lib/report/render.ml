@@ -107,6 +107,120 @@ let attrib_consistent j =
     | _ -> false )
   | _ -> true (* schema 1 file: nothing to check *)
 
+(* ----- top-down stall attribution (schema-4 "stall" object) ----- *)
+
+(* Category and lane names mirror Hc_sim.Accounting; this library is
+   dependency-free so the JSON schema is the contract, not the module. *)
+let stall_categories =
+  [ "issued"; "frontend"; "dispatch"; "wait_operands"; "wait_copy"; "memory";
+    "width_recovery"; "drained"; "idle" ]
+
+let stall_lanes = [ "wide"; "narrow"; "commit" ]
+
+let stall_obj j = Json.member "stall" j
+
+let stall_lane_slots stall lane =
+  (* exact expected slot count: lane width x accounted rounds *)
+  let width =
+    field stall (if lane = "commit" then "commit_width" else "issue_width")
+  in
+  match (Json.member lane stall, width) with
+  | Some l, Some w -> (
+    match field l "rounds" with Some r -> Some (w *. r) | None -> None )
+  | _ -> None
+
+let stall_cell stall lane cat =
+  Option.bind (Json.member lane stall) (fun l -> field l cat)
+
+let topdown_consistent j =
+  match stall_obj j with
+  | None -> true (* pre-schema-4 file or accounting off: nothing to check *)
+  | Some stall ->
+    List.for_all
+      (fun lane ->
+        match stall_lane_slots stall lane with
+        | None -> false
+        | Some expected ->
+          let sum =
+            List.fold_left
+              (fun acc cat ->
+                match stall_cell stall lane cat with
+                | Some v -> acc +. v
+                | None -> Float.nan)
+              0. stall_categories
+          in
+          sum = expected (* exact; nan (missing category) fails *))
+      stall_lanes
+
+let topdown_table j =
+  match stall_obj j with
+  | None -> "(no stall object — run hc_sim with --topdown)"
+  | Some stall ->
+    let t =
+      Table.create
+        ("category"
+        :: List.map (fun l -> l ^ " slots (share)") stall_lanes)
+    in
+    List.iter
+      (fun cat ->
+        Table.add_row t
+          (cat
+          :: List.map
+               (fun lane ->
+                 match
+                   (stall_cell stall lane cat, stall_lane_slots stall lane)
+                 with
+                 | Some v, Some total when total > 0. ->
+                   Printf.sprintf "%.0f (%.1f%%)" v (100. *. v /. total)
+                 | Some v, _ -> Printf.sprintf "%.0f" v
+                 | None, _ -> "-")
+               stall_lanes))
+      stall_categories;
+    Table.add_separator t;
+    Table.add_row t
+      ("total slots"
+      :: List.map
+           (fun lane -> fmt_opt "%.0f" (stall_lane_slots stall lane))
+           stall_lanes);
+    Table.render t
+
+(* policy-vs-policy delta view: per lane, each category's share under the
+   base and candidate runs plus the delta in percentage points *)
+let topdown_delta_table ~base:(bn, bj) ~cand:(cn, cj) =
+  match (stall_obj bj, stall_obj cj) with
+  | Some bs, Some cs ->
+    let share stall lane cat =
+      match (stall_cell stall lane cat, stall_lane_slots stall lane) with
+      | Some v, Some total when total > 0. -> Some (100. *. v /. total)
+      | _ -> None
+    in
+    let t =
+      Table.create
+        ("category"
+        :: List.map
+             (fun l -> Printf.sprintf "%s: %s -> %s" l bn cn)
+             stall_lanes)
+    in
+    List.iter
+      (fun cat ->
+        Table.add_row t
+          (cat
+          :: List.map
+               (fun lane ->
+                 match (share bs lane cat, share cs lane cat) with
+                 | Some a, Some b ->
+                   Printf.sprintf "%5.1f%% -> %5.1f%% (%+.1fpp)" a b (b -. a)
+                 | _ -> "-")
+               stall_lanes))
+      stall_categories;
+    Table.render t
+  | _ -> "(both runs need a stall object for the delta view)"
+
+(* the phase-visible subset of the 30 stall-CSV columns *)
+let stall_timeline_columns =
+  [ "wide_issued"; "wide_dispatch"; "wide_memory"; "narrow_issued";
+    "narrow_dispatch"; "narrow_wait_copy"; "commit_issued"; "commit_memory" ]
+
 let default_timeline_columns =
   [ "ipc"; "steered_narrow"; "copies"; "wpred_accuracy_pct"; "rob" ]
 

@@ -33,6 +33,29 @@ val attrib_consistent : Json.t -> bool
     to [committed - steered_narrow]. Files predating schema 2 (no
     attribution fields) report [true] vacuously. *)
 
+val topdown_consistent : Json.t -> bool
+(** The partition invariant on a schema-4 metrics file: for each lane of
+    the ["stall"] object (wide / narrow / commit), the nine category
+    counts sum to exactly [lane_width x rounds] — no tolerance. Files
+    without a stall object (accounting off, or pre-schema-4) report
+    [true] vacuously. *)
+
+val topdown_table : Json.t -> string
+(** Per-lane top-down slot attribution from one metrics file: one row
+    per stall category, slot count and share per lane, plus the exact
+    expected totals row. *)
+
+val topdown_delta_table :
+  base:string * Json.t -> cand:string * Json.t -> string
+(** Policy-vs-policy view: each category's share of lane slots under the
+    base and candidate runs side by side with the delta in percentage
+    points — where did the cycles the faster policy recovered come
+    from. *)
+
+val stall_timeline_columns : string list
+(** The phase-visible subset of the stall-interval CSV columns, for
+    {!timeline} [~columns]. *)
+
 val timeline : ?width:int -> ?columns:string list -> Loader.csv -> string
 (** Sparkline per column of an interval CSV (default: the phase-visible
     ones — ipc, steered_narrow, copies, wpred_accuracy_pct, rob). *)

@@ -22,6 +22,7 @@ type t = {
   nready_n2w : int;
   issued_total : int;
   static_narrow_bound : int option;
+  stall : Accounting.totals option;
   counters : Hc_stats.Counter.t;
 }
 
@@ -76,6 +77,9 @@ let attrib_consistent t =
   && t.steered_ir = t.split_uops
   && t.wide_default + t.wide_demoted = t.committed - t.steered_narrow
 
+let stall_consistent t =
+  match t.stall with None -> true | Some s -> Accounting.consistent s
+
 let json_escape s =
   let b = Buffer.create (String.length s + 8) in
   String.iter
@@ -94,7 +98,7 @@ let to_json t =
   let b = Buffer.create 1024 in
   let p fmt = Printf.ksprintf (Buffer.add_string b) fmt in
   p "{";
-  p "\"schema\":3,";
+  p "\"schema\":4,";
   p "\"name\":\"%s\"," (json_escape t.name);
   p "\"scheme\":\"%s\"," (json_escape t.scheme_name);
   p "\"committed\":%d," t.committed;
@@ -121,6 +125,9 @@ let to_json t =
   p "\"issued_total\":%d," t.issued_total;
   ( match t.static_narrow_bound with
   | Some b -> p "\"static_narrow_bound\":%d," b
+  | None -> () );
+  ( match t.stall with
+  | Some s -> p "\"stall\":%s," (Accounting.json_fragment s)
   | None -> () );
   p "\"counters\":{";
   let names = Hc_stats.Counter.names t.counters in

@@ -44,6 +44,10 @@ type t = {
           helper-cluster commits a zero-recovery policy can reach. The
           pipeline itself reports [None]; [Hc_core.Runs] attaches the
           bound so exported metrics carry the headroom column. *)
+  stall : Accounting.totals option;
+      (** top-down cycle-accounting totals, present only when the run was
+          simulated with [Pipeline.run ~accounting]; the partition
+          invariant ({!Accounting.consistent}) holds exactly. *)
   counters : Hc_stats.Counter.t;  (** raw activity counters for the power model *)
 }
 
@@ -93,13 +97,19 @@ val attrib_consistent : t -> bool
     [steered_narrow], [steered_ir = split_uops], and the wide columns sum
     to [committed - steered_narrow]. *)
 
+val stall_consistent : t -> bool
+(** The cycle-accounting partition invariant on [stall]
+    ({!Accounting.consistent}); [true] vacuously when accounting was
+    off. *)
+
 val to_json : t -> string
 (** The whole record as one JSON object — every dynamic count, the
     derived IPC/cycles, and the raw activity counters keyed by name.
     Shared by the CSV/JSON export layer and the telemetry writers so a
     run's numbers serialize identically everywhere. Carries
-    ["schema"]:3 (schema 2 added the steering-attribution columns;
+    ["schema"]:4 (schema 2 added the steering-attribution columns;
     schema 3 the optional ["static_narrow_bound"] key, present only
-    when the bound is attached). *)
+    when the bound is attached; schema 4 the optional ["stall"]
+    cycle-accounting object, present only when accounting was on). *)
 
 val pp : Format.formatter -> t -> unit

@@ -36,6 +36,7 @@ type vstate = {
   v_prefetch_used : bool array;
   mutable v_lr : bool;  (* produced by a load that LR will replicate *)
   mutable v_cluster : Config.cluster;  (* producer's cluster *)
+  mutable v_from_load : bool;  (* produced by a load: memory-bound stalls *)
 }
 
 let make_vstate ~pc ~narrow ~pred_narrow ~cluster =
@@ -44,7 +45,7 @@ let make_vstate ~pc ~narrow ~pred_narrow ~cluster =
     v_done = false; v_avail = [| never; never |];
     v_copy_inflight = [| false; false |]; v_demand_copied = false;
     v_prefetched = [| false; false |]; v_prefetch_used = [| false; false |];
-    v_lr = false; v_cluster = cluster;
+    v_lr = false; v_cluster = cluster; v_from_load = false;
   }
 
 let reset_vstate v =
@@ -194,6 +195,12 @@ type evslot = {
 
 type undo = { un_node : int; un_reg : int; un_prev : vstate option }
 
+(* Why the most recent frontend round stopped dispatching — consumed by
+   the cycle accounting to split an empty stage between dispatch-stalled
+   and genuinely idle. A single int write per stall, so it stays on even
+   with accounting off. *)
+type stall_src = Sr_none | Sr_rob | Sr_iq | Sr_regfile | Sr_mob
+
 type state = {
   cfg : Config.t;
   trace : Trace.t;
@@ -203,6 +210,11 @@ type state = {
   sink : Sink.t option;
       (* telemetry; [None] keeps every instrumentation point a single
          field test and the hot path allocation-free *)
+  acct : Accounting.t option;
+      (* cycle accounting; [None] keeps the attribution walk behind one
+         field test per issue round, same discipline as [sink] *)
+  mutable stall_src : stall_src;  (* last frontend round's stop reason *)
+  mutable wflush_until : int;  (* draining a width flush before this tick *)
   (* frontend *)
   mutable fetch_idx : int;  (* next trace index to dispatch *)
   mutable fetch_resume : int;  (* tick before which dispatch is stalled *)
@@ -262,7 +274,7 @@ type state = {
 
 let wheel_size = 4096
 
-let create ?sink cfg decide trace =
+let create ?sink ?accounting cfg decide trace =
   ( match Config.validate cfg with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Pipeline: " ^ msg) );
@@ -270,6 +282,9 @@ let create ?sink cfg decide trace =
   let null_node = make_detached_node () in
   {
     cfg; trace; decide; sink;
+    acct = accounting;
+    stall_src = Sr_none;
+    wflush_until = 0;
     preds = Bundle.create ~entries:cfg.Config.wpred_entries ~conf_bits:cfg.Config.conf_bits ();
     counters;
     fetch_idx = 0; fetch_resume = 0;
@@ -575,10 +590,18 @@ let dispatch_split st (u : Uop.t) ~trace_idx ~prediction deps =
   (* the byte lanes read their sources as 8-bit slices through the same
      cross-cluster byte paths the CR tag scheme uses, so no source copies
      are charged - only queue slots, issue slots and the chained latency *)
-  if st.rob_count + slices > cfg.Config.rob_size then raise Dispatch_stall;
-  if iq_free st Config.Narrow < slices + result_copies then raise Dispatch_stall;
-  if produces_value && Regfile.free_count st.regfile Config.Narrow < slices then
-    raise Dispatch_stall;
+  if st.rob_count + slices > cfg.Config.rob_size then begin
+    st.stall_src <- Sr_rob;
+    raise Dispatch_stall
+  end;
+  if iq_free st Config.Narrow < slices + result_copies then begin
+    st.stall_src <- Sr_iq;
+    raise Dispatch_stall
+  end;
+  if produces_value && Regfile.free_count st.regfile Config.Narrow < slices then begin
+    st.stall_src <- Sr_regfile;
+    raise Dispatch_stall
+  end;
   credit_prefetch st Config.Narrow deps;
   let dest =
     if produces_value then
@@ -676,14 +699,28 @@ let dispatch_steered st (u : Uop.t) ~trace_idx ~prediction ~cluster ~reason deps
   let own_w, own_n =
     match cluster with Config.Wide -> (1, 0) | Config.Narrow -> (0, 1)
   in
-  if st.rob_count >= cfg.Config.rob_size then raise Dispatch_stall;
-  if iq_free st Config.Wide < demand_w + own_w then raise Dispatch_stall;
-  if iq_free st Config.Narrow < demand_n + own_n then raise Dispatch_stall;
-  if produces_value && Regfile.free_count st.regfile cluster = 0 then
-    raise Dispatch_stall;
+  if st.rob_count >= cfg.Config.rob_size then begin
+    st.stall_src <- Sr_rob;
+    raise Dispatch_stall
+  end;
+  if iq_free st Config.Wide < demand_w + own_w then begin
+    st.stall_src <- Sr_iq;
+    raise Dispatch_stall
+  end;
+  if iq_free st Config.Narrow < demand_n + own_n then begin
+    st.stall_src <- Sr_iq;
+    raise Dispatch_stall
+  end;
+  if produces_value && Regfile.free_count st.regfile cluster = 0 then begin
+    st.stall_src <- Sr_regfile;
+    raise Dispatch_stall
+  end;
   let is_mem = u.Uop.op = Opcode.Load || u.Uop.op = Opcode.Store in
   if is_mem then begin
-    if st.mob_count >= cfg.Config.mob_size then raise Dispatch_stall;
+    if st.mob_count >= cfg.Config.mob_size then begin
+      st.stall_src <- Sr_mob;
+      raise Dispatch_stall
+    end;
     st.mob_count <- st.mob_count + 1
   end;
   List.iter
@@ -714,7 +751,9 @@ let dispatch_steered st (u : Uop.t) ~trace_idx ~prediction ~cluster ~reason deps
         Branch_predictor.update st.gshare u.Uop.pc ~taken:u.Uop.taken
   in
   ( match dest with
-  | Some v -> v.v_lr <- lr_replicate
+  | Some v ->
+    v.v_lr <- lr_replicate;
+    v.v_from_load <- u.Uop.op = Opcode.Load
   | None -> () );
   let rec node =
     {
@@ -895,6 +934,112 @@ let count_ready_narrow_capable st =
     0
     st.iq.(cluster_index Config.Wide)
 
+(* ----- cycle accounting (top-down slot attribution) ----- *)
+
+(* Why a blocked occupant cannot issue: scan its unavailable deps with
+   the same availability rule as [deps_ready]. Memory wins over copy
+   wins over plain operands, so one blocked node maps to exactly one
+   category. *)
+let blocked_reason st cluster (node : node) =
+  match node.n_kind with
+  | Copy _ -> Accounting.Wait_copy
+  | Normal | Slice _ ->
+    let i = cluster_index cluster in
+    let mem = ref false and cop = ref false in
+    Array.iter
+      (fun ((v : vstate), _) ->
+        let avail =
+          if node.n_remote_reads then
+            v.v_avail.(0) <= st.now || v.v_avail.(1) <= st.now
+          else v.v_avail.(i) <= st.now
+        in
+        if not avail then begin
+          if v.v_from_load && not v.v_done then mem := true
+          else if v.v_done || v.v_copy_inflight.(i) then cop := true
+        end)
+      node.n_deps;
+    if !mem then Accounting.Memory
+    else if !cop then Accounting.Wait_copy
+    else Accounting.Wait_operands
+
+(* Attribution of a slot no queue occupant can explain: the machine is
+   draining a width flush, starved by the frontend, dispatch-blocked on
+   a full structure, or genuinely idle. *)
+let empty_reason st ~narrow =
+  if st.now < st.wflush_until then
+    if narrow then Accounting.Drained else Accounting.Width_recovery
+  else if st.now < st.fetch_resume then Accounting.Frontend
+  else
+    match st.stall_src with
+    | Sr_none -> Accounting.Idle
+    | Sr_mob -> Accounting.Memory
+    | Sr_rob | Sr_iq | Sr_regfile -> Accounting.Dispatch
+
+(* One issue round of [cluster]: [issued] slots did work; the idle rest
+   is claimed first by blocked queue occupants (memory, then copy, then
+   operands), and any slots beyond the occupant count by the
+   empty-stage reason. Adds exactly [issue_width] slots and one round,
+   so the partition invariant holds by construction. *)
+let account_issue_round st a cluster ~issued =
+  let lane = cluster_index cluster in
+  let width = st.cfg.Config.issue_width in
+  if issued > 0 then Accounting.add a ~lane Accounting.Issued issued;
+  let idle = width - issued in
+  if idle > 0 then begin
+    (* after the issue walk the queue holds only blocked occupants:
+       issued, squashed and dead-copy nodes were unlinked, and idle > 0
+       means no ready node was left waiting for a slot *)
+    let mem = ref 0 and cop = ref 0 and opr = ref 0 in
+    let q = st.iq.(lane) in
+    let s = q.iq_sent in
+    let cur = ref s.n_next in
+    while !cur != s do
+      let node = !cur in
+      ( match blocked_reason st cluster node with
+      | Accounting.Memory -> incr mem
+      | Accounting.Wait_copy -> incr cop
+      | _ -> incr opr );
+      cur := node.n_next
+    done;
+    let left = ref idle in
+    let take counter cat =
+      let n = min !left counter in
+      if n > 0 then begin
+        Accounting.add a ~lane cat n;
+        left := !left - n
+      end
+    in
+    take !mem Accounting.Memory;
+    take !cop Accounting.Wait_copy;
+    take !opr Accounting.Wait_operands;
+    if !left > 0 then
+      Accounting.add a ~lane
+        (empty_reason st ~narrow:(cluster = Config.Narrow))
+        !left
+  end;
+  Accounting.round a ~lane
+
+(* One commit round: [committed] slots retired; idle slots are all
+   blamed on the ROB head (it blocks everything younger), or on the
+   empty-stage reason when the ROB is empty. *)
+let account_commit_round st a ~committed =
+  let lane = Accounting.lane_commit in
+  if committed > 0 then Accounting.add a ~lane Accounting.Issued committed;
+  let idle = st.cfg.Config.commit_width - committed in
+  if idle > 0 then begin
+    let cat =
+      if Queue.is_empty st.rob then empty_reason st ~narrow:false
+      else begin
+        let head = Queue.peek st.rob in
+        if not head.n_issued then blocked_reason st head.n_cluster head
+        else if head.n_is_mem then Accounting.Memory
+        else Accounting.Wait_operands
+      end
+    in
+    Accounting.add a ~lane cat idle
+  end;
+  Accounting.round a ~lane
+
 (* ----- width misprediction recovery ----- *)
 
 (* Fatal width misprediction recovery (Â§3.2): squash the offender and
@@ -998,6 +1143,7 @@ let flush_from st (offender : node) =
       end)
     resteered;
   st.fetch_resume <- max st.fetch_resume (st.now + (2 * cfg.Config.width_flush_penalty));
+  st.wflush_until <- max st.wflush_until (st.now + (2 * cfg.Config.width_flush_penalty));
   emit st Event.Flush offender ~a:(List.length resteered) ~b:0;
   Counter.incr st.counters "width_flush"
 
@@ -1249,6 +1395,7 @@ let process_completions st =
 
 (* ----- commit ----- *)
 
+(* Returns the number of commit slots used this round (for accounting). *)
 let commit st =
   let budget = ref st.cfg.Config.commit_width in
   let stop = ref false in
@@ -1291,15 +1438,17 @@ let commit st =
       emit st Event.Commit head ~a:0 ~b:0
     end
     else stop := true
-  done
+  done;
+  st.cfg.Config.commit_width - !budget
 
 (* ----- main loop ----- *)
 
 let finished st =
   st.fetch_idx >= Trace.length st.trace && Queue.is_empty st.rob
 
-let run ?(max_ticks = 200_000_000) ?sink ~cfg ~decide ~scheme_name trace =
-  let st = create ?sink cfg decide trace in
+let run ?(max_ticks = 200_000_000) ?sink ?accounting ~cfg ~decide ~scheme_name
+    trace =
+  let st = create ?sink ?accounting cfg decide trace in
   let helper = cfg.Config.scheme.Config.helper in
   let sample_every =
     match sink with Some s -> Sink.interval s | None -> 0
@@ -1312,11 +1461,21 @@ let run ?(max_ticks = 200_000_000) ?sink ~cfg ~decide ~scheme_name trace =
     process_completions st;
     let even = st.now mod 2 = 0 in
     if even then begin
-      commit st;
+      let commit_used = commit st in
+      ( match st.acct with
+      | Some a -> account_commit_round st a ~committed:commit_used
+      | None -> () );
+      st.stall_src <- Sr_none;
       frontend st;
       let issued_w, leftover_w = issue_cluster st Config.Wide in
+      ( match st.acct with
+      | Some a -> account_issue_round st a Config.Wide ~issued:issued_w
+      | None -> () );
       if helper then begin
         let issued_n, leftover_n = issue_cluster st Config.Narrow in
+        ( match st.acct with
+        | Some a -> account_issue_round st a Config.Narrow ~issued:issued_n
+        | None -> () );
         (* NREADY (§3.7): ready uops stalled here while the other backend
            had idle slots this cycle *)
         let spare_n = cfg.Config.issue_width - issued_n in
@@ -1329,26 +1488,38 @@ let run ?(max_ticks = 200_000_000) ?sink ~cfg ~decide ~scheme_name trace =
           st.nready_n2w <- st.nready_n2w + min leftover_n spare_w
       end
     end
-    else if helper && cfg.Config.helper_fast_clock then
-      ignore (issue_cluster st Config.Narrow);
+    else if helper && cfg.Config.helper_fast_clock then begin
+      let issued_n, _ = issue_cluster st Config.Narrow in
+      match st.acct with
+      | Some a -> account_issue_round st a Config.Narrow ~issued:issued_n
+      | None -> ()
+    end;
     incr st.c_tick;
     if even then incr st.c_cycle_wide;
     if helper && (even || cfg.Config.helper_fast_clock) then
       incr st.c_cycle_narrow;
     if sample_every > 0 && st.now > 0 && st.now mod sample_every = 0 then begin
-      match st.sink with
+      ( match st.sink with
       | Some sink -> take_sample st sink
+      | None -> () );
+      match st.acct with
+      | Some a -> Accounting.snapshot a ~tick:st.now
       | None -> ()
     end;
     st.now <- st.now + 1
   done;
   (* flush the tail interval so the series' column sums equal the final
      metrics even when the run length is not a multiple of the interval *)
-  if sample_every > 0 then begin
-    match st.sink with
+  if sample_every > 0 then
+    ( match st.sink with
     | Some sink -> take_sample st sink
-    | None -> ()
-  end;
+    | None -> () );
+  (* accounting flushes its tail even without a sampling sink, so a run
+     with accounting but no interval series still gets one whole-run
+     interval (stall-out CSV is never empty) *)
+  ( match st.acct with
+  | Some a -> Accounting.snapshot a ~tick:st.now
+  | None -> () );
   {
     Metrics.name = trace.Trace.name;
     scheme_name;
@@ -1373,5 +1544,9 @@ let run ?(max_ticks = 200_000_000) ?sink ~cfg ~decide ~scheme_name trace =
     nready_n2w = st.nready_n2w;
     issued_total = st.issued_total;
     static_narrow_bound = None;
+    stall =
+      ( match st.acct with
+      | Some a -> Some (Accounting.totals a)
+      | None -> None );
     counters = st.counters;
   }

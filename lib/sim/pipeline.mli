@@ -35,6 +35,7 @@ type decide = Steer.decide
 val run :
   ?max_ticks:int ->
   ?sink:Hc_obs.Sink.t ->
+  ?accounting:Accounting.t ->
   cfg:Config.t ->
   decide:decide ->
   scheme_name:string ->
@@ -53,4 +54,12 @@ val run :
     metrics' dynamic counts. Observation never changes simulated
     behavior: the returned {!Metrics.t} is bit-identical with or without
     a sink.
+
+    [accounting] attaches the top-down cycle-accounting engine: every
+    issue round of each cluster and every commit round attributes its
+    slots to the disjoint {!Accounting.category} taxonomy, so
+    [Accounting.consistent] holds exactly on the totals and on every
+    interval delta (snapshots follow the [sink] sampling cadence). The
+    returned metrics carry the totals in [Metrics.stall]; aside from
+    that field the metrics are bit-identical with or without accounting.
     @raise Invalid_argument on an invalid [cfg]. *)

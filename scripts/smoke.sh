@@ -165,4 +165,40 @@ if ocaml scripts/check_json.ml --prom "$SMOKE_DIR/obs_bad.prom" \
 fi
 echo "observability gate OK"
 
+echo "== cycle-accounting gate =="
+# A run with the cycle-accounting engine on: the metrics JSON must gain a
+# well-formed stall object, hc_report topdown must verify the exact slot
+# partition (sum(categories) == width x rounds, no tolerance) and render
+# the tables, and the stall-interval CSV must be non-empty. Then prove
+# the gate trips: perturb one stall category and expect exit 1.
+dune exec bin/hc_sim.exe -- --benchmark gcc --scheme +IR --length 5000 \
+  --compare false --topdown --metrics-interval 500 \
+  --stall-out "$SMOKE_DIR/acct_stalls.csv" \
+  --metrics-out "$SMOKE_DIR/acct_metrics.json" \
+  | tee "$SMOKE_DIR/acct_out.txt"
+grep -q 'partition invariant: exact' "$SMOKE_DIR/acct_out.txt"
+ocaml scripts/check_json.ml "$SMOKE_DIR/acct_metrics.json"
+grep -q '"stall":{' "$SMOKE_DIR/acct_metrics.json"
+test -s "$SMOKE_DIR/acct_stalls.csv"
+dune exec bin/hc_report.exe -- topdown "$SMOKE_DIR/acct_metrics.json" \
+  --intervals "$SMOKE_DIR/acct_stalls.csv"
+# accounting must ride along without touching the metrics: strip the
+# stall object and the file must diff clean (0 tolerance) against a
+# plain run of the same cell
+dune exec bin/hc_sim.exe -- --benchmark gcc --scheme +IR --length 5000 \
+  --compare false --metrics-out "$SMOKE_DIR/acct_plain.json" > /dev/null
+sed -E 's/"stall":\{.*"commit":\{[^}]*\}\},//' "$SMOKE_DIR/acct_metrics.json" \
+  > "$SMOKE_DIR/acct_stripped.json"
+dune exec bin/hc_report.exe -- diff "$SMOKE_DIR/acct_plain.json" \
+  "$SMOKE_DIR/acct_stripped.json"
+# ...and prove the partition gate can fail: break one category count
+sed -E 's/"dispatch":[0-9]+/"dispatch":1/' "$SMOKE_DIR/acct_metrics.json" \
+  > "$SMOKE_DIR/acct_perturbed.json"
+if dune exec bin/hc_report.exe -- topdown "$SMOKE_DIR/acct_perturbed.json" \
+    > /dev/null; then
+  echo "FAIL: hc_report topdown accepted a broken slot partition"
+  exit 1
+fi
+echo "cycle-accounting gate OK"
+
 echo "smoke OK"
