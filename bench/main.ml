@@ -36,6 +36,7 @@ module Codec = Hc_trace.Codec
 module Config = Hc_sim.Config
 module Pipeline = Hc_sim.Pipeline
 module Accounting = Hc_sim.Accounting
+module Static = Hc_analysis.Static
 module Width_predictor = Hc_predictors.Width_predictor
 module Registry = Hc_obs.Registry
 module Span = Hc_obs.Span
@@ -169,6 +170,8 @@ let tests =
         ignore (Analysis.mean_distance (Lazy.force bench_trace)));
     stage "cp:sim-CP" (sim_kernel "+CP");
     stage "ir:sim-IR" (sim_kernel "+IR");
+    stage "analysis:bidir" (fun () ->
+        ignore (Static.analyze_bidir (Lazy.force sim_trace)));
     stage "tab2:suite-derivation" (fun () -> ignore (Workloads.suite ()));
     stage "codec:encode" (fun () ->
         ignore (Codec.encode (Lazy.force bench_trace)));

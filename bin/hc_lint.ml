@@ -3,13 +3,16 @@
      hc_lint trace saved.trace [--benchmark gcc] [--bits 8]
      hc_lint seeds [--length 10000]
      hc_lint config
+     hc_lint explain E111 [--readme-table]
 
    Every finding carries a stable code (E1xx trace structure incl. E108
-   corrupt binary artifacts, E110 static-analysis soundness, W201 mix
-   drift, x2xx configuration), a severity and a file:uop-id location; see
-   lib/analysis/lint.mli for the full catalogue. Exit status is 1 exactly
-   when any Error-severity finding exists, so CI can gate on the lint the
-   way it gates on the baseline diff. *)
+   corrupt binary artifacts, E110/E111 analysis soundness, W201 mix
+   drift, x2xx configuration incl. W203 bound monotonicity), a severity
+   and a file:uop-id location; `hc_lint explain <CODE>` prints the full
+   catalogue entry for any code. Exit status is 1 exactly when any
+   Error-severity finding exists, so CI can gate on the lint the way it
+   gates on the baseline diff; usage errors (unknown code, unreadable
+   file) exit 3. *)
 
 module Profile = Hc_trace.Profile
 module Trace_io = Hc_trace.Trace_io
@@ -184,7 +187,49 @@ let config_cmd =
   let doc = "validate the built-in configurations and scheme stack" in
   Cmd.v (Cmd.info "config" ~doc) Term.(const run $ const ())
 
+(* ---- explain: the diagnostic catalogue ---- *)
+
+let print_info (i : Lint.info) =
+  Printf.printf "%s (%s)\n  %s\n\n%s\n\nexample:\n  %s\n" i.Lint.i_code
+    (Lint.severity_to_string i.Lint.i_severity)
+    i.Lint.i_summary i.Lint.i_detail i.Lint.i_example
+
+let explain_cmd =
+  let run codes readme_table =
+    if readme_table then begin
+      if codes <> [] then
+        die "hc_lint explain: --readme-table takes no code arguments";
+      print_string (Lint.readme_table ())
+    end
+    else begin
+      if codes = [] then
+        die "hc_lint explain: give at least one diagnostic code (e.g. E111)";
+      List.iteri
+        (fun n code ->
+          match Lint.explain code with
+          | Some i ->
+            if n > 0 then print_newline ();
+            print_info i
+          | None -> die "hc_lint explain: unknown diagnostic code %S" code)
+        codes
+    end
+  in
+  let codes = Arg.(value & pos_all string [] & info [] ~docv:"CODE") in
+  let readme_table =
+    Arg.(
+      value & flag
+      & info [ "readme-table" ]
+          ~doc:
+            "Print the catalogue as the README's markdown lint table \
+             instead of explaining individual codes.")
+  in
+  let doc =
+    "describe a diagnostic code (severity, meaning, example finding)"
+  in
+  Cmd.v (Cmd.info "explain" ~doc) Term.(const run $ codes $ readme_table)
+
 let () =
   let doc = "verify helper-cluster traces and configurations" in
   let info = Cmd.info "hc_lint" ~doc in
-  exit (Cmd.eval (Cmd.group info [ trace_cmd; seeds_cmd; config_cmd ]))
+  exit
+    (Cmd.eval (Cmd.group info [ trace_cmd; seeds_cmd; config_cmd; explain_cmd ]))

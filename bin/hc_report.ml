@@ -124,9 +124,9 @@ let attrib_cmd =
       (fun (path, j) ->
         if Render.over_static_bound j then
           Printf.printf
-            "WARNING: %s: predicted 8-8-8 steering exceeds the static \
-             provable bound — the excess is speculative and exposed to \
-             width-violation recoveries\n"
+            "WARNING: %s: predicted 8-8-8 steering exceeds the tightest \
+             static provable bound — the excess is speculative and exposed \
+             to width-violation recoveries\n"
             path)
       runs;
     let bad =

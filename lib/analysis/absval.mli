@@ -54,6 +54,10 @@ val shl : t -> t -> t
 
 val shr : t -> t -> t
 
+val shift_amount : t -> int option
+(** The provably constant shift amount: the low five bits (the only ones
+    the concrete semantics read) when all are proven, masked to [0..31]. *)
+
 val mul : t -> t -> t
 (** Leading/trailing known-zero magnitude bound; exact on constants. *)
 

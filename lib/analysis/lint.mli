@@ -15,9 +15,17 @@
       structurally invalid — see {!Hc_trace.Codec})
     - [E110] static-analysis soundness violation (provably-narrow uop
       with wide ground truth)
+    - [E111] live-bits soundness violation (a provably-dead bit whose
+      mutation is observable downstream)
     - [W201] realized instruction mix drifts from the generating profile
     - [E201] configuration fails [Config.validate]
     - [W202] steering scheme is inert (rules on, helper cluster off)
+    - [W203] bidirectional provable bound below the forward bound
+      (monotonicity breach)
+
+    The user-facing strings for every code — severity, one-line summary,
+    detail paragraph, example — live in the {!catalogue}; [hc_lint
+    explain] and the README's lint table are both generated from it.
 
     Reads of registers with no in-window writer are accepted: sliced
     traces begin mid-program. Findings of one code are capped at a few
@@ -45,6 +53,32 @@ val has_errors : diagnostic list -> bool
 
 val count : severity -> diagnostic list -> int
 
+type info = {
+  i_code : string;
+  i_severity : severity;
+  i_summary : string;  (** one line; the README table cell *)
+  i_detail : string;  (** one paragraph for [hc_lint explain] *)
+  i_example : string;  (** a representative diagnostic line *)
+}
+
+val catalogue : info list
+(** Every diagnostic code the linter can emit, in code order — the
+    single source for [hc_lint explain] and the README lint table. *)
+
+val explain : string -> info option
+(** Catalogue lookup; case-insensitive, whitespace-trimmed. *)
+
+val readme_table : unit -> string
+(** The README's markdown lint table, generated from {!catalogue}. *)
+
+val check_analysis :
+  ?file:string -> Static.bidir -> Hc_trace.Trace.t -> diagnostic list
+(** The analysis soundness gates alone — E110 (forward), E111
+    (live-bits) and W203 (monotonicity) — over a caller-supplied
+    bidirectional record. [check_trace] runs these on a freshly computed
+    record; this entry point exists so regression tests can seed
+    deliberately corrupt verdicts and pin that the gates trip. *)
+
 val check_trace :
   ?file:string ->
   ?expected_profile:Hc_trace.Profile.t ->
@@ -54,8 +88,9 @@ val check_trace :
 (** All trace checks, in trace order. [expected_profile] additionally
     compares the realized instruction mix against the profile that
     allegedly generated the trace (W201); leave it out for traces of
-    unknown provenance. [bits] is the narrowness threshold for the E110
-    soundness gate (default 8). *)
+    unknown provenance. [bits] is the narrowness threshold for the
+    E110/E111/W203 soundness gates (default 8), which run over a fresh
+    {!Static.analyze_bidir} record. *)
 
 val check_config : ?file:string -> Hc_sim.Config.t -> diagnostic list
 

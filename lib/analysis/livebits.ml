@@ -1,0 +1,255 @@
+module Opcode = Hc_isa.Opcode
+module Reg = Hc_isa.Reg
+module Uop = Hc_isa.Uop
+module Semantics = Hc_isa.Semantics
+module Trace = Hc_trace.Trace
+
+(* Backward demand (live-bits) analysis over a trace's def-use chains.
+
+   Walking the trace backward, [demand.(r)] is the mask of bits of
+   register [r] some later uop (or the trace exit) still consumes. Each
+   uop first collects the live mask of its own result (the demand on its
+   destination, plus the flags demand when it writes them), then kills
+   the registers it writes, then pushes demand onto its sources through a
+   per-opcode backward transfer — the dual of [Absval.transfer]'s forward
+   functions.
+
+   Everything is conservative toward full width: the trace exit demands
+   all 32 bits of every register (a slice ends mid-program, so anything
+   could be live-out), and opcodes whose result [Semantics.eval] cannot
+   compute — loads (the address decides which value arrives), stores,
+   branches, floating point — consume their sources at full width.
+
+   The payoff is the dual narrowness fact the forward pass cannot see: a
+   result may be wide in ground truth yet *dead* above bit [bits]-1, in
+   which case executing the producer narrow changes nothing any consumer
+   observes. [soundness_violations] checks exactly that claim against the
+   concrete evaluator. *)
+
+let mask32 = 0xFFFF_FFFF
+
+type t = {
+  bits : int;
+  first_id : int;
+  live : int array;  (* per trace position: result bits consumed downstream *)
+}
+
+let low_bits_upto m =
+  (* smallest down-closed mask covering [m]: carries in add/sub/mul ripple
+     strictly upward, so result bits <= msb(m) depend on source bits
+     <= msb(m) and nothing higher *)
+  if m = 0 then 0
+  else
+    let rec msb i = if m lsr i <> 0 then i else msb (i - 1) in
+    let b = msb 31 in
+    if b >= 31 then mask32 else (1 lsl (b + 1)) - 1
+
+(* The demand a uop with live result mask [live] places on each of its
+   [nsrcs] sources. [amount] is the shift amount when it is provably
+   constant (immediate operand, or proven by the forward pass); unknown
+   amounts force full demand on the shifted value. Soundness contract
+   (fuzzed in test_fuzz.ml): changing source bits outside the returned
+   masks leaves the result bits inside [live] unchanged under
+   [Semantics.eval]. *)
+let backward_transfer op ~nsrcs ~amount ~live =
+  let all = List.init nsrcs (fun _ -> mask32) in
+  let dead = List.init nsrcs (fun _ -> 0) in
+  if nsrcs = 0 then []
+  else
+    match (op : Opcode.t) with
+    | _ when live = 0 -> (
+      (* a fully dead computed result consumes nothing; full-width
+         consumers (eval = None) never have live = 0 treated this way *)
+      match Semantics.eval op (List.init nsrcs (fun _ -> 0)) with
+      | Some _ -> dead
+      | None -> all)
+    | And | Or | Xor | Mov | Copy ->
+      (* bitwise: result bit i reads exactly source bits i *)
+      List.init nsrcs (fun i -> if i < 2 then live else 0)
+    | Add | Sub | Cmp | Lea | Mul ->
+      (* carries ripple upward only (sub via a + ~b + 1; mul partial
+         products): the down-closure of the live mask covers every
+         source bit that can reach a live result bit *)
+      let d = low_bits_upto live in
+      List.init nsrcs (fun i -> if i < 2 then d else 0)
+    | Shl -> (
+      match amount with
+      | Some k ->
+        List.init nsrcs (fun i ->
+            if i = 0 then live lsr k else if i = 1 then 0x1F else 0)
+      | None -> List.init nsrcs (fun i -> if i = 0 then mask32 else if i = 1 then 0x1F else 0))
+    | Shr -> (
+      match amount with
+      | Some k ->
+        List.init nsrcs (fun i ->
+            if i = 0 then (live lsl k) land mask32
+            else if i = 1 then 0x1F
+            else 0)
+      | None -> List.init nsrcs (fun i -> if i = 0 then mask32 else if i = 1 then 0x1F else 0))
+    | Div ->
+      (* quotient bits mix source bits across positions; no useful dual *)
+      List.init nsrcs (fun i -> if i < 2 then mask32 else 0)
+    | Load | Store | Branch_cond | Branch_uncond | Fp_add | Fp_mul | Fp_div
+    | Nop ->
+      (* no computable result: the machine (memory system, control flow,
+         fp datapath) reads these sources at full width *)
+      all
+
+(* Shift amounts the backward pass can treat as constant without any
+   forward information: immediate operands (masked to the 5 bits the
+   concrete semantics read). *)
+let imm_shift_amount (u : Uop.t) =
+  match u.Uop.srcs with
+  | _ :: Uop.Imm v :: _ -> Some (v land 31)
+  | _ -> None
+
+let analyze ?(bits = 8) ?known_amount (tr : Trace.t) =
+  let n = Trace.length tr in
+  let live = Array.make n 0 in
+  (* trace-exit demand: full width on every register *)
+  let demand = Array.make Reg.count mask32 in
+  for i = n - 1 downto 0 do
+    let u = Trace.get tr i in
+    let l =
+      (match u.Uop.dst with
+      | Some d -> demand.(Reg.to_index d)
+      | None -> 0)
+      lor (if Uop.writes_flags u then demand.(Reg.to_index Reg.Eflags) else 0)
+    in
+    live.(i) <- l;
+    (* kill before gen: a uop reading its own destination register sees
+       the demand of *its* consumers on the source occurrence *)
+    ( match u.Uop.dst with
+    | Some d -> demand.(Reg.to_index d) <- 0
+    | None -> () );
+    if Uop.writes_flags u then demand.(Reg.to_index Reg.Eflags) <- 0;
+    let amount =
+      match known_amount with
+      | Some f -> ( match f i with Some _ as a -> a | None -> imm_shift_amount u)
+      | None -> imm_shift_amount u
+    in
+    let srcs_demand =
+      backward_transfer u.Uop.op ~nsrcs:(List.length u.Uop.srcs) ~amount
+        ~live:l
+    in
+    List.iter2
+      (fun src d ->
+        match src with
+        | Uop.Reg r -> demand.(Reg.to_index r) <- demand.(Reg.to_index r) lor d
+        | Uop.Imm _ -> ())
+      u.Uop.srcs srcs_demand
+  done;
+  { bits;
+    first_id = (if n = 0 then 0 else (Trace.get tr 0).Uop.id);
+    live }
+
+let live_mask t ~index = t.live.(index)
+
+let hi_mask ~bits =
+  if bits >= 32 then 0 else mask32 land lnot ((1 lsl bits) - 1)
+
+(* Bits of uop [i]'s result the analysis claims dead above the narrow
+   cut: flipping any of them must be unobservable downstream. *)
+let dead_high t ~index = hi_mask ~bits:t.bits land lnot t.live.(index) land mask32
+
+(* ----- differential soundness check ----- *)
+
+type violation = {
+  index : int;  (* position of the mutated producer *)
+  uop : Uop.t;
+  consumer_index : int;  (* position where the mutation became observable *)
+  flipped : int;  (* the dead-bit mask that was flipped *)
+}
+
+(* Taint-bounded forward replay: flip every claimed-dead high bit of uop
+   [i]'s result at once, then re-evaluate downstream per Semantics.eval,
+   tracking only the registers whose value now differs from ground truth
+   (the trace's own [src_vals]/[result] fields are the ground truth, so
+   the fork carries just a sparse overlay). The mutation is a violation
+   iff a full-width consumer (an opcode the evaluator cannot compute:
+   load address, store, branch, fp) reads a differing register, or any
+   difference survives to the trace exit. The replay stops as soon as
+   the overlay drains — overwrites kill taint — which keeps the sweep
+   near-linear on real traces. *)
+let check_mutation (tr : Trace.t) ~index ~flipped =
+  let n = Trace.length tr in
+  let u0 = Trace.get tr index in
+  let taint : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let set_taint r v truth =
+    if v land mask32 = truth land mask32 then Hashtbl.remove taint r
+    else Hashtbl.replace taint r (v land mask32)
+  in
+  ( match u0.Uop.dst with
+  | Some d -> set_taint (Reg.to_index d) (u0.Uop.result lxor flipped) u0.Uop.result
+  | None -> () );
+  if Uop.writes_flags u0 then
+    set_taint (Reg.to_index Reg.Eflags) (u0.Uop.result lxor flipped)
+      u0.Uop.result;
+  let result = ref None in
+  let j = ref (index + 1) in
+  while !result = None && Hashtbl.length taint > 0 && !j < n do
+    let u = Trace.get tr !j in
+    let reads_tainted =
+      List.exists
+        (function
+          | Uop.Reg r -> Hashtbl.mem taint (Reg.to_index r)
+          | Uop.Imm _ -> false)
+        u.Uop.srcs
+    in
+    if reads_tainted then begin
+      match Semantics.eval u.Uop.op u.Uop.src_vals with
+      | None ->
+        (* full-width consumer observed a differing value *)
+        result := Some !j
+      | Some _ ->
+        let forked_srcs =
+          List.map2
+            (fun src truth ->
+              match src with
+              | Uop.Reg r -> (
+                match Hashtbl.find_opt taint (Reg.to_index r) with
+                | Some v -> v
+                | None -> truth)
+              | Uop.Imm _ -> truth)
+            u.Uop.srcs u.Uop.src_vals
+        in
+        let forked =
+          match Semantics.eval u.Uop.op forked_srcs with
+          | Some r -> r
+          | None -> assert false
+        in
+        ( match u.Uop.dst with
+        | Some d -> set_taint (Reg.to_index d) forked u.Uop.result
+        | None -> () );
+        if Uop.writes_flags u then
+          set_taint (Reg.to_index Reg.Eflags) forked u.Uop.result
+    end
+    else begin
+      (* writes without tainted reads recompute ground truth: overwrite
+         kills the taint *)
+      ( match u.Uop.dst with
+      | Some d -> Hashtbl.remove taint (Reg.to_index d)
+      | None -> () );
+      if Uop.writes_flags u then Hashtbl.remove taint (Reg.to_index Reg.Eflags)
+    end;
+    incr j
+  done;
+  match !result with
+  | Some c -> Some c
+  | None ->
+    (* trace exit demands full width: surviving taint is observable *)
+    if Hashtbl.length taint > 0 then Some n else None
+
+let soundness_violations t (tr : Trace.t) =
+  let acc = ref [] in
+  for i = Trace.length tr - 1 downto 0 do
+    let u = Trace.get tr i in
+    if Uop.has_dest u || Uop.writes_flags u then begin
+      let flipped = dead_high t ~index:i in
+      if flipped <> 0 then
+        match check_mutation tr ~index:i ~flipped with
+        | Some c -> acc := { index = i; uop = u; consumer_index = c; flipped } :: !acc
+        | None -> ()
+    end
+  done;
+  !acc

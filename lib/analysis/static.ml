@@ -41,12 +41,59 @@ let oracle_eligible (u : Uop.t) =
   && (not (Opcode.is_branch u.Uop.op))
   && u.Uop.op <> Opcode.Store
 
-let analyze ?(bits = 8) (tr : Trace.t) =
+(* Analysis-pass instrumentation behind the ambient obs opt-in: the same
+   one-atomic-load guard every other instrumentation point uses, so the
+   passes cost nothing extra when observability is off. *)
+let obs_pass ~pass ~uops ~provable ~elapsed_ns =
+  Hc_obs.Registry.with_ambient (fun r ->
+      Hc_obs.Registry.add
+        (Hc_obs.Registry.counter r
+           ~help:"Uops examined by the static width-analysis passes"
+           ~labels:[ ("pass", pass) ]
+           "hc_static_uops_analyzed_total")
+        uops;
+      Hc_obs.Registry.add
+        (Hc_obs.Registry.counter r
+           ~help:"Uops proven 8-8-8 safe, by analysis pass"
+           ~labels:[ ("pass", pass) ]
+           "hc_static_provable_total")
+        provable;
+      Hc_obs.Registry.observe
+        (Hc_obs.Registry.histogram r
+           ~help:"Wall time of one static-analysis pass (ns)"
+           ~labels:[ ("pass", pass) ]
+           "hc_static_analysis_ns")
+        elapsed_ns)
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let x = f () in
+  (x, int_of_float ((Unix.gettimeofday () -. t0) *. 1e9))
+
+(* One forward walk. Besides the provable/steerable verdicts, optionally
+   record per-uop facts the bidirectional pass consumes: narrowness of
+   every abstract source, narrowness of the abstract result, and
+   forward-proven constant shift amounts. *)
+type forward_facts = {
+  src_narrow : bool list array;
+  result_narrow : bool array;
+  shift_amount : int option array;
+}
+
+let analyze_fwd ?(bits = 8) ~facts (tr : Trace.t) =
   let n = Trace.length tr in
   let regs = Array.make Reg.count Absval.top in
   let provable = Array.make n false in
   let steerable = Array.make n false in
   let provable_count = ref 0 and steerable_count = ref 0 in
+  let ff =
+    if facts then
+      Some
+        { src_narrow = Array.make n [];
+          result_narrow = Array.make n false;
+          shift_amount = Array.make n None }
+    else None
+  in
   for i = 0 to n - 1 do
     let u = Trace.get tr i in
     let abs_srcs =
@@ -75,26 +122,51 @@ let analyze ?(bits = 8) (tr : Trace.t) =
       steerable.(i) <- true;
       incr steerable_count
     end;
+    ( match ff with
+    | Some f ->
+      f.src_narrow.(i) <- List.map (Absval.is_narrow ~bits) abs_srcs;
+      f.result_narrow.(i) <- Absval.is_narrow ~bits result;
+      ( match (u.Uop.op, abs_srcs) with
+      | (Opcode.Shl | Opcode.Shr), _ :: amt :: _ ->
+        f.shift_amount.(i) <- Absval.shift_amount amt
+      | _ -> () )
+    | None -> () );
     ( match u.Uop.dst with
     | Some d -> regs.(Reg.to_index d) <- result
     | None -> () );
     if Uop.writes_flags u then regs.(Reg.to_index Reg.Eflags) <- result
   done;
-  { bits;
-    first_id = (if n = 0 then 0 else (Trace.get tr 0).Uop.id);
-    provable; steerable;
-    provable_count = !provable_count;
-    steerable_count = !steerable_count }
+  ( { bits;
+      first_id = (if n = 0 then 0 else (Trace.get tr 0).Uop.id);
+      provable; steerable;
+      provable_count = !provable_count;
+      steerable_count = !steerable_count },
+    ff )
+
+let analyze ?(bits = 8) (tr : Trace.t) =
+  let (t, _), ns = timed (fun () -> analyze_fwd ~bits ~facts:false tr) in
+  obs_pass ~pass:"forward" ~uops:(Trace.length tr) ~provable:t.provable_count
+    ~elapsed_ns:ns;
+  t
 
 let index_of t (u : Uop.t) =
   let i = u.Uop.id - t.first_id in
   if i >= 0 && i < Array.length t.provable then Some i else None
 
+let in_range t u = Option.is_some (index_of t u)
+
+(* Verdict lookups distinguish "analyzed and wide" from "outside the
+   analyzed window" (sliced traces start at a nonzero first_id, and a
+   foreign uop id must not read as a wide verdict). *)
+let verdict t u = Option.map (fun i -> t.provable.(i)) (index_of t u)
+
+let steerable_verdict t u = Option.map (fun i -> t.steerable.(i)) (index_of t u)
+
 let provably_narrow t u =
-  match index_of t u with Some i -> t.provable.(i) | None -> false
+  match verdict t u with Some p -> p | None -> false
 
 let steerable_uop t u =
-  match index_of t u with Some i -> t.steerable.(i) | None -> false
+  match steerable_verdict t u with Some s -> s | None -> false
 
 type violation = {
   index : int;
@@ -110,3 +182,98 @@ let soundness_violations t (tr : Trace.t) =
       acc := { index = i; uop = u } :: !acc
   done;
   !acc
+
+(* ----- the bidirectional fixpoint ----- *)
+
+type bidir = {
+  base : t;  (* the forward pass, unchanged *)
+  livebits : Livebits.t;
+  bidir_provable : bool array;
+  bidir_steerable : bool array;
+  bidir_provable_count : int;
+  bidir_steerable_count : int;
+}
+
+(* Why joining the passes is sound: steering a uop to the narrow cluster
+   makes it read the sign-extended low [bits] of each source and write
+   back the sign-extended low [bits] of its result. Per source, that read
+   is exact when the forward pass proved the source narrow (both sign
+   patterns reproduce under sign extension); otherwise only bits >= bits
+   can be misread, which is harmless exactly when this uop's backward
+   demand on that source has no high bits — by [Livebits.backward_transfer]'s
+   contract, source changes outside the demand mask cannot reach a live
+   result bit. Per result, the writeback is exact when the forward result
+   is narrow; otherwise only high result bits can be corrupted, harmless
+   exactly when the live mask has no high bits (dead bits are
+   unobservable downstream — the E111 obligation). So:
+
+     bidir_safe  =  (forall src: fwd_narrow(src) \/ demand(src) ∧ hi = 0)
+                 /\ (no observable result \/ fwd_narrow(result) \/ live ∧ hi = 0)
+
+   Forward-provable uops satisfy every disjunct via their fwd_narrow arm,
+   so bidir_provable ⊇ forward_provable holds by construction; the assert
+   below keeps that monotonicity invariant executable on every trace. *)
+let analyze_bidir ?(bits = 8) (tr : Trace.t) =
+  let (base, ff), fwd_ns = timed (fun () -> analyze_fwd ~bits ~facts:true tr) in
+  obs_pass ~pass:"forward" ~uops:(Trace.length tr)
+    ~provable:base.provable_count ~elapsed_ns:fwd_ns;
+  let ff = Option.get ff in
+  let bd, bwd_ns =
+    timed (fun () ->
+        let lb =
+          Livebits.analyze ~bits
+            ~known_amount:(fun i -> ff.shift_amount.(i))
+            tr
+        in
+        let n = Trace.length tr in
+        let hi = Livebits.hi_mask ~bits in
+        let bidir_provable = Array.make n false in
+        let bidir_steerable = Array.make n false in
+        let pc = ref 0 and sc = ref 0 in
+        for i = 0 to n - 1 do
+          let u = Trace.get tr i in
+          let live = Livebits.live_mask lb ~index:i in
+          let demands =
+            Livebits.backward_transfer u.Uop.op
+              ~nsrcs:(List.length u.Uop.srcs)
+              ~amount:ff.shift_amount.(i) ~live
+          in
+          let srcs_safe =
+            List.for_all2
+              (fun fwd_narrow d -> fwd_narrow || d land hi = 0)
+              ff.src_narrow.(i) demands
+          in
+          let result_safe =
+            ((not (Uop.has_dest u)) && not (Uop.writes_flags u))
+            || ff.result_narrow.(i)
+            || live land hi = 0
+          in
+          let safe = srcs_safe && result_safe in
+          (* monotonicity invariant: the join can only widen the provable
+             set. [safe] subsumes the forward verdict structurally; assert
+             it anyway so a broken transfer surfaces on every trace. *)
+          assert ((not base.provable.(i)) || safe);
+          bidir_provable.(i) <- safe;
+          if safe then incr pc;
+          if safe && oracle_eligible u then begin
+            bidir_steerable.(i) <- true;
+            incr sc
+          end
+        done;
+        { base; livebits = lb; bidir_provable; bidir_steerable;
+          bidir_provable_count = !pc; bidir_steerable_count = !sc })
+  in
+  obs_pass ~pass:"bidir" ~uops:(Trace.length tr)
+    ~provable:bd.bidir_provable_count ~elapsed_ns:bwd_ns;
+  bd
+
+let bidir_verdict b u =
+  Option.map (fun i -> b.bidir_provable.(i)) (index_of b.base u)
+
+let bidir_provable_uop b u =
+  match bidir_verdict b u with Some p -> p | None -> false
+
+let bidir_steerable_uop b u =
+  match index_of b.base u with
+  | Some i -> b.bidir_steerable.(i)
+  | None -> false

@@ -35,9 +35,23 @@ val analyze : ?bits:int -> Hc_trace.Trace.t -> t
 (** Run the pass ([bits] defaults to 8, the paper's helper width). Cost
     is one linear scan with constant per-uop work. *)
 
+val in_range : t -> Hc_isa.Uop.t -> bool
+(** Does this uop's id fall inside the analyzed window? Sliced traces
+    start at a nonzero [first_id], so ids below it (or past the end) have
+    no verdict at all — they are neither proven narrow nor proven wide. *)
+
+val verdict : t -> Hc_isa.Uop.t -> bool option
+(** Three-valued verdict lookup: [Some true] provably narrow, [Some
+    false] analyzed but not provable, [None] outside the analyzed
+    window. *)
+
+val steerable_verdict : t -> Hc_isa.Uop.t -> bool option
+
 val provably_narrow : t -> Hc_isa.Uop.t -> bool
-(** Verdict lookup by uop id; [false] for uops outside the analyzed
-    trace. *)
+(** [verdict] collapsed for steering predicates: [false] both for
+    analyzed-but-unprovable uops and for out-of-window ids (a sound
+    default — never steer what was never proven). Use {!verdict} when
+    the distinction matters. *)
 
 val steerable_uop : t -> Hc_isa.Uop.t -> bool
 
@@ -51,3 +65,46 @@ val soundness_violations : t -> Hc_trace.Trace.t -> violation list
     [Uop.is_888_bits] — the one place ground truth is consulted. Any
     entry is a hard analysis bug; the linter (E110), the test suite and
     the smoke gate all require this list to be empty. *)
+
+(** {1 The bidirectional fixpoint}
+
+    The forward pass only proves a uop 8-8-8 safe when the high bits of
+    its values are {e known}. Joining it with the backward live-bits
+    pass ({!Livebits}) adds the dual fact: a source or result whose
+    high bits are unknown — even genuinely wide in ground truth — is
+    still safe to execute narrow when those high bits are {e dead},
+    i.e. no downstream consumer ever reads them. Per uop:
+
+    - every source is forward-narrow {e or} this uop's backward demand
+      on it stays below the narrow cut, and
+    - the result is forward-narrow {e or} its live mask stays below the
+      narrow cut (or there is no observable result).
+
+    Forward-provable uops satisfy both clauses through their
+    forward-narrow arms, so [bidir_provable ⊇ forward provable] holds by
+    construction — asserted on every trace, and surfaced as lint W203
+    should a hand-built record ever break it. *)
+
+type bidir = {
+  base : t;  (** the forward pass, unchanged *)
+  livebits : Livebits.t;
+  bidir_provable : bool array;
+  bidir_steerable : bool array;  (** restricted to {!oracle_eligible} *)
+  bidir_provable_count : int;
+  bidir_steerable_count : int;
+      (** the tightened oracle steering bound; always [>=]
+          [base.steerable_count] *)
+}
+
+val analyze_bidir : ?bits:int -> Hc_trace.Trace.t -> bidir
+(** Forward pass (recording per-uop source/result narrowness and proven
+    shift amounts), backward pass seeded with the forward shift
+    constants, then the per-uop join above. Two linear scans. *)
+
+val bidir_verdict : bidir -> Hc_isa.Uop.t -> bool option
+(** Three-valued, like {!verdict}. *)
+
+val bidir_provable_uop : bidir -> Hc_isa.Uop.t -> bool
+
+val bidir_steerable_uop : bidir -> Hc_isa.Uop.t -> bool
+(** The [static_bidir] oracle's steering predicate. *)

@@ -39,7 +39,7 @@ let obs_bytes name n =
 (* bump to invalidate every existing entry at once (key-space version) *)
 let cache_version = 1
 
-let metrics_schema = 4 (* the Metrics.to_json "schema" this build writes *)
+let metrics_schema = 5 (* the Metrics.to_json "schema" this build writes *)
 
 let default_root () =
   match Sys.getenv_opt "HC_CACHE_DIR" with
@@ -263,6 +263,11 @@ let metrics_of_json j =
       (match Json.member "static_narrow_bound" j with
       | Some (Json.Number raw) -> Some (int_of_string raw)
       | Some _ -> failwith "metrics JSON: bad static_narrow_bound"
+      | None -> None);
+    static_bidir_bound =
+      (match Json.member "static_bidir_bound" j with
+      | Some (Json.Number raw) -> Some (int_of_string raw)
+      | Some _ -> failwith "metrics JSON: bad static_bidir_bound"
       | None -> None);
     stall =
       (match Json.member "stall" j with

@@ -441,7 +441,7 @@ let related runs =
 module Accounting = Hc_sim.Accounting
 
 let bottleneck_schemes =
-  [ "baseline"; "8_8_8"; "+BR"; "+CR"; "+IR"; "static_888" ]
+  [ "baseline"; "8_8_8"; "+BR"; "+CR"; "+IR"; "static_888"; "static_bidir" ]
 
 let bottleneck runs =
   (* accounting-enabled simulations bypass the memoized metrics cache
@@ -626,7 +626,8 @@ let fig14 _runs =
 (* ----- steering attribution: why each helper-cluster commit is there ----- *)
 
 let attrib_schemes =
-  [ "8_8_8"; "+BR"; "+LR"; "+CR"; "+CP"; "+IR"; "+IR(nodest)"; "static_888" ]
+  [ "8_8_8"; "+BR"; "+LR"; "+CR"; "+CP"; "+IR"; "+IR(nodest)"; "static_888";
+    "static_bidir" ]
 
 let attrib runs =
   let mean f scheme =
@@ -665,51 +666,82 @@ let attrib runs =
     [ { label = "attribution coverage of steered uops (%)"; paper = 100.0;
         measured = coverage } ] )
 
-(* ----- static oracle headroom: the predictors vs the provable bound ----- *)
+(* ----- static oracle headroom: the predictors vs the provable bounds ----- *)
 
+(* Three-way comparison per benchmark: the forward known-bits oracle
+   (static_888), the bidirectional forward+live-bits oracle
+   (static_bidir), and the dynamic 8_8_8 predictors. Monotone by
+   construction — forward ⊆ bidir (asserted in [Static.analyze_bidir],
+   surfaced as lint W203) — so the table reads as a ladder: how much of
+   the predictors' steered share each tier of static proof can certify
+   with zero recoveries. *)
 let headroom runs =
   let flushes m = Hc_stats.Counter.get m.Metrics.counters "width_flush" in
   let rows =
     List.map
       (fun p ->
         let pred = Runs.metrics runs ~scheme:"8_8_8" p in
-        let oracle = Runs.metrics runs ~scheme:"static_888" p in
-        (p.Profile.name, pred, oracle))
+        let fwd = Runs.metrics runs ~scheme:"static_888" p in
+        let bidir = Runs.metrics runs ~scheme:"static_bidir" p in
+        (p.Profile.name, pred, fwd, bidir))
       spec
   in
   let table =
     Table.create
-      [ "benchmark"; "888 steered (%)"; "provable (%)"; "888 recov";
-        "oracle recov"; "888 ipc"; "oracle ipc" ]
+      [ "benchmark"; "888 steered (%)"; "fwd provable (%)";
+        "bidir provable (%)"; "888 recov"; "fwd recov"; "bidir recov";
+        "888 ipc"; "fwd ipc"; "bidir ipc" ]
   in
   List.iter
-    (fun (name, pred, oracle) ->
+    (fun (name, pred, fwd, bidir) ->
       Table.add_row table
         [ name; f1 (Metrics.steered_888_pct pred);
-          f1 (Metrics.steered_pct oracle); string_of_int (flushes pred);
-          string_of_int (flushes oracle); f2 (Metrics.ipc pred);
-          f2 (Metrics.ipc oracle) ])
+          f1 (Metrics.steered_pct fwd); f1 (Metrics.steered_pct bidir);
+          string_of_int (flushes pred); string_of_int (flushes fwd);
+          string_of_int (flushes bidir); f2 (Metrics.ipc pred);
+          f2 (Metrics.ipc fwd); f2 (Metrics.ipc bidir) ])
     rows;
   Table.add_separator table;
   let mean f = Summary.arithmetic_mean (List.map f rows) in
-  let pred_steered = mean (fun (_, pred, _) -> Metrics.steered_888_pct pred) in
-  let provable = mean (fun (_, _, oracle) -> Metrics.steered_pct oracle) in
-  let oracle_recov =
-    List.fold_left (fun acc (_, _, oracle) -> acc + flushes oracle) 0 rows
+  let pred_steered =
+    mean (fun (_, pred, _, _) -> Metrics.steered_888_pct pred)
   in
+  let fwd_provable = mean (fun (_, _, fwd, _) -> Metrics.steered_pct fwd) in
+  let bidir_provable =
+    mean (fun (_, _, _, bidir) -> Metrics.steered_pct bidir)
+  in
+  let sum f = List.fold_left (fun acc r -> acc + f r) 0 rows in
+  let fwd_recov = sum (fun (_, _, fwd, _) -> flushes fwd) in
+  let bidir_recov = sum (fun (_, _, _, bidir) -> flushes bidir) in
   Table.add_row table
-    [ "AVG"; f1 pred_steered; f1 provable;
-      string_of_int
-        (List.fold_left (fun acc (_, pred, _) -> acc + flushes pred) 0 rows);
-      string_of_int oracle_recov;
-      f2 (mean (fun (_, pred, _) -> Metrics.ipc pred));
-      f2 (mean (fun (_, _, oracle) -> Metrics.ipc oracle)) ];
+    [ "AVG"; f1 pred_steered; f1 fwd_provable; f1 bidir_provable;
+      string_of_int (sum (fun (_, pred, _, _) -> flushes pred));
+      string_of_int fwd_recov; string_of_int bidir_recov;
+      f2 (mean (fun (_, pred, _, _) -> Metrics.ipc pred));
+      f2 (mean (fun (_, _, fwd, _) -> Metrics.ipc fwd));
+      f2 (mean (fun (_, _, _, bidir) -> Metrics.ipc bidir)) ];
+  (* monotonicity headline: count benchmarks where the bidir oracle
+     steered below the forward one — must be zero *)
+  let non_monotone =
+    List.length
+      (List.filter
+         (fun (_, _, fwd, bidir) ->
+           bidir.Metrics.steered_narrow < fwd.Metrics.steered_narrow)
+         rows)
+  in
   ( Table.render table,
     [
       { label = "static_888 width-violation recoveries (zero by construction)";
-        paper = 0.0; measured = float_of_int oracle_recov };
-      { label = "provably-narrow steering bound (%)"; paper = 0.0;
-        measured = provable };
+        paper = 0.0; measured = float_of_int fwd_recov };
+      { label =
+          "static_bidir width-violation recoveries (zero by construction)";
+        paper = 0.0; measured = float_of_int bidir_recov };
+      { label = "benchmarks where bidir steers below forward (monotonicity)";
+        paper = 0.0; measured = float_of_int non_monotone };
+      { label = "forward provably-narrow steering bound (%)"; paper = 0.0;
+        measured = fwd_provable };
+      { label = "bidirectional provably-safe steering bound (%)"; paper = 0.0;
+        measured = bidir_provable };
       { label = "predicted 8_8_8 steered share (%)"; paper = 15.0;
         measured = pred_steered };
     ] )
@@ -758,10 +790,11 @@ let all =
         "every helper-cluster commit traces to 888/BR/CR/IR or a demotion";
       run = prep ~schemes:attrib_schemes attrib };
     { id = "headroom";
-      title = "Static width-inference oracle vs the 8_8_8 predictors";
+      title = "Static width-inference oracles vs the 8_8_8 predictors";
       paper_claim =
-        "provably-narrow steering incurs zero width-violation recoveries";
-      run = prep ~schemes:[ "8_8_8"; "static_888" ] headroom };
+        "provably-safe steering incurs zero width-violation recoveries; \
+         the bidirectional bound dominates the forward one";
+      run = prep ~schemes:[ "8_8_8"; "static_888"; "static_bidir" ] headroom };
     { id = "related";
       title = "Head-to-head: helper cluster vs ICS'05 asymmetric cluster";
       paper_claim =

@@ -13,7 +13,7 @@ type t = {
   cache : Artifact_cache.t option;
   progress : Telemetry.progress option;
   traces : (string, Trace.t) Hashtbl.t;
-  statics : (string, Hc_analysis.Static.t) Hashtbl.t;
+  statics : (string, Hc_analysis.Static.bidir) Hashtbl.t;
   runs : (string * string, Metrics.t) Hashtbl.t;
 }
 
@@ -51,7 +51,9 @@ let trace t (p : Profile.t) =
 
 (* Memoized static width analysis, keyed like the trace memo. Always
    computed on the calling domain: the result is shared read-only with
-   parallel workers, never mutated after construction. *)
+   parallel workers, never mutated after construction. The bidirectional
+   record embeds the forward pass as [.base], so one memoized analysis
+   serves both oracle schemes and both exported bounds. *)
 let static_info t (tr : Trace.t) =
   match Hashtbl.find_opt t.statics tr.Trace.name with
   | Some s -> s
@@ -59,22 +61,31 @@ let static_info t (tr : Trace.t) =
     let s =
       Span.with_span "static-analysis"
         ~meta:[ ("benchmark", tr.Trace.name) ]
-        (fun () -> Hc_analysis.Static.analyze tr)
+        (fun () -> Hc_analysis.Static.analyze_bidir tr)
     in
     Hashtbl.add t.statics tr.Trace.name s;
     s
 
-(* The oracle pseudo-scheme: the 8_8_8 machine steered by the static
-   width-inference proof instead of the predictors. It is not in
-   [Config.scheme_stack] because it is not a hardware policy — it is the
-   zero-recovery steering bound the tables compare the predictors to. *)
+(* The oracle pseudo-schemes: the 8_8_8 machine steered by a static
+   width-inference proof instead of the predictors. Not in
+   [Config.scheme_stack] because they are not hardware policies — they
+   are the zero-recovery steering bounds the tables compare the
+   predictors to. [static_888] steers on the forward known-bits proof;
+   [static_bidir] adds the backward live-bits join (dead-width proofs,
+   tagged Rlive so the pipeline treats them as proof-carried). *)
 let oracle_scheme = "static_888"
+let bidir_oracle_scheme = "static_bidir"
 
-let resolve_policy ~(static : Hc_analysis.Static.t) ~scheme =
+let resolve_policy ~(static : Hc_analysis.Static.bidir) ~scheme =
   if String.equal scheme oracle_scheme then
     ( Config.with_scheme Config.default (Config.find_scheme "8_8_8"),
-      Hc_steering.Policy.static_oracle
-        ~provably_narrow:(Hc_analysis.Static.provably_narrow static) )
+      Hc_steering.Policy.static_oracle ~reason:Hc_sim.Steer.R888
+        ~provably_narrow:
+          (Hc_analysis.Static.provably_narrow static.Hc_analysis.Static.base) )
+  else if String.equal scheme bidir_oracle_scheme then
+    ( Config.with_scheme Config.default (Config.find_scheme "8_8_8"),
+      Hc_steering.Policy.static_oracle ~reason:Hc_sim.Steer.Rlive
+        ~provably_narrow:(Hc_analysis.Static.bidir_provable_uop static) )
   else
     ( Config.with_scheme Config.default (Config.find_scheme scheme),
       Hc_steering.Policy.decide )
@@ -122,7 +133,7 @@ let obs_nready samples =
           Registry.observe n2w s.Hc_obs.Sample.d.Hc_obs.Sample.nready_n2w)
         samples)
 
-let simulate ?telemetry ~(static : Hc_analysis.Static.t) ~scheme tr =
+let simulate ?telemetry ~(static : Hc_analysis.Static.bidir) ~scheme tr =
   Span.with_span "simulate"
     ~meta:[ ("benchmark", tr.Trace.name); ("scheme", scheme) ]
   @@ fun () ->
@@ -131,7 +142,10 @@ let simulate ?telemetry ~(static : Hc_analysis.Static.t) ~scheme tr =
     {
       m with
       Metrics.static_narrow_bound =
-        Some static.Hc_analysis.Static.steerable_count;
+        Some
+          static.Hc_analysis.Static.base.Hc_analysis.Static.steerable_count;
+      Metrics.static_bidir_bound =
+        Some static.Hc_analysis.Static.bidir_steerable_count;
     }
   in
   let m =
@@ -160,8 +174,10 @@ let simulate ?telemetry ~(static : Hc_analysis.Static.t) ~scheme tr =
    scheme name is validated before any cache lookup so an unknown scheme
    raises Not_found warm exactly as it does cold. *)
 let validate_scheme scheme =
-  if not (String.equal scheme oracle_scheme) then
-    ignore (Config.find_scheme scheme)
+  if
+    (not (String.equal scheme oracle_scheme))
+    && not (String.equal scheme bidir_oracle_scheme)
+  then ignore (Config.find_scheme scheme)
 
 let find_cached_metrics t ~scheme (p : Profile.t) =
   match (t.cache, t.telemetry) with

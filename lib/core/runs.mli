@@ -44,10 +44,13 @@ val length : t -> int
 val trace : t -> Hc_trace.Profile.t -> Hc_trace.Trace.t
 (** Memoized sliced trace for a profile (keyed by profile name). *)
 
-val static_info : t -> Hc_trace.Trace.t -> Hc_analysis.Static.t
+val static_info : t -> Hc_trace.Trace.t -> Hc_analysis.Static.bidir
 (** Memoized static width analysis of a trace (keyed by trace name,
-    default 8-bit narrow cut). Computed once on the calling domain; the
-    result is shared read-only with parallel simulation workers. *)
+    default 8-bit narrow cut): the bidirectional record, whose [.base]
+    field is the forward pass — one memoized analysis serves both oracle
+    schemes and both exported bounds. Computed once on the calling
+    domain; the result is shared read-only with parallel simulation
+    workers. *)
 
 val ensure_traces : t -> Hc_trace.Profile.t list -> unit
 (** Generate every not-yet-memoized trace in the list, fanning the
@@ -72,27 +75,30 @@ val ensure_spec : t -> string list -> unit
 val metrics : t -> scheme:string -> Hc_trace.Profile.t -> Hc_sim.Metrics.t
 (** Memoized simulation of a profile under a named scheme (names from
     {!Hc_steering.Policy.stack}: ["baseline"], ["8_8_8"], ["+BR"], …).
-    The pseudo-scheme ["static_888"] is also accepted (here and in
-    {!ensure}): the 8_8_8 machine steered by
-    {!Hc_steering.Policy.static_oracle} over the trace's static
-    width-inference proof — the zero-recovery steering bound. Every
-    returned metrics record carries
-    [static_narrow_bound = Some (static_info _ tr).steerable_count].
+    The pseudo-schemes ["static_888"] and ["static_bidir"] are also
+    accepted (here and in {!ensure}): the 8_8_8 machine steered by
+    {!Hc_steering.Policy.static_oracle} over the trace's forward
+    (respectively bidirectional) static width-inference proof — both
+    zero-recovery steering bounds by construction. Every returned
+    metrics record carries
+    [static_narrow_bound = Some (static_info _ tr).base.steerable_count]
+    and [static_bidir_bound = Some (static_info _ tr).bidir_steerable_count].
     @raise Not_found for an unknown scheme name. *)
 
 val speedup_pct : t -> scheme:string -> Hc_trace.Profile.t -> float
 (** Performance increase of [scheme] over ["baseline"] for one profile. *)
 
 val resolve_policy :
-  static:Hc_analysis.Static.t ->
+  static:Hc_analysis.Static.bidir ->
   scheme:string ->
   Hc_sim.Config.t * Hc_sim.Pipeline.decide
 (** The (config, steering policy) a scheme name denotes: the matching
-    entry of [Config.scheme_stack], or — for the ["static_888"]
-    pseudo-scheme — the 8_8_8 machine steered by
-    {!Hc_steering.Policy.static_oracle} over [static]. For callers that
-    drive {!Hc_sim.Pipeline.run} directly (e.g. accounting-enabled
-    experiment fan-outs that must not pollute the metrics memo/cache).
+    entry of [Config.scheme_stack], or — for the ["static_888"] /
+    ["static_bidir"] pseudo-schemes — the 8_8_8 machine steered by
+    {!Hc_steering.Policy.static_oracle} over the forward (respectively
+    bidirectional) proof in [static]. For callers that drive
+    {!Hc_sim.Pipeline.run} directly (e.g. accounting-enabled experiment
+    fan-outs that must not pollute the metrics memo/cache).
     @raise Not_found for an unknown scheme name. *)
 
 val spec_profiles : Hc_trace.Profile.t list

@@ -77,6 +77,9 @@ let attrib_table runs =
   Table.add_row t
     ("provable (static)"
     :: List.map (fun (_, j) -> attrib_cell j "static_narrow_bound") runs);
+  Table.add_row t
+    ("provable (bidir)"
+    :: List.map (fun (_, j) -> attrib_cell j "static_bidir_bound") runs);
   Table.add_separator t;
   List.iter
     (fun (label, key) ->
@@ -85,8 +88,15 @@ let attrib_table runs =
     wide_rows;
   Table.render t
 
+(* Compare against the tightest bound the file carries: the bidirectional
+   one when present (schema 5), the forward one otherwise. *)
 let over_static_bound j =
-  match (field j "steered_888", field j "static_narrow_bound") with
+  let bound =
+    match field j "static_bidir_bound" with
+    | Some _ as b -> b
+    | None -> field j "static_narrow_bound"
+  in
+  match (field j "steered_888", bound) with
   | Some predicted, Some bound -> predicted > bound
   | _ -> false
 

@@ -17,15 +17,17 @@ val attrib_table : (string * Json.t) list -> string
     uops by steering reason (888/BR/CR/IR-split/other) and the wide
     commits split into by-default vs demoted-by-recovery, each as count
     and % of committed. Schema 3 files also get a "provable (static)"
-    row: the static width-inference steering bound attached by
-    [Hc_core.Runs] ("-" for older files). *)
+    row — the forward static width-inference steering bound attached by
+    [Hc_core.Runs] — and schema 5 files a "provable (bidir)" row, the
+    tightened bidirectional bound ("-" for older files). *)
 
 val over_static_bound : Json.t -> bool
 (** [true] when the file's predicted 8-8-8 steering ([steered_888])
-    exceeds its static provable bound ([static_narrow_bound]) — the
-    predictors are speculating past what is provably narrow, so some of
+    exceeds its tightest static provable bound ([static_bidir_bound]
+    when present, else [static_narrow_bound]) — the predictors are
+    speculating past what is provably safe to execute narrow, so some of
     that steering is exposed to width-violation recoveries. [false] when
-    either key is absent (pre-schema-3 files). *)
+    the keys are absent (pre-schema-3 files). *)
 
 val attrib_consistent : Json.t -> bool
 (** The attribution identity on a loaded metrics file: narrow reasons

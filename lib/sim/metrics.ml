@@ -22,6 +22,7 @@ type t = {
   nready_n2w : int;
   issued_total : int;
   static_narrow_bound : int option;
+  static_bidir_bound : int option;
   stall : Accounting.totals option;
   counters : Hc_stats.Counter.t;
 }
@@ -98,7 +99,7 @@ let to_json t =
   let b = Buffer.create 1024 in
   let p fmt = Printf.ksprintf (Buffer.add_string b) fmt in
   p "{";
-  p "\"schema\":4,";
+  p "\"schema\":5,";
   p "\"name\":\"%s\"," (json_escape t.name);
   p "\"scheme\":\"%s\"," (json_escape t.scheme_name);
   p "\"committed\":%d," t.committed;
@@ -125,6 +126,9 @@ let to_json t =
   p "\"issued_total\":%d," t.issued_total;
   ( match t.static_narrow_bound with
   | Some b -> p "\"static_narrow_bound\":%d," b
+  | None -> () );
+  ( match t.static_bidir_bound with
+  | Some b -> p "\"static_bidir_bound\":%d," b
   | None -> () );
   ( match t.stall with
   | Some s -> p "\"stall\":%s," (Accounting.json_fragment s)

@@ -44,6 +44,12 @@ type t = {
           helper-cluster commits a zero-recovery policy can reach. The
           pipeline itself reports [None]; [Hc_core.Runs] attaches the
           bound so exported metrics carry the headroom column. *)
+  static_bidir_bound : int option;
+      (** the tightened bidirectional oracle bound
+          ([Hc_analysis.Static.bidir_steerable_count]): forward
+          known-bits joined with backward live-bits. Always [>=]
+          [static_narrow_bound] when both are present; attached by
+          [Hc_core.Runs] like the forward bound. *)
   stall : Accounting.totals option;
       (** top-down cycle-accounting totals, present only when the run was
           simulated with [Pipeline.run ~accounting]; the partition
@@ -107,9 +113,11 @@ val to_json : t -> string
     derived IPC/cycles, and the raw activity counters keyed by name.
     Shared by the CSV/JSON export layer and the telemetry writers so a
     run's numbers serialize identically everywhere. Carries
-    ["schema"]:4 (schema 2 added the steering-attribution columns;
+    ["schema"]:5 (schema 2 added the steering-attribution columns;
     schema 3 the optional ["static_narrow_bound"] key, present only
     when the bound is attached; schema 4 the optional ["stall"]
-    cycle-accounting object, present only when accounting was on). *)
+    cycle-accounting object, present only when accounting was on;
+    schema 5 the optional ["static_bidir_bound"] key, the tightened
+    bidirectional oracle bound). *)
 
 val pp : Format.formatter -> t -> unit

@@ -1202,7 +1202,13 @@ let narrow_execution_wrong st (node : node) =
       (not (Uop.carry_not_propagated_bits ~bits u))
       || not (Width.is_narrow_bits ~bits u.Uop.result)
     else not (Uop.carry_not_propagated_bits ~bits u)
-  | Some _, (Some Steer.Rbr | Some Steer.Rir | None) | None, _ -> false
+  (* Rlive is proof-carried: the static bidirectional pass proved every
+     bit above the narrow cut dead, so narrow execution is exact on all
+     observable values even when the ground-truth values are wide — there
+     is nothing for the dynamic check to verify. *)
+  | Some _, (Some Steer.Rbr | Some Steer.Rir | Some Steer.Rlive | None)
+  | None, _ ->
+    false
 
 (* ----- writeback / completion ----- *)
 
@@ -1414,7 +1420,11 @@ let commit st =
         if head.n_cluster = Config.Narrow then begin
           st.steered_narrow <- st.steered_narrow + 1;
           ( match head.n_reason with
-          | Some Steer.R888 -> st.steered_888 <- st.steered_888 + 1
+          | Some Steer.R888 | Some Steer.Rlive ->
+            (* Rlive is the static oracle's dead-width variant of the 888
+               rule; it shares the 888 attribution bucket so the sample
+               schema stays fixed across schemes. *)
+            st.steered_888 <- st.steered_888 + 1
           | Some Steer.Rbr -> st.steered_br <- st.steered_br + 1
           | Some Steer.Rcr -> st.steered_cr <- st.steered_cr + 1
           | Some Steer.Rir -> st.steered_ir <- st.steered_ir + 1
@@ -1544,6 +1554,7 @@ let run ?(max_ticks = 200_000_000) ?sink ?accounting ~cfg ~decide ~scheme_name
     nready_n2w = st.nready_n2w;
     issued_total = st.issued_total;
     static_narrow_bound = None;
+    static_bidir_bound = None;
     stall =
       ( match st.acct with
       | Some a -> Some (Accounting.totals a)

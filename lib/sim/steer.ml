@@ -15,7 +15,7 @@ type ctx = {
   rob_occupancy : unit -> float;
 }
 
-type reason = R888 | Rbr | Rcr | Rir
+type reason = R888 | Rbr | Rcr | Rir | Rlive
 
 type decision =
   | Steer of Config.cluster
@@ -29,6 +29,7 @@ let reason_to_string = function
   | Rbr -> "br"
   | Rcr -> "cr"
   | Rir -> "ir"
+  | Rlive -> "live"
 
 let pp_decision ppf = function
   | Steer c -> Format.fprintf ppf "steer:%s" (Config.cluster_to_string c)

@@ -43,6 +43,12 @@ type reason =
   | Rbr  (** flag-dependent branch *)
   | Rcr  (** carry width prediction *)
   | Rir  (** split for imbalance reduction *)
+  | Rlive
+      (** steered on a static dead-width proof (the [static_bidir]
+          oracle): sources/result may be genuinely wide, but every bit
+          above the narrow cut is proven dead, so narrow execution is
+          exact on all observable values. Proof-carried — the pipeline
+          must not ground-truth-check it the way it checks [R888]. *)
 
 type decision =
   | Steer of Config.cluster
@@ -56,7 +62,7 @@ type decide = ctx -> Hc_isa.Uop.t -> decision
     of this type. *)
 
 val reason_to_string : reason -> string
-(** Short lowercase tag ("888", "br", "cr", "ir") used by the attribution
-    tables and telemetry artifacts. *)
+(** Short lowercase tag ("888", "br", "cr", "ir", "live") used by the
+    attribution tables and telemetry artifacts. *)
 
 val pp_decision : Format.formatter -> decision -> unit

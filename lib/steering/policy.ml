@@ -118,14 +118,20 @@ let decide (ctx : Steer.ctx) (u : Uop.t) =
    comes from outside (the [Hc_analysis] known-bits pass) as a plain
    predicate so this library keeps zero dependency on the analysis. A
    provably-narrow uop can never trigger a width-violation recovery, so
-   the resulting run is the predictor-free steering bound. *)
-let static_oracle ~provably_narrow (ctx : Steer.ctx) (u : Uop.t) =
+   the resulting run is the predictor-free steering bound. [reason] tags
+   the proof's flavor: R888 for the forward known-bits proof (ground
+   truth is narrow, so the pipeline's dynamic check stays honest),
+   Rlive for the bidirectional dead-width proof (values may be wide,
+   only the observable bits are narrow — proof-carried, not dynamically
+   checked). *)
+let static_oracle ?(reason = Steer.R888) ~provably_narrow (ctx : Steer.ctx)
+    (u : Uop.t) =
   let scheme = ctx.Steer.cfg.Config.scheme in
   if not scheme.Config.helper then Steer.Steer Config.Wide
   else if not (helper_capable u) then Steer.Steer Config.Wide
   else if Opcode.is_branch u.Uop.op || u.Uop.op = Opcode.Store then
     Steer.Steer Config.Wide
-  else if provably_narrow u then Steer.Steer_narrow Steer.R888
+  else if provably_narrow u then Steer.Steer_narrow reason
   else Steer.Steer Config.Wide
 
 let stack = ("baseline", Config.monolithic) :: Config.scheme_stack

@@ -29,16 +29,22 @@ val decide : Hc_sim.Steer.ctx -> Hc_isa.Uop.t -> Hc_sim.Steer.decision
     [ctx.cfg.scheme]. *)
 
 val static_oracle :
-  provably_narrow:(Hc_isa.Uop.t -> bool) -> Hc_sim.Steer.decide
-(** The [static_888] oracle: steer to the helper cluster exactly the uops
-    [provably_narrow] accepts (the static width-inference proof from
+  ?reason:Hc_sim.Steer.reason ->
+  provably_narrow:(Hc_isa.Uop.t -> bool) ->
+  Hc_sim.Steer.decide
+(** The static oracle family: steer to the helper cluster exactly the
+    uops [provably_narrow] accepts (a static width-inference proof from
     [Hc_analysis.Static]), everything else wide. Branches and stores stay
     wide, like the dynamic 8-8-8 rule's reachable set without BR/IR. When
     the predicate is sound the run has zero width-violation recoveries by
     construction, so its steered share is the headroom bound a perfect
-    zero-recovery predictor could reach. The predicate is passed in rather
-    than imported so [Hc_steering] does not depend on the analysis
-    library; [Hc_core.Runs] wires the two together. *)
+    zero-recovery predictor could reach. [reason] (default [R888], for
+    the forward [static_888] oracle) tags the steering decision; the
+    [static_bidir] oracle passes [Rlive] so the pipeline treats the
+    dead-width proof as proof-carried instead of ground-truth checking
+    it. The predicate is passed in rather than imported so [Hc_steering]
+    does not depend on the analysis library; [Hc_core.Runs] wires the two
+    together. *)
 
 val stack : (string * Hc_sim.Config.scheme) list
 (** [Config.scheme_stack] re-exported with the baseline prepended: the

@@ -55,8 +55,10 @@ echo "regression gate OK"
 
 echo "== hc_lint gate =="
 # Every seed workload must lint clean (structure, semantics, realized-mix
-# drift, and the static width-analysis soundness invariant E110), as must
-# every built-in configuration and a saved-and-reloaded trace file.
+# drift, and both width-analysis soundness invariants: E110 for the
+# forward pass, E111 for the backward live-bits pass, W203 for bound
+# monotonicity), as must every built-in configuration and a
+# saved-and-reloaded trace file.
 dune exec bin/hc_lint.exe -- seeds --length 10000
 dune exec bin/hc_lint.exe -- config
 dune exec bin/hc_trace.exe -- generate --benchmark gcc --length 6000 \
@@ -71,6 +73,53 @@ if dune exec bin/hc_lint.exe -- trace "$SMOKE_DIR/lint_bad.trace" > /dev/null; t
   exit 1
 fi
 echo "lint gate OK"
+
+echo "== bidirectional analysis gate =="
+# The seeds lint above already held E110/E111 to zero violations across
+# all 12 seed workloads; this gate covers the rest of the bidirectional
+# surface. The diagnostic catalogue must explain every code the linter
+# can emit (and exit 3 on an unknown code); the headroom experiment's
+# three-way table must show zero width-violation recoveries for BOTH
+# static oracles and perfect bidir>=forward monotonicity; and the
+# regression diff must trip when a provable bound is perturbed. The
+# regression gate above already proved the complement: a run that never
+# touches the new scheme diffs bit-identically against the committed
+# baseline.
+for code in E101 E102 E103 E104 E105 E106 E107 E108 E110 E111 \
+    W201 E201 W202 W203; do
+  dune exec bin/hc_lint.exe -- explain "$code" > /dev/null
+done
+if dune exec bin/hc_lint.exe -- explain E999 > /dev/null 2>&1; then
+  echo "FAIL: hc_lint explain accepted an unknown code"
+  exit 1
+fi
+dune exec bin/hc_lint.exe -- explain --readme-table | grep -q '| E111 |'
+BIDIR_DIR="$SMOKE_DIR/bidir_telemetry"
+dune exec bin/hc_experiments.exe -- headroom --length 3000 \
+  --telemetry-dir "$BIDIR_DIR" | tee "$SMOKE_DIR/headroom_out.txt"
+grep -Eq 'static_888 width-violation recoveries.*measured +0\.00' \
+  "$SMOKE_DIR/headroom_out.txt"
+grep -Eq 'static_bidir width-violation recoveries.*measured +0\.00' \
+  "$SMOKE_DIR/headroom_out.txt"
+grep -Eq 'bidir steers below forward \(monotonicity\).*measured +0\.00' \
+  "$SMOKE_DIR/headroom_out.txt"
+# runs that go through the run cache carry both provable bounds in their
+# metrics JSON, and hc_report attrib renders the three-way comparison
+BIDIR_JSON="$BIDIR_DIR/static_bidir__gcc.metrics.json"
+grep -q '"static_narrow_bound"' "$BIDIR_JSON"
+grep -q '"static_bidir_bound"' "$BIDIR_JSON"
+dune exec bin/hc_report.exe -- attrib "$BIDIR_JSON" \
+  | tee "$SMOKE_DIR/attrib_out.txt"
+grep -q 'provable (bidir)' "$SMOKE_DIR/attrib_out.txt"
+# ...and perturbing the bidirectional bound must trip the 0-tolerance diff
+sed -E 's/"static_bidir_bound":[0-9]+/"static_bidir_bound":1/' \
+  "$BIDIR_JSON" > "$SMOKE_DIR/bidir_bound_perturbed.json"
+if dune exec bin/hc_report.exe -- diff "$BIDIR_JSON" \
+    "$SMOKE_DIR/bidir_bound_perturbed.json" > /dev/null; then
+  echo "FAIL: hc_report diff accepted a perturbed static_bidir_bound"
+  exit 1
+fi
+echo "bidirectional analysis gate OK"
 
 echo "== artifact cache gate =="
 # Cold populate, then prove the warm path returns bit-identical metrics:

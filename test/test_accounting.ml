@@ -17,7 +17,7 @@ let spec_profiles = List.map Profile.find_spec_int Profile.spec_int_names
 let resolve scheme tr =
   if scheme = "static_888" then
     ( Config.with_scheme Config.default (Config.find_scheme "8_8_8"),
-      Hc_steering.Policy.static_oracle
+      Hc_steering.Policy.static_oracle ~reason:Hc_sim.Steer.R888
         ~provably_narrow:
           (Hc_analysis.Static.provably_narrow (Hc_analysis.Static.analyze tr))
     )

@@ -133,7 +133,110 @@ let test_verdict_lookup () =
   Alcotest.(check bool) "out-of-window uop is never provable" false
     (Static.provably_narrow st foreign);
   Alcotest.(check bool) "out-of-window uop is never steerable" false
-    (Static.steerable_uop st foreign)
+    (Static.steerable_uop st foreign);
+  Alcotest.(check (option bool)) "out-of-window verdict is None" None
+    (Static.verdict st foreign);
+  Alcotest.(check bool) "out-of-window uop is not in range" false
+    (Static.in_range st foreign)
+
+let test_sliced_window_lookup () =
+  (* a Trace.sub slice preserves uop ids, so the analyzed window starts
+     at a first_id well above zero: ids below it (including every uop of
+     the un-sliced prefix) must read as no-verdict, never as a silent
+     "not provable" — and certainly never index the arrays off by one *)
+  let p = Profile.find_spec_int "gcc" in
+  let base = Generator.generate_sliced ~length:4_000 p in
+  let pos = 1_000 and len = 2_000 in
+  let sliced = Trace.sub base ~pos ~len in
+  let st = Static.analyze sliced in
+  let bd = Static.analyze_bidir sliced in
+  Alcotest.(check int) "first_id is the slice's first uop id"
+    (Trace.get sliced 0).Uop.id st.Static.first_id;
+  let before = Trace.get base (pos - 1) in
+  Alcotest.(check bool) "uop before the window is not in range" false
+    (Static.in_range st before);
+  Alcotest.(check (option bool)) "uop before the window has no verdict" None
+    (Static.verdict st before);
+  Alcotest.(check (option bool)) "nor a bidir verdict" None
+    (Static.bidir_verdict bd before);
+  let first = Trace.get sliced 0 and last = Trace.get sliced (len - 1) in
+  Alcotest.(check bool) "first uop of the window is in range" true
+    (Static.in_range st first);
+  Alcotest.(check bool) "last uop of the window is in range" true
+    (Static.in_range st last);
+  let after = Trace.get base (pos + len) in
+  Alcotest.(check bool) "uop just past the window is not in range" false
+    (Static.in_range st after);
+  Alcotest.(check (option bool)) "uop just past the window has no verdict"
+    None (Static.verdict st after);
+  (* the in-window verdicts agree between the lookups and the arrays *)
+  for i = 0 to len - 1 do
+    let u = Trace.get sliced i in
+    if Static.verdict st u <> Some st.Static.provable.(i) then
+      Alcotest.failf "verdict lookup disagrees with the array at %d" i;
+    if Static.bidir_verdict bd u <> Some bd.Static.bidir_provable.(i) then
+      Alcotest.failf "bidir verdict lookup disagrees with the array at %d" i
+  done
+
+let test_empty_trace () =
+  let p = Profile.find_spec_int "gcc" in
+  let empty = { Trace.name = "empty"; profile = p; uops = [||] } in
+  let st = Static.analyze empty in
+  Alcotest.(check int) "no provable uops" 0 st.Static.provable_count;
+  Alcotest.(check int) "no steerable uops" 0 st.Static.steerable_count;
+  let bd = Static.analyze_bidir empty in
+  Alcotest.(check int) "no bidir-provable uops" 0
+    bd.Static.bidir_provable_count;
+  Alcotest.(check int) "no livebits violations" 0
+    (List.length
+       (Hc_analysis.Livebits.soundness_violations bd.Static.livebits empty));
+  let stray = Trace.get (Generator.generate_sliced ~length:50 p) 0 in
+  Alcotest.(check (option bool)) "any uop is out of the empty window" None
+    (Static.verdict st stray);
+  Alcotest.(check bool) "empty trace lints clean" false
+    (Lint.has_errors (Lint.check_trace ~file:"empty" empty))
+
+(* ----- the bidirectional fixpoint ----- *)
+
+let test_bidir_all_seeds () =
+  (* the tentpole bound: on every seed workload the bidirectional join
+     proves at least as much as the forward pass (monotonicity), strictly
+     more on most, with zero soundness violations in either direction *)
+  let strict = ref 0 in
+  List.iter
+    (fun (p : Profile.t) ->
+      let tr = Generator.generate_sliced ~length:10_000 p in
+      let bd = Static.analyze_bidir tr in
+      let fwd = bd.Static.base in
+      Alcotest.(check bool)
+        (p.Profile.name ^ ": bidir provable contains forward provable")
+        true
+        (bd.Static.bidir_provable_count >= fwd.Static.provable_count);
+      Alcotest.(check bool)
+        (p.Profile.name ^ ": bidir steerable contains forward steerable")
+        true
+        (bd.Static.bidir_steerable_count >= fwd.Static.steerable_count);
+      if bd.Static.bidir_provable_count > fwd.Static.provable_count then
+        incr strict;
+      (* per-uop containment, not just the counts *)
+      Array.iteri
+        (fun i fp ->
+          if fp && not bd.Static.bidir_provable.(i) then
+            Alcotest.failf "%s: forward-provable uop %d not bidir-provable"
+              p.Profile.name i)
+        fwd.Static.provable;
+      Alcotest.(check int)
+        (p.Profile.name ^ ": zero forward soundness violations (E110)")
+        0
+        (List.length (Static.soundness_violations fwd tr));
+      Alcotest.(check int)
+        (p.Profile.name ^ ": zero live-bits soundness violations (E111)")
+        0
+        (List.length
+           (Hc_analysis.Livebits.soundness_violations bd.Static.livebits tr)))
+    Profile.spec_int;
+  Alcotest.(check bool) "bidir strictly tighter on at least 6 seeds" true
+    (!strict >= 6)
 
 (* ----- linter ----- *)
 
@@ -222,6 +325,62 @@ let test_lint_report_cap () =
   Alcotest.(check bool) "overflow summarized" true
     (Lint.count Lint.Info diags >= 1)
 
+let has_warning code diags =
+  List.exists
+    (fun (d : Lint.diagnostic) ->
+      d.Lint.code = code && d.Lint.severity = Lint.Warning)
+    diags
+
+let test_lint_e111_regression () =
+  (* pinned regression for the live-bits soundness gate: corrupt the
+     analysis verdict — claim dead some high bits that are genuinely
+     live — and the E111 mutation check must catch it. A clean record
+     must stay clean. *)
+  let tr = Lazy.force gcc_trace in
+  let bd = Static.analyze_bidir tr in
+  let lb = bd.Static.livebits in
+  Alcotest.(check bool) "clean record passes the E111 gate" false
+    (Lint.has_errors (Lint.check_analysis ~file:"gcc" bd tr));
+  let hi = Hc_analysis.Livebits.hi_mask ~bits:8 in
+  let live = Array.copy lb.Hc_analysis.Livebits.live in
+  (* clear the high bits of the first 20 masks that have live high bits:
+     the corrupt record now claims those bits dead *)
+  let corrupted = ref 0 in
+  Array.iteri
+    (fun i m ->
+      if !corrupted < 20 && m land hi <> 0 then begin
+        live.(i) <- m land lnot hi;
+        incr corrupted
+      end)
+    live;
+  Alcotest.(check bool) "fixture found live-high uops to corrupt" true
+    (!corrupted > 0);
+  let corrupt_bd =
+    { bd with Static.livebits = { lb with Hc_analysis.Livebits.live } }
+  in
+  let diags = Lint.check_analysis ~file:"gcc" corrupt_bd tr in
+  Alcotest.(check bool) "E111 reported on the corrupt record" true
+    (has_error "E111" diags)
+
+let test_lint_w203_regression () =
+  (* pinned regression for the monotonicity warning: a hand-built record
+     whose bidirectional bound undercuts the forward bound must trip
+     W203 (analyze_bidir can never produce one — the join asserts) *)
+  let tr = Lazy.force gcc_trace in
+  let bd = Static.analyze_bidir tr in
+  Alcotest.(check bool) "clean record carries no W203" false
+    (has_warning "W203" (Lint.check_analysis ~file:"gcc" bd tr));
+  let broken =
+    { bd with
+      Static.bidir_provable_count = bd.Static.base.Static.provable_count - 1
+    }
+  in
+  let diags = Lint.check_analysis ~file:"gcc" broken tr in
+  Alcotest.(check bool) "W203 reported on the non-monotone record" true
+    (has_warning "W203" diags);
+  Alcotest.(check bool) "W203 alone does not fail the gate" false
+    (Lint.has_errors diags)
+
 let test_lint_config () =
   Alcotest.(check int) "default config clean" 0
     (List.length (Lint.check_config Config.default));
@@ -252,14 +411,40 @@ let test_oracle_zero_recoveries () =
   Alcotest.(check int) "zero demotions" 0 oracle.Metrics.wide_demoted;
   Alcotest.(check bool) "attribution consistent" true
     (Metrics.attrib_consistent oracle);
-  let st = Hc_core.Runs.static_info runs (Hc_core.Runs.trace runs p) in
+  let bd = Hc_core.Runs.static_info runs (Hc_core.Runs.trace runs p) in
+  let st = bd.Static.base in
   Alcotest.(check int) "oracle steers exactly the provable bound"
     st.Static.steerable_count oracle.Metrics.steered_narrow;
   Alcotest.(check (option int)) "bound attached to oracle metrics"
     (Some st.Static.steerable_count) oracle.Metrics.static_narrow_bound;
   let pred = Hc_core.Runs.metrics runs ~scheme:"8_8_8" p in
   Alcotest.(check (option int)) "bound attached to predictor metrics"
-    (Some st.Static.steerable_count) pred.Metrics.static_narrow_bound
+    (Some st.Static.steerable_count) pred.Metrics.static_narrow_bound;
+  Alcotest.(check (option int)) "bidir bound attached to predictor metrics"
+    (Some bd.Static.bidir_steerable_count) pred.Metrics.static_bidir_bound
+
+let test_bidir_oracle_zero_recoveries () =
+  (* the tightened oracle: steers strictly more than the forward oracle
+     (dead-width proofs included, tagged Rlive) yet still commits zero
+     width-violation recoveries by construction *)
+  let runs = Hc_core.Runs.create ~length:8_000 () in
+  let p = Profile.find_spec_int "gcc" in
+  Hc_core.Runs.ensure runs [ ("static_888", p); ("static_bidir", p) ];
+  let fwd = Hc_core.Runs.metrics runs ~scheme:"static_888" p in
+  let oracle = Hc_core.Runs.metrics runs ~scheme:"static_bidir" p in
+  Alcotest.(check int) "zero width flushes" 0
+    (Counter.get oracle.Metrics.counters "width_flush");
+  Alcotest.(check int) "zero demotions" 0 oracle.Metrics.wide_demoted;
+  Alcotest.(check bool) "attribution consistent" true
+    (Metrics.attrib_consistent oracle);
+  let bd = Hc_core.Runs.static_info runs (Hc_core.Runs.trace runs p) in
+  Alcotest.(check int) "oracle steers exactly the bidir bound"
+    bd.Static.bidir_steerable_count oracle.Metrics.steered_narrow;
+  Alcotest.(check bool) "bidir oracle steers at least the forward oracle"
+    true
+    (oracle.Metrics.steered_narrow >= fwd.Metrics.steered_narrow);
+  Alcotest.(check (option int)) "bidir bound attached"
+    (Some bd.Static.bidir_steerable_count) oracle.Metrics.static_bidir_bound
 
 let suite =
   ( "analysis_static",
@@ -276,6 +461,11 @@ let suite =
       Alcotest.test_case "soundness on every seed workload" `Slow
         test_soundness_all_seeds;
       Alcotest.test_case "verdict lookup bounds" `Quick test_verdict_lookup;
+      Alcotest.test_case "sliced window lookup" `Quick
+        test_sliced_window_lookup;
+      Alcotest.test_case "empty trace" `Quick test_empty_trace;
+      Alcotest.test_case "bidir bound on every seed workload" `Slow
+        test_bidir_all_seeds;
       Alcotest.test_case "lint: clean trace" `Quick test_lint_clean;
       Alcotest.test_case "lint: ul1 without dl0" `Quick
         test_lint_ul1_monotonicity;
@@ -286,7 +476,13 @@ let suite =
       Alcotest.test_case "lint: flag pairing" `Quick test_lint_flag_pairing;
       Alcotest.test_case "lint: per-code report cap" `Quick
         test_lint_report_cap;
+      Alcotest.test_case "lint: E111 pinned regression" `Quick
+        test_lint_e111_regression;
+      Alcotest.test_case "lint: W203 pinned regression" `Quick
+        test_lint_w203_regression;
       Alcotest.test_case "lint: configurations" `Quick test_lint_config;
       Alcotest.test_case "static_888 oracle: zero recoveries" `Slow
         test_oracle_zero_recoveries;
+      Alcotest.test_case "static_bidir oracle: zero recoveries" `Slow
+        test_bidir_oracle_zero_recoveries;
     ] )

@@ -163,6 +163,84 @@ let prop_const_transfer_exact =
       | None, None -> true
       | _ -> false)
 
+(* ----- differential fuzz: backward live-bits vs the evaluator ----- *)
+
+module Livebits = Hc_analysis.Livebits
+module Static = Hc_analysis.Static
+
+let backward_case_gen =
+  QCheck.Gen.(
+    let* op = oneofl Opcode.all in
+    let* vals = list_size (return 2) val32_gen in
+    let* live = val32_gen in
+    let* flips = list_size (return 2) val32_gen in
+    let* known_amount = bool in
+    return (op, vals, live, flips, known_amount))
+
+let print_backward_case (op, vals, live, flips, known_amount) =
+  Format.asprintf "%s %a live=%x flips=%a known_amount=%b"
+    (Opcode.to_string op)
+    (Format.pp_print_list Format.pp_print_int)
+    vals live
+    (Format.pp_print_list Format.pp_print_int)
+    flips known_amount
+
+let prop_backward_transfer_sound =
+  (* the dual of [prop_transfer_sound]: flipping source bits OUTSIDE the
+     per-source demand masks must leave every result bit INSIDE the live
+     mask unchanged under the concrete evaluator — the contract the E111
+     mutation check and the bidirectional join both stand on *)
+  QCheck.Test.make ~name:"backward transfer demands contain the live bits"
+    ~count:2000
+    (QCheck.make ~print:print_backward_case backward_case_gen)
+    (fun (op, vals, live, flips, known_amount) ->
+      (* an amount fact is only sound when it matches the concrete
+         amount operand, exactly as the forward pass proves it *)
+      let amount =
+        match (op, vals, known_amount) with
+        | (Opcode.Shl | Opcode.Shr), _ :: amt :: _, true ->
+          Some (amt land 31)
+        | _ -> None
+      in
+      let demands =
+        Livebits.backward_transfer op ~nsrcs:(List.length vals) ~amount ~live
+      in
+      let flipped =
+        List.map2
+          (fun v (f, d) -> (v lxor (f land lnot d)) land 0xFFFF_FFFF)
+          vals
+          (List.combine flips demands)
+      in
+      match (Semantics.eval op vals, Semantics.eval op flipped) with
+      | Some r, Some r' ->
+        if (r lxor r') land live <> 0 then
+          QCheck.Test.fail_reportf
+            "dead-source flip reached live result bits: %x vs %x" r r';
+        true
+      | None, None -> true
+      | Some _, None | None, Some _ ->
+        QCheck.Test.fail_reportf
+          "eval disagrees about producing a result across a dead flip")
+
+let prop_dead_bits_unobservable =
+  (* end-to-end: on whole generated traces, every bit the backward pass
+     claims dead really is — flipping it and replaying changes nothing
+     any full-width consumer or the trace exit observes (lint E111) *)
+  QCheck.Test.make ~name:"claimed-dead bits are unobservable downstream"
+    ~count:20
+    (QCheck.make
+       ~print:(fun (bench, len) -> Printf.sprintf "%s len=%d" bench len)
+       QCheck.Gen.(pair bench_gen (int_range 200 800)))
+    (fun (bench, len) ->
+      let tr = Generator.generate_sliced ~length:len (Profile.find_spec_int bench) in
+      let bd = Static.analyze_bidir tr in
+      match Livebits.soundness_violations bd.Static.livebits tr with
+      | [] -> true
+      | v :: _ ->
+        QCheck.Test.fail_reportf
+          "dead bits %x of uop %d observable at %d" v.Livebits.flipped
+          v.Livebits.index v.Livebits.consumer_index)
+
 let suite =
   ( "fuzz",
     [
@@ -170,4 +248,6 @@ let suite =
       QCheck_alcotest.to_alcotest prop_monolithic_ignores_helper_knobs;
       QCheck_alcotest.to_alcotest prop_transfer_sound;
       QCheck_alcotest.to_alcotest prop_const_transfer_exact;
+      QCheck_alcotest.to_alcotest prop_backward_transfer_sound;
+      QCheck_alcotest.to_alcotest prop_dead_bits_unobservable;
     ] )

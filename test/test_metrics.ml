@@ -29,6 +29,7 @@ let mk ?(committed = 1000) ?(ticks = 2000) ?(copies = 100) ?(steered = 200)
     nready_n2w = n2w;
     issued_total = issued;
     static_narrow_bound = None;
+    static_bidir_bound = None;
     stall = None;
     counters = Hc_stats.Counter.create ();
   }

@@ -72,7 +72,8 @@ let test_estimate_ignores_zero_counters () =
       wide_default = 0; wide_demoted = 0; wpred_correct = 0;
       wpred_fatal = 0; wpred_nonfatal = 0; prefetch_copies = 0;
       prefetch_useful = 0; nready_w2n = 0; nready_n2w = 0; issued_total = 0;
-      static_narrow_bound = None; stall = None; counters = Counter.create () }
+      static_narrow_bound = None; static_bidir_bound = None; stall = None;
+      counters = Counter.create () }
   in
   let report = Model.estimate m in
   Alcotest.(check (float 1e-9)) "empty run has zero energy" 0. report.Model.total;

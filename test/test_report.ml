@@ -70,7 +70,7 @@ let test_roundtrip_metrics_json () =
   Alcotest.(check string) "metrics bit-for-bit" js
     (Json.to_string (Json.parse_exn js));
   let j = Json.parse_exn js in
-  Alcotest.(check (option int)) "schema 4" (Some 4) (Loader.schema j);
+  Alcotest.(check (option int)) "schema 5" (Some 5) (Loader.schema j);
   Alcotest.(check (option string)) "scheme field" (Some "+IR")
     (Option.bind (Json.member "scheme" j) Json.string_value)
 
