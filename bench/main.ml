@@ -16,11 +16,14 @@
       2k-uop gcc trace, so the kernels measure simulation, not generation.
 
    3. --json <path> - machine-readable results (kernel name -> ns/run plus
-      the regenerate() wall-clocks) for tracking the perf trajectory
-      across PRs (BENCH_<n>.json at the repo root).
+      the regenerate() wall-clocks and the marginal per-uop allocation
+      measurement) for tracking the perf trajectory across PRs
+      (BENCH_<n>.json at the repo root).
 
    Flags: --micro (kernels only), --tables (regeneration only),
-   --json <path>, --jobs <n> (domain-pool size; HC_JOBS works too). *)
+   --json <path>, --jobs <n> (domain-pool size; HC_JOBS works too),
+   --alloc-gate (measure per-uop minor allocation of the untraced sim
+   and exit nonzero if it is not zero — the CI perf gate). *)
 
 module Experiments = Hc_core.Experiments
 module Runs = Hc_core.Runs
@@ -145,14 +148,58 @@ let obs_scrape_registry =
      done;
      r)
 
+let bench_uop_records = lazy (Hc_trace.Trace.uops (Lazy.force bench_trace))
+
+(* Sub-microsecond kernels (tab1 and the obs:* overhead guards) get
+   their own measurement path, for two reasons. First, shared-host
+   scheduling jitter: a single batch has flagged them as regressions
+   that vanish on re-run (EXPERIMENTS.md, PR 5) — so take the median of
+   independent batches. Second, bechamel's per-sample bookkeeping
+   allocates on the major heap, and OCaml prices every major allocation
+   with a marking slice proportional to the live heap; once the tables
+   pass has built its memoized traces (~3M live words), that overhead
+   swamps the OLS estimate of a sub-microsecond kernel (tab1 read ~1 µs
+   where a plain loop under the same heap times it at ~51 ns) — so time
+   these with a calibrated direct loop that has no per-sample machinery
+   at all. *)
+let fast_kernels : (string * (unit -> unit)) list =
+  [
+    ( "tab1:machine-instantiation",
+      fun () ->
+        match Config.validate Config.default with
+        | Ok () -> ()
+        | Error msg -> failwith msg );
+    ( "obs:counter-guard-off-x1000",
+      fun () ->
+        for _ = 1 to 1000 do
+          Registry.with_ambient (fun r ->
+              Registry.inc (Registry.counter r "bench_never_total"))
+        done );
+    ( "obs:span-guard-off-x1000",
+      fun () ->
+        for _ = 1 to 1000 do
+          Span.with_span "bench-noop" ignore
+        done );
+    ( "obs:counter-add-x1000",
+      fun () ->
+        let c = Lazy.force obs_local_counter in
+        for _ = 1 to 1000 do
+          Registry.inc c
+        done );
+    ( "obs:histogram-observe-x1000",
+      fun () ->
+        let h = Lazy.force obs_local_hist in
+        for i = 1 to 1000 do
+          Registry.observe h i
+        done );
+    ( "obs:scrape",
+      fun () -> ignore (Registry.scrape (Lazy.force obs_scrape_registry)) );
+  ]
+
 let tests =
   let open Bechamel in
   let stage name f = Test.make ~name (Staged.stage f) in
   [
-    stage "tab1:machine-instantiation" (fun () ->
-        match Config.validate Config.default with
-        | Ok () -> ()
-        | Error msg -> failwith msg);
     stage "fig1:narrow-dependence-scan" (fun () ->
         ignore (Analysis.narrow_dependence_pct (Lazy.force bench_trace)));
     stage "opmix:operand-width-scan" (fun () ->
@@ -182,27 +229,18 @@ let tests =
              (Lazy.force bench_encoded)));
     stage "codec:text-load" (fun () ->
         ignore (Trace_io.load (Lazy.force bench_text_file)));
-    stage "obs:counter-guard-off-x1000" (fun () ->
-        for _ = 1 to 1000 do
-          Registry.with_ambient (fun r ->
-              Registry.inc (Registry.counter r "bench_never_total"))
-        done);
-    stage "obs:span-guard-off-x1000" (fun () ->
-        for _ = 1 to 1000 do
-          Span.with_span "bench-noop" ignore
-        done);
-    stage "obs:counter-add-x1000" (fun () ->
-        let c = Lazy.force obs_local_counter in
-        for _ = 1 to 1000 do
-          Registry.inc c
-        done);
-    stage "obs:histogram-observe-x1000" (fun () ->
-        let h = Lazy.force obs_local_hist in
-        for i = 1 to 1000 do
-          Registry.observe h i
-        done);
-    stage "obs:scrape" (fun () ->
-        ignore (Registry.scrape (Lazy.force obs_scrape_registry)));
+    (* SoA hot-path pair: the record->column packing cost, and the
+       codec's zero-copy path that materializes columns straight from
+       the varint stream (no uop records are ever built — compare with
+       codec:text-load for what the record path costs) *)
+    stage "soa:of-uops" (fun () ->
+        ignore (Hc_isa.Uop_soa.of_uops (Lazy.force bench_uop_records)));
+    stage "soa:decode-zero-copy" (fun () ->
+        ignore
+          (Hc_trace.Trace.soa
+             (Codec.decode
+                ~profile:(Profile.find_spec_int "gcc")
+                (Lazy.force bench_encoded))));
     (* accounting overhead guard pair: same trace, same scheme, with and
        without the cycle-accounting accumulator. Off must price only the
        field-test guard (compare against acct:sim-on and ir:sim-IR). *)
@@ -238,12 +276,10 @@ let tests =
         ignore (Hc_sim.Metrics.speedup_pct ~baseline:base ir));
   ]
 
-let run_bechamel () =
+(* One bechamel pass over [tests]; returns (full kernel name, ns/run). *)
+let measure_tests tests =
   let open Bechamel in
   let open Toolkit in
-  print_endline "\n==================================================================";
-  print_endline " Micro-benchmarks (Bechamel, one per table/figure)";
-  print_endline "==================================================================";
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
@@ -258,18 +294,135 @@ let run_bechamel () =
   in
   let results = Analyze.merge ols instances results in
   let clock = Hashtbl.find results (Measure.label Instance.monotonic_clock) in
-  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) clock [] in
-  let rows = List.sort (fun (a, _) (b, _) -> String.compare a b) rows in
-  List.filter_map
-    (fun (name, ols) ->
+  Hashtbl.fold
+    (fun name ols acc ->
       match Analyze.OLS.estimates ols with
-      | Some [ ns ] ->
-        Printf.printf "%-45s %12.1f ns/run\n" name ns;
-        Some (name, ns)
-      | Some _ | None ->
-        Printf.printf "%-45s (no estimate)\n" name;
-        None)
-    rows
+      | Some [ ns ] -> (name, ns) :: acc
+      | Some _ | None -> acc)
+    clock []
+
+let median xs =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  a.(Array.length a / 2)
+
+let fast_batches = 5
+
+let fast_warmup_iters = 200
+
+(* One direct-loop measurement: grow the iteration count until a run
+   fills a ~20 ms window (clock granularity and loop overhead both
+   vanish at that scale), then time one more window at that count. *)
+let time_fast fn =
+  let window_s = 0.02 in
+  let rec calibrate n =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to n do
+      fn ()
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < window_s && n < 100_000_000 then calibrate (n * 4) else n
+  in
+  let n = calibrate 100 in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to n do
+    fn ()
+  done;
+  (Unix.gettimeofday () -. t0) /. float_of_int n *. 1e9
+
+let run_bechamel () =
+  print_endline "\n==================================================================";
+  print_endline " Micro-benchmarks (Bechamel, one per table/figure)";
+  print_endline "==================================================================";
+  (* fast kernels: warm up, then the median of independent direct-loop
+     batches (see the fast_kernels comment for why not bechamel) *)
+  List.iter
+    (fun (_, fn) ->
+      for _ = 1 to fast_warmup_iters do
+        fn ()
+      done)
+    fast_kernels;
+  let batches =
+    List.init fast_batches (fun _ ->
+        List.map (fun (name, fn) -> (name, time_fast fn)) fast_kernels)
+  in
+  let fast =
+    List.map
+      (fun (name, _) ->
+        let samples = List.map (fun b -> List.assoc name b) batches in
+        ("helper_cluster " ^ name, median samples))
+      fast_kernels
+  in
+  let slow = measure_tests tests in
+  let rows =
+    List.sort (fun (a, _) (b, _) -> String.compare a b) (slow @ fast)
+  in
+  List.iter
+    (fun (name, ns) -> Printf.printf "%-45s %12.1f ns/run\n" name ns)
+    rows;
+  rows
+
+(* ----- part 2b: per-uop allocation measurement ----- *)
+
+(* Marginal minor-heap allocation of the untraced simulator, in words
+   per uop. Two warm runs over traces of different lengths cancel every
+   per-run fixed cost (the Metrics record, counter tables, first-run
+   scratch-arena growth), leaving only what scales with the uop count —
+   which on the SoA hot path must be zero. [Gc.minor_words] counts
+   allocated words deterministically, so the gate is exact, not a
+   timing statistic. *)
+let alloc_trace_long =
+  lazy (Generator.generate_sliced ~length:4_000 (Profile.find_spec_int "gcc"))
+
+type alloc_measure = {
+  a_uops_short : int;
+  a_words_short : float;
+  a_uops_long : int;
+  a_words_long : float;
+  a_words_per_uop : float;
+}
+
+let measure_alloc () =
+  let cfg = Config.with_scheme Config.default (Config.find_scheme "8_8_8") in
+  let run tr =
+    ignore
+      (Pipeline.run ~cfg ~decide:Hc_steering.Policy.decide ~scheme_name:"8_8_8"
+         tr)
+  in
+  let short = Lazy.force sim_trace in
+  let long = Lazy.force alloc_trace_long in
+  (* warm runs size the per-domain scratch arenas once *)
+  run short;
+  run long;
+  let words tr =
+    let w0 = Gc.minor_words () in
+    run tr;
+    Gc.minor_words () -. w0
+  in
+  let words_short = words short in
+  let words_long = words long in
+  let uops_short = Hc_trace.Trace.length short in
+  let uops_long = Hc_trace.Trace.length long in
+  {
+    a_uops_short = uops_short;
+    a_words_short = words_short;
+    a_uops_long = uops_long;
+    a_words_long = words_long;
+    a_words_per_uop =
+      (words_long -. words_short) /. float_of_int (uops_long - uops_short);
+  }
+
+let alloc_gate () =
+  let m = measure_alloc () in
+  Printf.printf "alloc-gate: %d uops -> %.0f minor words, %d uops -> %.0f minor words\n"
+    m.a_uops_short m.a_words_short m.a_uops_long m.a_words_long;
+  Printf.printf "alloc-gate: marginal %.4f minor words/uop\n" m.a_words_per_uop;
+  if m.a_words_per_uop > 0. then begin
+    prerr_endline
+      "alloc-gate: FAIL - untraced sim allocates on the per-uop path";
+    exit 1
+  end;
+  print_endline "alloc-gate: OK (allocation-free per uop)"
 
 (* ----- part 3: machine-readable results ----- *)
 
@@ -367,12 +520,12 @@ let registry_rows samples =
           (key ^ "_sum", hv.Registry.h_sum) ])
     samples
 
-let write_json ~path ~kernels ~regen ~cache ~registry =
+let write_json ~path ~kernels ~alloc ~regen ~cache ~registry =
   let pool = Domain_pool.get () in
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
-  p "  \"schema\": 4,\n";
+  p "  \"schema\": 5,\n";
   (* run metadata: git SHA, host cores, jobs, seed fingerprint, wall
      clock — so a BENCH_*.json snapshot is self-describing *)
   p "  %s,\n"
@@ -400,6 +553,16 @@ let write_json ~path ~kernels ~regen ~cache ~registry =
         (if i = n - 1 then "" else ","))
     kernels;
   p "  }";
+  ( match alloc with
+  | None -> ()
+  | Some m ->
+    p ",\n  \"alloc\": {\n";
+    p "    \"uops_short\": %d,\n" m.a_uops_short;
+    p "    \"minor_words_short\": %.0f,\n" m.a_words_short;
+    p "    \"uops_long\": %d,\n" m.a_uops_long;
+    p "    \"minor_words_long\": %.0f,\n" m.a_words_long;
+    p "    \"minor_words_per_uop\": %.4f\n" m.a_words_per_uop;
+    p "  }" );
   ( match regen with
   | None -> ()
   | Some (seq_s, par_jobs, par_s) ->
@@ -466,6 +629,10 @@ let () =
       prerr_endline "--jobs expects a positive integer";
       exit 1 )
   | None -> () );
+  if List.mem "--alloc-gate" argv then begin
+    alloc_gate ();
+    exit 0
+  end;
   match find_opt_value "--json" argv with
   | Some path ->
     let regen =
@@ -488,10 +655,11 @@ let () =
       else Some (timed_cache ~jobs:(Domain_pool.default_jobs ()))
     in
     let kernels = if only_tables then [] else run_bechamel () in
+    let alloc = if only_tables then None else Some (measure_alloc ()) in
     (* observed sweep last: the ambient registry only turns on after
        every timed pass has finished *)
     let registry = Some (registry_sweep ()) in
-    write_json ~path ~kernels ~regen ~cache ~registry
+    write_json ~path ~kernels ~alloc ~regen ~cache ~registry
   | None ->
     if not only_micro then regenerate ();
     if not only_tables then ignore (run_bechamel ())

@@ -169,10 +169,9 @@ let div a b =
    IA-32 machine state the arithmetic ignores), unary only the first, and
    opcodes whose result the evaluator cannot compute (memory data, control
    flow, floating point) produce no abstract result either. *)
-let transfer op (vals : t list) : t option =
-  let v i = List.nth vals i in
-  let binary f = match vals with _ :: _ :: _ -> Some (f (v 0) (v 1)) | _ -> None in
-  let unary f = match vals with _ :: _ -> Some (f (v 0)) | [] -> None in
+let transfer2 op ~nsrcs ~(a0 : t) ~(a1 : t) : t option =
+  let binary f = if nsrcs >= 2 then Some (f a0 a1) else None in
+  let unary f = if nsrcs >= 1 then Some (f a0) else None in
   match (op : Hc_isa.Opcode.t) with
   | Add | Lea -> binary add
   | Sub | Cmp -> binary sub
@@ -186,6 +185,10 @@ let transfer op (vals : t list) : t option =
   | Div -> binary div
   | Load | Store | Branch_cond | Branch_uncond | Fp_add | Fp_mul | Fp_div | Nop ->
     None
+
+let transfer op (vals : t list) : t option =
+  let at i = match List.nth_opt vals i with Some a -> a | None -> top in
+  transfer2 op ~nsrcs:(List.length vals) ~a0:(at 0) ~a1:(at 1)
 
 let pp ppf a =
   (* render as a 32-character bit pattern: 0 / 1 / ? per position *)

@@ -74,5 +74,11 @@ val transfer : Hc_isa.Opcode.t -> t list -> t option
     whose result the evaluator cannot compute (memory data, control flow,
     floating point). *)
 
+val transfer2 : Hc_isa.Opcode.t -> nsrcs:int -> a0:t -> a1:t -> t option
+(** List-free {!transfer} for column-driven walks: [a0]/[a1] are the
+    first two abstract operands of an [nsrcs]-operand uop (pass {!top}
+    for positions [>= nsrcs]; they are ignored). Equivalent to [transfer]
+    on the corresponding list. *)
+
 val pp : Format.formatter -> t -> unit
 (** 32-character bit pattern, [0]/[1]/[?] per position, bit 31 first. *)

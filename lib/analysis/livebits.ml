@@ -1,6 +1,7 @@
 module Opcode = Hc_isa.Opcode
 module Reg = Hc_isa.Reg
 module Uop = Hc_isa.Uop
+module Uop_soa = Hc_isa.Uop_soa
 module Semantics = Hc_isa.Semantics
 module Trace = Hc_trace.Trace
 
@@ -51,97 +52,108 @@ let low_bits_upto m =
    (fuzzed in test_fuzz.ml): changing source bits outside the returned
    masks leaves the result bits inside [live] unchanged under
    [Semantics.eval]. *)
-let backward_transfer op ~nsrcs ~amount ~live =
-  let all = List.init nsrcs (fun _ -> mask32) in
-  let dead = List.init nsrcs (fun _ -> 0) in
-  if nsrcs = 0 then []
+(* Does [Semantics.eval op] compute a result for an [nsrcs]-operand uop?
+   Mirrors the evaluator's binary/unary operand guards exactly, without
+   allocating the probe list. *)
+let eval_computable (op : Opcode.t) ~nsrcs =
+  match op with
+  | Mov | Copy -> nsrcs >= 1
+  | Add | Sub | And | Or | Xor | Shl | Shr | Cmp | Lea | Mul | Div -> nsrcs >= 2
+  | Load | Store | Branch_cond | Branch_uncond | Fp_add | Fp_mul | Fp_div
+  | Nop -> false
+
+let backward_transfer_into op ~nsrcs ~amount ~live (out : int array) =
+  let fill v = for i = 0 to nsrcs - 1 do out.(i) <- v done in
+  let first_two d =
+    for i = 0 to nsrcs - 1 do out.(i) <- (if i < 2 then d else 0) done
+  in
+  if nsrcs = 0 then ()
+  else if live = 0 then
+    (* a fully dead computed result consumes nothing; full-width
+       consumers (eval = None) never have live = 0 treated this way *)
+    fill (if eval_computable op ~nsrcs then 0 else mask32)
   else
     match (op : Opcode.t) with
-    | _ when live = 0 -> (
-      (* a fully dead computed result consumes nothing; full-width
-         consumers (eval = None) never have live = 0 treated this way *)
-      match Semantics.eval op (List.init nsrcs (fun _ -> 0)) with
-      | Some _ -> dead
-      | None -> all)
     | And | Or | Xor | Mov | Copy ->
       (* bitwise: result bit i reads exactly source bits i *)
-      List.init nsrcs (fun i -> if i < 2 then live else 0)
+      first_two live
     | Add | Sub | Cmp | Lea | Mul ->
       (* carries ripple upward only (sub via a + ~b + 1; mul partial
          products): the down-closure of the live mask covers every
          source bit that can reach a live result bit *)
-      let d = low_bits_upto live in
-      List.init nsrcs (fun i -> if i < 2 then d else 0)
-    | Shl -> (
-      match amount with
-      | Some k ->
-        List.init nsrcs (fun i ->
-            if i = 0 then live lsr k else if i = 1 then 0x1F else 0)
-      | None -> List.init nsrcs (fun i -> if i = 0 then mask32 else if i = 1 then 0x1F else 0))
-    | Shr -> (
-      match amount with
-      | Some k ->
-        List.init nsrcs (fun i ->
-            if i = 0 then (live lsl k) land mask32
-            else if i = 1 then 0x1F
-            else 0)
-      | None -> List.init nsrcs (fun i -> if i = 0 then mask32 else if i = 1 then 0x1F else 0))
+      first_two (low_bits_upto live)
+    | Shl ->
+      fill 0;
+      out.(0) <- (match amount with Some k -> live lsr k | None -> mask32);
+      if nsrcs > 1 then out.(1) <- 0x1F
+    | Shr ->
+      fill 0;
+      out.(0) <-
+        (match amount with
+        | Some k -> (live lsl k) land mask32
+        | None -> mask32);
+      if nsrcs > 1 then out.(1) <- 0x1F
     | Div ->
       (* quotient bits mix source bits across positions; no useful dual *)
-      List.init nsrcs (fun i -> if i < 2 then mask32 else 0)
+      first_two mask32
     | Load | Store | Branch_cond | Branch_uncond | Fp_add | Fp_mul | Fp_div
     | Nop ->
       (* no computable result: the machine (memory system, control flow,
          fp datapath) reads these sources at full width *)
-      all
+      fill mask32
+
+let backward_transfer op ~nsrcs ~amount ~live =
+  let out = Array.make nsrcs 0 in
+  backward_transfer_into op ~nsrcs ~amount ~live out;
+  Array.to_list out
 
 (* Shift amounts the backward pass can treat as constant without any
    forward information: immediate operands (masked to the 5 bits the
-   concrete semantics read). *)
-let imm_shift_amount (u : Uop.t) =
-  match u.Uop.srcs with
-  | _ :: Uop.Imm v :: _ -> Some (v land 31)
-  | _ -> None
+   concrete semantics read); the second operand is an immediate exactly
+   when its register column holds -1. *)
+let imm_shift_amount_soa soa i =
+  if Uop_soa.nsrcs soa i >= 2 then begin
+    let j = Uop_soa.src_base soa i + 1 in
+    if Uop_soa.src_reg soa j = -1 then Some (Uop_soa.src_val soa j land 31)
+    else None
+  end
+  else None
 
 let analyze ?(bits = 8) ?known_amount (tr : Trace.t) =
-  let n = Trace.length tr in
+  let soa = Trace.soa tr in
+  let n = Uop_soa.length soa in
   let live = Array.make n 0 in
   (* trace-exit demand: full width on every register *)
   let demand = Array.make Reg.count mask32 in
+  let eflags = Reg.to_index Reg.Eflags in
+  let scratch = ref (Array.make 16 0) in
   for i = n - 1 downto 0 do
-    let u = Trace.get tr i in
+    let op = Uop_soa.op soa i in
+    let d = Uop_soa.dst_index soa i in
+    let wf = Opcode.writes_flags op in
     let l =
-      (match u.Uop.dst with
-      | Some d -> demand.(Reg.to_index d)
-      | None -> 0)
-      lor (if Uop.writes_flags u then demand.(Reg.to_index Reg.Eflags) else 0)
+      (if d >= 0 then demand.(d) else 0) lor if wf then demand.(eflags) else 0
     in
     live.(i) <- l;
     (* kill before gen: a uop reading its own destination register sees
        the demand of *its* consumers on the source occurrence *)
-    ( match u.Uop.dst with
-    | Some d -> demand.(Reg.to_index d) <- 0
-    | None -> () );
-    if Uop.writes_flags u then demand.(Reg.to_index Reg.Eflags) <- 0;
+    if d >= 0 then demand.(d) <- 0;
+    if wf then demand.(eflags) <- 0;
     let amount =
       match known_amount with
-      | Some f -> ( match f i with Some _ as a -> a | None -> imm_shift_amount u)
-      | None -> imm_shift_amount u
+      | Some f -> (
+        match f i with Some _ as a -> a | None -> imm_shift_amount_soa soa i)
+      | None -> imm_shift_amount_soa soa i
     in
-    let srcs_demand =
-      backward_transfer u.Uop.op ~nsrcs:(List.length u.Uop.srcs) ~amount
-        ~live:l
-    in
-    List.iter2
-      (fun src d ->
-        match src with
-        | Uop.Reg r -> demand.(Reg.to_index r) <- demand.(Reg.to_index r) lor d
-        | Uop.Imm _ -> ())
-      u.Uop.srcs srcs_demand
+    let lo = Uop_soa.src_base soa i and ns = Uop_soa.nsrcs soa i in
+    if ns > Array.length !scratch then scratch := Array.make ns 0;
+    backward_transfer_into op ~nsrcs:ns ~amount ~live:l !scratch;
+    for j = 0 to ns - 1 do
+      let r = Uop_soa.src_reg soa (lo + j) in
+      if r >= 0 then demand.(r) <- demand.(r) lor (!scratch).(j)
+    done
   done;
-  { bits;
-    first_id = (if n = 0 then 0 else (Trace.get tr 0).Uop.id);
-    live }
+  { bits; first_id = (if n = 0 then 0 else Uop_soa.id soa 0); live }
 
 let live_mask t ~index = t.live.(index)
 

@@ -40,6 +40,19 @@ val backward_transfer :
     [Hc_isa.Semantics.eval]. Opcodes without a computable result return
     full-width demand for every source. *)
 
+val backward_transfer_into :
+  Hc_isa.Opcode.t ->
+  nsrcs:int ->
+  amount:int option ->
+  live:int ->
+  int array ->
+  unit
+(** Allocation-free {!backward_transfer}: writes the [nsrcs] demand
+    masks into the first [nsrcs] slots of the scratch array (which must
+    be at least that long). The column-driven walks (this module's
+    [analyze], the bidirectional join) use this to keep the per-uop
+    inner loop list-free. *)
+
 val live_mask : t -> index:int -> int
 
 val dead_high : t -> index:int -> int

@@ -1,6 +1,7 @@
 module Opcode = Hc_isa.Opcode
 module Reg = Hc_isa.Reg
 module Uop = Hc_isa.Uop
+module Uop_soa = Hc_isa.Uop_soa
 module Trace = Hc_trace.Trace
 
 (* Forward abstract interpretation over a trace's def-use chains.
@@ -34,12 +35,14 @@ type t = {
    8_8_8 rule can reach in Policy.decide — helper-capable opcodes minus
    branches (they go through the BR path) and stores (the MOB keeps them
    wide). *)
-let oracle_eligible (u : Uop.t) =
-  (match Opcode.exec_class u.Uop.op with
+let oracle_eligible_op (op : Opcode.t) =
+  (match Opcode.exec_class op with
   | Opcode.Int_alu | Opcode.Mem | Opcode.Ctrl -> true
   | Opcode.Int_mul | Opcode.Fp -> false)
-  && (not (Opcode.is_branch u.Uop.op))
-  && u.Uop.op <> Opcode.Store
+  && (not (Opcode.is_branch op))
+  && op <> Opcode.Store
+
+let oracle_eligible (u : Uop.t) = oracle_eligible_op u.Uop.op
 
 (* Analysis-pass instrumentation behind the ambient obs opt-in: the same
    one-atomic-load guard every other instrumentation point uses, so the
@@ -70,74 +73,83 @@ let timed f =
   let x = f () in
   (x, int_of_float ((Unix.gettimeofday () -. t0) *. 1e9))
 
-(* One forward walk. Besides the provable/steerable verdicts, optionally
-   record per-uop facts the bidirectional pass consumes: narrowness of
-   every abstract source, narrowness of the abstract result, and
-   forward-proven constant shift amounts. *)
+(* One forward walk over the packed columns. Besides the
+   provable/steerable verdicts, optionally record per-uop facts the
+   bidirectional pass consumes: narrowness of every abstract source
+   (flattened, aligned with the SoA operand columns), narrowness of the
+   abstract result, and forward-proven constant shift amounts. *)
 type forward_facts = {
-  src_narrow : bool list array;
+  src_narrow : bool array;  (* by flattened operand index (Uop_soa.src_base) *)
   result_narrow : bool array;
   shift_amount : int option array;
 }
 
 let analyze_fwd ?(bits = 8) ~facts (tr : Trace.t) =
-  let n = Trace.length tr in
+  let soa = Trace.soa tr in
+  let n = Uop_soa.length soa in
   let regs = Array.make Reg.count Absval.top in
+  let eflags = Reg.to_index Reg.Eflags in
   let provable = Array.make n false in
   let steerable = Array.make n false in
   let provable_count = ref 0 and steerable_count = ref 0 in
   let ff =
     if facts then
       Some
-        { src_narrow = Array.make n [];
+        { src_narrow = Array.make (Uop_soa.src_base soa n) false;
           result_narrow = Array.make n false;
           shift_amount = Array.make n None }
     else None
   in
+  (* abstract value of the flattened operand at absolute index [j]:
+     immediates are singletons, registers read the abstract state *)
+  let abs_at j =
+    let r = Uop_soa.src_reg soa j in
+    if r < 0 then Absval.const (Uop_soa.src_val soa j) else regs.(r)
+  in
   for i = 0 to n - 1 do
-    let u = Trace.get tr i in
-    let abs_srcs =
-      List.map
-        (function
-          | Uop.Imm v -> Absval.const v
-          | Uop.Reg r -> regs.(Reg.to_index r))
-        u.Uop.srcs
-    in
+    let op = Uop_soa.op soa i in
+    let lo = Uop_soa.src_base soa i and ns = Uop_soa.nsrcs soa i in
+    let a0 = if ns >= 1 then abs_at lo else Absval.top in
+    let a1 = if ns >= 2 then abs_at (lo + 1) else Absval.top in
     let result =
-      match Absval.transfer u.Uop.op abs_srcs with
+      match Absval.transfer2 op ~nsrcs:ns ~a0 ~a1 with
       | Some a -> a
       | None -> Absval.top
     in
     (* the 8-8-8 shape of Uop.is_888_bits, proven instead of observed:
        every source narrow, and a narrow result whenever the uop produces
        anything observable *)
+    let srcs_narrow = ref true in
+    for j = lo to lo + ns - 1 do
+      let narrow = Absval.is_narrow ~bits (abs_at j) in
+      if not narrow then srcs_narrow := false;
+      match ff with Some f -> f.src_narrow.(j) <- narrow | None -> ()
+    done;
+    let d = Uop_soa.dst_index soa i in
+    let wf = Opcode.writes_flags op in
     let p =
-      List.for_all (Absval.is_narrow ~bits) abs_srcs
-      && ((not (Uop.has_dest u) && not (Uop.writes_flags u))
-         || Absval.is_narrow ~bits result)
+      !srcs_narrow
+      && ((d < 0 && not wf) || Absval.is_narrow ~bits result)
     in
     provable.(i) <- p;
     if p then incr provable_count;
-    if p && oracle_eligible u then begin
+    if p && oracle_eligible_op op then begin
       steerable.(i) <- true;
       incr steerable_count
     end;
     ( match ff with
     | Some f ->
-      f.src_narrow.(i) <- List.map (Absval.is_narrow ~bits) abs_srcs;
       f.result_narrow.(i) <- Absval.is_narrow ~bits result;
-      ( match (u.Uop.op, abs_srcs) with
-      | (Opcode.Shl | Opcode.Shr), _ :: amt :: _ ->
-        f.shift_amount.(i) <- Absval.shift_amount amt
+      ( match op with
+      | (Opcode.Shl | Opcode.Shr) when ns >= 2 ->
+        f.shift_amount.(i) <- Absval.shift_amount a1
       | _ -> () )
     | None -> () );
-    ( match u.Uop.dst with
-    | Some d -> regs.(Reg.to_index d) <- result
-    | None -> () );
-    if Uop.writes_flags u then regs.(Reg.to_index Reg.Eflags) <- result
+    if d >= 0 then regs.(d) <- result;
+    if wf then regs.(eflags) <- result
   done;
   ( { bits;
-      first_id = (if n = 0 then 0 else (Trace.get tr 0).Uop.id);
+      first_id = (if n = 0 then 0 else Uop_soa.id soa 0);
       provable; steerable;
       provable_count = !provable_count;
       steerable_count = !steerable_count },
@@ -173,13 +185,15 @@ type violation = {
   uop : Uop.t;
 }
 
-(* The in-tree soundness gate: the only place ground truth is read. *)
+(* The in-tree soundness gate: the only place ground truth is read. The
+   check walks the columns; a record is materialized only for the
+   violations themselves (the bug path). *)
 let soundness_violations t (tr : Trace.t) =
+  let soa = Trace.soa tr in
   let acc = ref [] in
-  for i = Trace.length tr - 1 downto 0 do
-    let u = Trace.get tr i in
-    if t.provable.(i) && not (Uop.is_888_bits ~bits:t.bits u) then
-      acc := { index = i; uop = u } :: !acc
+  for i = Uop_soa.length soa - 1 downto 0 do
+    if t.provable.(i) && not (Uop_soa.is_888_bits ~bits:t.bits soa i) then
+      acc := { index = i; uop = Trace.get tr i } :: !acc
   done;
   !acc
 
@@ -225,37 +239,39 @@ let analyze_bidir ?(bits = 8) (tr : Trace.t) =
             ~known_amount:(fun i -> ff.shift_amount.(i))
             tr
         in
-        let n = Trace.length tr in
+        let soa = Trace.soa tr in
+        let n = Uop_soa.length soa in
         let hi = Livebits.hi_mask ~bits in
         let bidir_provable = Array.make n false in
         let bidir_steerable = Array.make n false in
         let pc = ref 0 and sc = ref 0 in
+        let scratch = ref (Array.make 16 0) in
         for i = 0 to n - 1 do
-          let u = Trace.get tr i in
+          let op = Uop_soa.op soa i in
+          let lo = Uop_soa.src_base soa i and ns = Uop_soa.nsrcs soa i in
           let live = Livebits.live_mask lb ~index:i in
-          let demands =
-            Livebits.backward_transfer u.Uop.op
-              ~nsrcs:(List.length u.Uop.srcs)
-              ~amount:ff.shift_amount.(i) ~live
-          in
-          let srcs_safe =
-            List.for_all2
-              (fun fwd_narrow d -> fwd_narrow || d land hi = 0)
-              ff.src_narrow.(i) demands
-          in
+          if ns > Array.length !scratch then scratch := Array.make ns 0;
+          Livebits.backward_transfer_into op ~nsrcs:ns
+            ~amount:ff.shift_amount.(i) ~live !scratch;
+          let demands = !scratch in
+          let srcs_safe = ref true in
+          for j = 0 to ns - 1 do
+            if not (ff.src_narrow.(lo + j) || demands.(j) land hi = 0) then
+              srcs_safe := false
+          done;
           let result_safe =
-            ((not (Uop.has_dest u)) && not (Uop.writes_flags u))
+            (Uop_soa.dst_index soa i < 0 && not (Opcode.writes_flags op))
             || ff.result_narrow.(i)
             || live land hi = 0
           in
-          let safe = srcs_safe && result_safe in
+          let safe = !srcs_safe && result_safe in
           (* monotonicity invariant: the join can only widen the provable
              set. [safe] subsumes the forward verdict structurally; assert
              it anyway so a broken transfer surfaces on every trace. *)
           assert ((not base.provable.(i)) || safe);
           bidir_provable.(i) <- safe;
           if safe then incr pc;
-          if safe && oracle_eligible u then begin
+          if safe && oracle_eligible_op op then begin
             bidir_steerable.(i) <- true;
             incr sc
           end

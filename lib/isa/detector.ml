@@ -2,15 +2,20 @@
    above the anchor can discharge the precharged node, so the output is the
    AND of per-bit conditions. *)
 
+(* The recursion is top-level with explicit arguments: a local [let rec]
+   would close over [v] and allocate on every call, and these two run on
+   the simulator's per-uop completion path. *)
+let rec zeros_from i v = i > 31 || ((v lsr i) land 1 = 0 && zeros_from (i + 1) v)
+
+let rec ones_from i v = i > 31 || ((v lsr i) land 1 = 1 && ones_from (i + 1) v)
+
 let zeros_above k v =
   assert (k >= 0 && k <= 32);
-  let rec check i = i > 31 || ((v lsr i) land 1 = 0 && check (i + 1)) in
-  check k
+  zeros_from k v
 
 let ones_above k v =
   assert (k >= 0 && k <= 32);
-  let rec check i = i > 31 || ((v lsr i) land 1 = 1 && check (i + 1)) in
-  check k
+  ones_from k v
 
 let narrow8 v = zeros_above 8 v || ones_above 8 v
 

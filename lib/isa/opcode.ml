@@ -95,3 +95,20 @@ let pp ppf op = Format.pp_print_string ppf (to_string op)
 let all =
   [ Add; Sub; And; Or; Xor; Shl; Shr; Cmp; Mov; Lea; Mul; Div; Load; Store;
     Branch_cond; Branch_uncond; Fp_add; Fp_mul; Fp_div; Copy; Nop ]
+
+(* Dense indices for packed (structure-of-arrays) storage: the position in
+   [all], stable because the HCTB header table is also written in [all]
+   order. *)
+let count = List.length all
+
+let to_index = function
+  | Add -> 0 | Sub -> 1 | And -> 2 | Or -> 3 | Xor -> 4 | Shl -> 5 | Shr -> 6
+  | Cmp -> 7 | Mov -> 8 | Lea -> 9 | Mul -> 10 | Div -> 11 | Load -> 12
+  | Store -> 13 | Branch_cond -> 14 | Branch_uncond -> 15 | Fp_add -> 16
+  | Fp_mul -> 17 | Fp_div -> 18 | Copy -> 19 | Nop -> 20
+
+let index_table = Array.of_list all
+
+let of_index i =
+  if i < 0 || i >= count then invalid_arg (Printf.sprintf "Opcode.of_index: %d" i);
+  index_table.(i)

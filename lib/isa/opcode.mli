@@ -56,3 +56,13 @@ val to_string : t -> string
 
 val all : t list
 (** Every opcode, for exhaustive table-driven tests. *)
+
+val count : int
+(** Number of opcodes ([List.length all]). *)
+
+val to_index : t -> int
+(** Dense index of the opcode — its position in {!all}. Used by the
+    packed structure-of-arrays trace columns and the HCTB name table. *)
+
+val of_index : int -> t
+(** Inverse of {!to_index}. @raise Invalid_argument if out of range. *)

@@ -28,6 +28,11 @@ let predict t pc =
   let e = t.table.(index t pc) in
   { carry_local = e.carry_local; confident = Confidence.is_high e.conf }
 
+(* Scalar reads of the same entry, for allocation-free hot paths. *)
+let predict_carry_local t pc = (t.table.(index t pc)).carry_local
+
+let predict_confident t pc = Confidence.is_high (t.table.(index t pc)).conf
+
 let update t pc ~carry_local =
   let e = t.table.(index t pc) in
   if e.carry_local = carry_local then Confidence.strengthen e.conf

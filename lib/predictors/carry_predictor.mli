@@ -19,5 +19,11 @@ val create : ?entries:int -> ?conf_bits:int -> unit -> t
 
 val predict : t -> Hc_isa.Value.t -> prediction
 
+val predict_carry_local : t -> Hc_isa.Value.t -> bool
+(** [(predict t pc).carry_local] without allocating the record. *)
+
+val predict_confident : t -> Hc_isa.Value.t -> bool
+(** [(predict t pc).confident] without allocating the record. *)
+
 val update : t -> Hc_isa.Value.t -> carry_local:bool -> unit
 (** Writeback training with the observed carry behaviour. *)

@@ -32,6 +32,12 @@ let predict t pc =
   let e = t.table.(index t pc) in
   { narrow = e.last_narrow; confident = Confidence.is_high e.conf }
 
+(* Scalar reads of the same entry, for hot paths that must not allocate
+   the prediction record. *)
+let predict_narrow t pc = (t.table.(index t pc)).last_narrow
+
+let predict_confident t pc = Confidence.is_high (t.table.(index t pc)).conf
+
 let update t pc ~narrow =
   let e = t.table.(index t pc) in
   if e.last_narrow = narrow then Confidence.strengthen e.conf

@@ -23,6 +23,13 @@ val entries : t -> int
 val predict : t -> Hc_isa.Value.t -> prediction
 (** [predict t pc] — combinational read, no state change. *)
 
+val predict_narrow : t -> Hc_isa.Value.t -> bool
+(** [(predict t pc).narrow] without allocating the record — the
+    simulator's dispatch loop reads predictions through these. *)
+
+val predict_confident : t -> Hc_isa.Value.t -> bool
+(** [(predict t pc).confident] without allocating the record. *)
+
 val update : t -> Hc_isa.Value.t -> narrow:bool -> unit
 (** Writeback training: record the actual result width. Confidence
     strengthens when the width matches the stored last width and clears

@@ -1,5 +1,6 @@
 type t = {
   line_bits : int;
+  tag_shift : int;  (* line_bits + log2 set_count *)
   set_count : int;
   way_count : int;
   tags : int array;  (* set-major: tags.(set * ways + way), -1 = invalid *)
@@ -23,6 +24,7 @@ let create ?(line_bytes = 64) ~size_bytes ~ways () =
   let set_count = size_bytes / (ways * line_bytes) in
   {
     line_bits = log2 line_bytes;
+    tag_shift = log2 line_bytes + log2 set_count;
     set_count;
     way_count = ways;
     tags = Array.make (set_count * ways) (-1);
@@ -38,17 +40,18 @@ let ways t = t.way_count
 
 let line_bytes t = 1 lsl t.line_bits
 
-let locate t addr =
-  let line = addr lsr t.line_bits in
-  let set = line land (t.set_count - 1) in
-  let tag = line lsr (log2 t.set_count) in
-  (set, tag)
+(* The lookup internals avoid tuples, options and refs so a per-uop
+   access under Mem_cache_sim / Fe_trace_cache allocates nothing. *)
+let set_of t addr = (addr lsr t.line_bits) land (t.set_count - 1)
 
+let tag_of t addr = addr lsr t.tag_shift
+
+(* The hit way, or -1. *)
 let find_way t set tag =
   let base = set * t.way_count in
   let rec scan w =
-    if w = t.way_count then None
-    else if t.tags.(base + w) = tag then Some w
+    if w = t.way_count then -1
+    else if t.tags.(base + w) = tag then w
     else scan (w + 1)
   in
   scan 0
@@ -59,29 +62,29 @@ let touch t set way =
 
 let victim_way t set =
   let base = set * t.way_count in
-  let best = ref 0 in
-  for w = 1 to t.way_count - 1 do
-    if t.lru.(base + w) < t.lru.(base + !best) then best := w
-  done;
-  !best
+  let rec go w best =
+    if w = t.way_count then best
+    else go (w + 1) (if t.lru.(base + w) < t.lru.(base + best) then w else best)
+  in
+  go 1 0
 
-let probe t addr =
-  let set, tag = locate t addr in
-  find_way t set tag <> None
+let probe t addr = find_way t (set_of t addr) (tag_of t addr) >= 0
 
 let access t addr =
-  let set, tag = locate t addr in
-  match find_way t set tag with
-  | Some way ->
+  let set = set_of t addr and tag = tag_of t addr in
+  let way = find_way t set tag in
+  if way >= 0 then begin
     t.hits <- t.hits + 1;
     touch t set way;
     true
-  | None ->
+  end
+  else begin
     t.misses <- t.misses + 1;
     let way = victim_way t set in
     t.tags.((set * t.way_count) + way) <- tag;
     touch t set way;
     false
+  end
 
 let invalidate_all t =
   Array.fill t.tags 0 (Array.length t.tags) (-1);

@@ -1,6 +1,15 @@
+(* The cycle-level two-cluster pipeline model, organised for an
+   allocation-free per-uop hot path: uop fields stream out of the trace's
+   packed SoA columns, in-flight state lives in per-domain scratch arenas
+   (value/node pools, intrusive issue queues, a ring-buffer ROB, an event
+   wheel) reused across runs, and options/tuples/closures are replaced by
+   sentinels and int codes. Accounting and event-sink paths may allocate;
+   they are guarded off the untraced run. The bench's --alloc-gate checks
+   the marginal minor-words-per-uop of a warm untraced run stays zero. *)
 module Opcode = Hc_isa.Opcode
 module Reg = Hc_isa.Reg
 module Uop = Hc_isa.Uop
+module Uop_soa = Hc_isa.Uop_soa
 module Value = Hc_isa.Value
 module Width = Hc_isa.Width
 module Trace = Hc_trace.Trace
@@ -19,69 +28,131 @@ let never = max_int
 
 let cluster_index = function Config.Wide -> 0 | Config.Narrow -> 1
 
-let other_cluster = function Config.Wide -> Config.Narrow | Config.Narrow -> Config.Wide
+(* ----- renamed values -----
 
-(* ----- renamed values ----- *)
+   Flattened: the seed kept four 2-element sub-arrays per value (avail,
+   copy_inflight, prefetched, prefetch_used); those are scalar mutable
+   fields now, and the values themselves come from a per-domain pool, so
+   producing a value on the hot path allocates nothing. *)
 
 type vstate = {
-  v_pc : Value.t;  (* producer's pc, for predictor training *)
-  v_narrow : bool;  (* ground truth width of the value *)
-  v_pred_narrow : bool;  (* what the width predictor said at rename *)
+  mutable v_pc : Value.t;  (* producer's pc, for predictor training *)
+  mutable v_narrow : bool;  (* ground truth width of the value *)
+  mutable v_pred_narrow : bool;  (* what the width predictor said at rename *)
   mutable v_epoch : int;  (* bumped on squash so stale references die *)
   mutable v_done : bool;
-  v_avail : int array;  (* per cluster-index, tick the value is usable *)
-  v_copy_inflight : bool array;  (* a copy toward cluster i is scheduled *)
+  mutable v_avail0 : int;  (* tick the value is usable, per cluster-index *)
+  mutable v_avail1 : int;
+  mutable v_copy_inflight0 : bool;  (* a copy toward cluster i is scheduled *)
+  mutable v_copy_inflight1 : bool;
   mutable v_demand_copied : bool;  (* a demand copy was needed: CP training *)
-  v_prefetched : bool array;
-  v_prefetch_used : bool array;
+  mutable v_prefetched0 : bool;
+  mutable v_prefetched1 : bool;
+  mutable v_prefetch_used0 : bool;
+  mutable v_prefetch_used1 : bool;
   mutable v_lr : bool;  (* produced by a load that LR will replicate *)
   mutable v_cluster : Config.cluster;  (* producer's cluster *)
   mutable v_from_load : bool;  (* produced by a load: memory-bound stalls *)
 }
 
-let make_vstate ~pc ~narrow ~pred_narrow ~cluster =
+let new_vstate () =
   {
-    v_pc = pc; v_narrow = narrow; v_pred_narrow = pred_narrow; v_epoch = 0;
-    v_done = false; v_avail = [| never; never |];
-    v_copy_inflight = [| false; false |]; v_demand_copied = false;
-    v_prefetched = [| false; false |]; v_prefetch_used = [| false; false |];
-    v_lr = false; v_cluster = cluster; v_from_load = false;
+    v_pc = 0; v_narrow = false; v_pred_narrow = false; v_epoch = 0;
+    v_done = false; v_avail0 = never; v_avail1 = never;
+    v_copy_inflight0 = false; v_copy_inflight1 = false;
+    v_demand_copied = false; v_prefetched0 = false; v_prefetched1 = false;
+    v_prefetch_used0 = false; v_prefetch_used1 = false; v_lr = false;
+    v_cluster = Config.Wide; v_from_load = false;
   }
+
+(* The one value no node or rename slot points at "nothing" without: a
+   shared sentinel replacing [vstate option]. Never written. *)
+let null_vstate = new_vstate ()
+
+let v_avail v i = if i = 0 then v.v_avail0 else v.v_avail1
+
+let set_v_avail v i t = if i = 0 then v.v_avail0 <- t else v.v_avail1 <- t
+
+let v_copy_inflight v i = if i = 0 then v.v_copy_inflight0 else v.v_copy_inflight1
+
+let set_v_copy_inflight v i b =
+  if i = 0 then v.v_copy_inflight0 <- b else v.v_copy_inflight1 <- b
+
+let v_prefetched v i = if i = 0 then v.v_prefetched0 else v.v_prefetched1
+
+let set_v_prefetched v i b =
+  if i = 0 then v.v_prefetched0 <- b else v.v_prefetched1 <- b
+
+let v_prefetch_used v i = if i = 0 then v.v_prefetch_used0 else v.v_prefetch_used1
+
+let set_v_prefetch_used v i b =
+  if i = 0 then v.v_prefetch_used0 <- b else v.v_prefetch_used1 <- b
 
 let reset_vstate v =
   v.v_epoch <- v.v_epoch + 1;
   v.v_done <- false;
-  v.v_avail.(0) <- never;
-  v.v_avail.(1) <- never;
-  v.v_copy_inflight.(0) <- false;
-  v.v_copy_inflight.(1) <- false;
-  v.v_prefetched.(0) <- false;
-  v.v_prefetched.(1) <- false;
-  v.v_prefetch_used.(0) <- false;
-  v.v_prefetch_used.(1) <- false;
+  v.v_avail0 <- never;
+  v.v_avail1 <- never;
+  v.v_copy_inflight0 <- false;
+  v.v_copy_inflight1 <- false;
+  v.v_prefetched0 <- false;
+  v.v_prefetched1 <- false;
+  v.v_prefetch_used0 <- false;
+  v.v_prefetch_used1 <- false;
   v.v_lr <- false
 
-(* ----- pipeline nodes ----- *)
+(* ----- pipeline nodes -----
 
-type kind =
-  | Normal
-  | Copy of {
-      cv : vstate;
-      target : Config.cluster;
-      epoch : int;
-      prefetch : bool;
-      publishes : bool;
-          (* IR splits send a burst of four byte copies; only the last one
-             publishes the value in the target register file *)
-    }
-  | Slice of { final : bool }
-      (* one 8-bit lane of an IR-split uop; [final] completes the value *)
+   The seed's [kind] variant (Normal | Copy of {..} | Slice of {..}) and
+   its option-typed fields each cost a block per dispatched node. The
+   kind is an int code with the payload flattened into dedicated fields,
+   options are sentinel-tested fields, and the nodes themselves are
+   pooled per domain, so dispatch allocates nothing. *)
+
+let k_normal = 0
+
+let k_copy = 1
+
+let k_slice = 2
+
+(* steering-reason codes; 0 = none, mirroring [Steer.reason option] *)
+let r_none = 0
+
+let r_888 = 1
+
+let r_br = 2
+
+let r_cr = 3
+
+let r_ir = 4
+
+let r_live = 5
+
+let reason_code = function
+  | Steer.R888 -> r_888
+  | Steer.Rbr -> r_br
+  | Steer.Rcr -> r_cr
+  | Steer.Rir -> r_ir
+  | Steer.Rlive -> r_live
+
+let null_uop =
+  Uop.make ~id:(-1) ~pc:0 ~op:Opcode.Nop ~srcs:[] ~dst:None ~src_vals:[] ()
 
 type node = {
-  n_id : int;  (* dispatch order, unique *)
-  n_trace_idx : int;  (* position in the trace; -1 for copies *)
-  n_uop : Uop.t option;
-  mutable n_kind : kind;
+  mutable n_id : int;  (* dispatch order, unique *)
+  mutable n_trace_idx : int;  (* position in the trace; -1 for copies *)
+  mutable n_uop : Uop.t;  (* [null_uop] for copies *)
+  mutable n_kind : int;  (* k_normal / k_copy / k_slice *)
+  (* copy payload (valid when n_kind = k_copy) *)
+  mutable n_cv : vstate;  (* the value being copied *)
+  mutable n_copy_target : int;  (* destination cluster-index *)
+  mutable n_copy_epoch : int;  (* cv's epoch when the copy was made *)
+  mutable n_copy_publishes : bool;
+      (* IR splits send a burst of four byte copies; only the last one
+         publishes the value in the target register file *)
+  (* slice payload (valid when n_kind = k_slice) *)
+  mutable n_slice_final : bool;
+      (* one 8-bit lane of an IR-split uop; final completes the value *)
   mutable n_cluster : Config.cluster;
   mutable n_squashed : bool;
   mutable n_done : bool;
@@ -89,20 +160,24 @@ type node = {
   mutable n_gen : int;
       (* incremented when the node is squashed-and-resteered so completion
          events scheduled for its previous incarnation are ignored *)
-  mutable n_deps : (vstate * int) array;  (* value, epoch at dispatch *)
-  n_dest : vstate option;
-  mutable n_reason : Steer.reason option;
-  n_is_mem : bool;
-  n_lr_replicate : bool;  (* LR: replicate the loaded value on completion *)
-  n_br_mispredicted : bool;
+  (* dependences: parallel (value, epoch-at-dispatch) arrays with an
+     explicit length, so re-dispatching reuses the same storage *)
+  mutable n_dep_v : vstate array;
+  mutable n_dep_e : int array;
+  mutable n_ndeps : int;
+  mutable n_dest : vstate;  (* null_vstate = no destination *)
+  mutable n_reason : int;  (* r_none / r_888 / ... *)
+  mutable n_is_mem : bool;
+  mutable n_lr_replicate : bool;  (* LR: replicate the load on completion *)
+  mutable n_br_mispredicted : bool;
       (* resolved direction-prediction outcome for this dynamic branch:
          the trace's ground truth under Br_trace_flags, the gshare verdict
          under Br_gshare (computed in order at dispatch) *)
-  mutable n_alloc : Config.cluster option;
-      (* physical register allocated for the destination, to return at
-         commit *)
+  mutable n_alloc : int;
+      (* cluster-index of the physical register allocated for the
+         destination, to return at commit; -1 = none *)
   mutable n_remote_reads : bool;
-      (* CR (Â§3.5): the 8-bit AGU consumes only source low bytes; the wide
+      (* CR (§3.5): the 8-bit AGU consumes only source low bytes; the wide
          source's upper 24 bits stay behind the rename tag in the wide
          register file, so sources need no inter-cluster copy and are
          readable as soon as they exist anywhere *)
@@ -114,31 +189,45 @@ type node = {
   mutable n_mark : bool;  (* transient, used by flush_from's queue purge *)
 }
 
+let new_node () =
+  let rec n =
+    {
+      n_id = min_int; n_trace_idx = -1; n_uop = null_uop; n_kind = k_normal;
+      n_cv = null_vstate; n_copy_target = 0; n_copy_epoch = 0;
+      n_copy_publishes = false; n_slice_final = false;
+      n_cluster = Config.Wide; n_squashed = true; n_done = true;
+      n_issued = false; n_gen = 0;
+      n_dep_v = Array.make 4 null_vstate; n_dep_e = Array.make 4 0;
+      n_ndeps = 0; n_dest = null_vstate; n_reason = r_none;
+      n_is_mem = false; n_lr_replicate = false; n_br_mispredicted = false;
+      n_alloc = -1; n_remote_reads = false; n_complete = never;
+      n_disp_tick = 0; n_issue_tick = 0; n_prev = n; n_next = n;
+      n_mark = false;
+    }
+  in
+  n
+
+(* Array padding / "no node" sentinel. Never linked, never written. *)
+let null_node = new_node ()
+
+let ensure_node_dep_cap (node : node) cap =
+  if Array.length node.n_dep_v < cap then begin
+    let ncap = max cap (2 * Array.length node.n_dep_v) in
+    let nv = Array.make ncap null_vstate in
+    let ne = Array.make ncap 0 in
+    Array.blit node.n_dep_v 0 nv 0 node.n_ndeps;
+    Array.blit node.n_dep_e 0 ne 0 node.n_ndeps;
+    node.n_dep_v <- nv;
+    node.n_dep_e <- ne
+  end
+
 (* ----- intrusive issue queues -----
 
    A circular doubly-linked list threaded through the nodes themselves
    (oldest at the head, newest at the tail), so the per-cycle issue scan
-   unlinks an issued or dead node in O(1) with zero allocation. The seed
-   kept [node list ref]s and rebuilt the whole list (two [List.rev]s, a
-   filter and a [List.length]) every issue round. *)
+   unlinks an issued or dead node in O(1) with zero allocation. *)
 
 type iq = { iq_sent : node; mutable iq_len : int }
-
-let make_detached_node () =
-  let rec s =
-    {
-      n_id = min_int; n_trace_idx = -1; n_uop = None; n_kind = Normal;
-      n_cluster = Config.Wide; n_squashed = true; n_done = true;
-      n_issued = false; n_gen = 0; n_deps = [||]; n_dest = None;
-      n_reason = None; n_is_mem = false; n_lr_replicate = false;
-      n_br_mispredicted = false; n_alloc = None; n_remote_reads = false;
-      n_complete = never; n_disp_tick = 0; n_issue_tick = 0;
-      n_prev = s; n_next = s; n_mark = false;
-    }
-  in
-  s
-
-let make_iq () = { iq_sent = make_detached_node (); iq_len = 0 }
 
 let iq_append q n =
   let s = q.iq_sent in
@@ -156,34 +245,22 @@ let iq_unlink q n =
   n.n_next <- n;
   q.iq_len <- q.iq_len - 1
 
-(* Oldest-to-newest fold; [f] must not unlink nodes (use iq_filter_inplace
-   or an explicit walk for that). *)
-let iq_fold f init q =
-  let s = q.iq_sent in
-  let acc = ref init in
-  let cur = ref s.n_next in
-  while !cur != s do
-    acc := f !acc !cur;
-    cur := (!cur).n_next
-  done;
-  !acc
-
-(* Walk oldest-to-newest, unlinking every node [keep] rejects. *)
-let iq_filter_inplace q keep =
-  let s = q.iq_sent in
-  let cur = ref s.n_next in
-  while !cur != s do
-    let node = !cur in
+(* Walk oldest-to-newest, unlinking every node [keep] rejects. [keep] is
+   always a closed top-level function (static closure), so the walk
+   allocates nothing. *)
+let rec iq_filter_from q keep (node : node) s =
+  if node != s then begin
     let next = node.n_next in
     if not (keep node) then iq_unlink q node;
-    cur := next
-  done
+    iq_filter_from q keep next s
+  end
+
+let iq_filter_inplace q keep = iq_filter_from q keep q.iq_sent.n_next q.iq_sent
 
 (* ----- event wheel slots -----
 
    Growable per-slot arrays of (node, generation-at-schedule), reused
-   across wheel wraps so steady-state scheduling allocates nothing. The
-   seed kept cons lists and re-partitioned/sorted them every tick. *)
+   across wheel wraps so steady-state scheduling allocates nothing. *)
 
 type evslot = {
   mutable ev_nodes : node array;
@@ -191,9 +268,128 @@ type evslot = {
   mutable ev_len : int;
 }
 
-(* ----- whole-machine state ----- *)
+let wheel_size = 4096
 
-type undo = { un_node : int; un_reg : int; un_prev : vstate option }
+(* ----- per-domain scratch arenas -----
+
+   Everything whose lifetime is one [run] but whose storage can outlive
+   it: value and node pools (bump cursors, no within-run reuse, reset per
+   run), the event wheel, the completion batch, the ROB ring storage, the
+   flush resteer buffer, the dispatch dependence scratch, the rename
+   table, and the two issue-queue sentinels. Kept in domain-local
+   storage: [run] is synchronous and each Domain_pool worker runs tasks
+   sequentially, so one arena per domain is race-free, and warm reruns
+   allocate nothing per uop. *)
+
+type scratch = {
+  mutable p_vstates : vstate array;  (* value pool *)
+  mutable p_vcur : int;
+  mutable p_nodes : node array;  (* node pool *)
+  mutable p_ncur : int;
+  events : evslot array;  (* indexed by tick mod wheel_size *)
+  mutable due_nodes : node array;  (* completion scratch *)
+  mutable due_gens : int array;
+  mutable due_len : int;
+  mutable rob_buf : node array;  (* ROB ring storage, >= cfg.rob_size *)
+  mutable resteer : node array;  (* flush_from's squash set, ROB order *)
+  mutable dp_v : vstate array;  (* dispatch dependence scratch *)
+  mutable dp_e : int array;
+  mutable dp_need : bool array;  (* needs a cross-cluster copy *)
+  mutable dp_n : int;
+  rename : vstate array;  (* arch reg -> live value; null_vstate = none *)
+  sent0 : node;  (* wide issue-queue sentinel *)
+  sent1 : node;  (* narrow issue-queue sentinel *)
+}
+
+let fresh_scratch () =
+  {
+    p_vstates = Array.init 4096 (fun _ -> new_vstate ());
+    p_vcur = 0;
+    p_nodes = Array.init 4096 (fun _ -> new_node ());
+    p_ncur = 0;
+    events =
+      Array.init wheel_size (fun _ ->
+          { ev_nodes = Array.make 4 null_node; ev_gens = Array.make 4 0;
+            ev_len = 0 });
+    due_nodes = Array.make 64 null_node;
+    due_gens = Array.make 64 0;
+    due_len = 0;
+    rob_buf = [||];
+    resteer = Array.make 64 null_node;
+    dp_v = Array.make 8 null_vstate;
+    dp_e = Array.make 8 0;
+    dp_need = Array.make 8 false;
+    dp_n = 0;
+    rename = Array.make Reg.count null_vstate;
+    sent0 = new_node ();
+    sent1 = new_node ();
+  }
+
+let scratch_key = Domain.DLS.new_key fresh_scratch
+
+let grow_vpool sc =
+  let old = sc.p_vstates in
+  let n = Array.length old in
+  sc.p_vstates <- Array.init (2 * n) (fun i -> if i < n then old.(i) else new_vstate ())
+
+let grow_npool sc =
+  let old = sc.p_nodes in
+  let n = Array.length old in
+  sc.p_nodes <- Array.init (2 * n) (fun i -> if i < n then old.(i) else new_node ())
+
+let ensure_dp_cap sc cap =
+  if Array.length sc.dp_v < cap then begin
+    let ncap = max cap (2 * Array.length sc.dp_v) in
+    let nv = Array.make ncap null_vstate in
+    let ne = Array.make ncap 0 in
+    let nn = Array.make ncap false in
+    Array.blit sc.dp_v 0 nv 0 sc.dp_n;
+    Array.blit sc.dp_e 0 ne 0 sc.dp_n;
+    Array.blit sc.dp_need 0 nn 0 sc.dp_n;
+    sc.dp_v <- nv;
+    sc.dp_e <- ne;
+    sc.dp_need <- nn
+  end
+
+let ensure_resteer_cap sc cap =
+  if Array.length sc.resteer < cap then begin
+    let old = sc.resteer in
+    let ncap = max cap (2 * Array.length old) in
+    let arr = Array.make ncap null_node in
+    Array.blit old 0 arr 0 (Array.length old);
+    sc.resteer <- arr
+  end
+
+(* Drop every reference the previous run left behind (so its trace and
+   per-run structures become collectable), relink the sentinels, and make
+   sure the ROB ring fits this run's configuration. *)
+let reset_scratch sc ~rob_size =
+  for k = 0 to wheel_size - 1 do
+    let slot = sc.events.(k) in
+    if slot.ev_len > 0 then begin
+      Array.fill slot.ev_nodes 0 slot.ev_len null_node;
+      slot.ev_len <- 0
+    end
+  done;
+  sc.due_len <- 0;
+  for k = 0 to sc.p_ncur - 1 do
+    let n = sc.p_nodes.(k) in
+    n.n_uop <- null_uop;
+    n.n_prev <- n;
+    n.n_next <- n
+  done;
+  sc.p_ncur <- 0;
+  sc.p_vcur <- 0;
+  sc.dp_n <- 0;
+  Array.fill sc.rename 0 (Array.length sc.rename) null_vstate;
+  if Array.length sc.rob_buf < rob_size then sc.rob_buf <- Array.make rob_size null_node
+  else Array.fill sc.rob_buf 0 (Array.length sc.rob_buf) null_node;
+  sc.sent0.n_prev <- sc.sent0;
+  sc.sent0.n_next <- sc.sent0;
+  sc.sent1.n_prev <- sc.sent1;
+  sc.sent1.n_next <- sc.sent1
+
+(* ----- whole-machine state ----- *)
 
 (* Why the most recent frontend round stopped dispatching — consumed by
    the cycle accounting to split an empty stage between dispatch-stalled
@@ -204,6 +400,10 @@ type stall_src = Sr_none | Sr_rob | Sr_iq | Sr_regfile | Sr_mob
 type state = {
   cfg : Config.t;
   trace : Trace.t;
+  soa : Uop_soa.t;  (* the trace's packed columns: def-use and width
+                       checks read these instead of uop records *)
+  uarr : Uop.t array;  (* record view, forced once per trace *)
+  trace_len : int;
   decide : decide;
   preds : Bundle.t;
   counters : Counter.t;
@@ -213,17 +413,21 @@ type state = {
   acct : Accounting.t option;
       (* cycle accounting; [None] keeps the attribution walk behind one
          field test per issue round, same discipline as [sink] *)
+  sc : scratch;
+  mutable steer_ctx : Steer.ctx option;  (* built once, after [create] *)
+  lat3 : int * int * int;  (* (dl0, ul1, mem) for the cache hierarchy *)
   mutable stall_src : stall_src;  (* last frontend round's stop reason *)
   mutable wflush_until : int;  (* draining a width flush before this tick *)
   (* frontend *)
   mutable fetch_idx : int;  (* next trace index to dispatch *)
   mutable fetch_resume : int;  (* tick before which dispatch is stalled *)
   force_wide : (int, unit) Hashtbl.t;  (* trace idx -> must steer wide *)
-  rename : vstate option array;  (* arch reg -> live value *)
-  undo_log : undo Stack.t;
+  rename : vstate array;  (* = sc.rename *)
   (* backends *)
   iq : iq array;  (* per cluster-index, intrusive, oldest first *)
-  rob : node Queue.t;
+  rob_buf : node array;  (* ring, oldest at rob_head *)
+  rob_cap : int;
+  mutable rob_head : int;
   mutable rob_count : int;
   mutable mob_count : int;
   backlog : int array;  (* per cluster: ready-not-issued in the last round *)
@@ -233,12 +437,6 @@ type state = {
   gshare : Branch_predictor.t;
   tcache : Trace_cache.t;
   regfile : Regfile.t;
-  (* events *)
-  events : evslot array;  (* indexed by tick mod size *)
-  null_node : node;  (* padding for the growable event arrays *)
-  mutable due_nodes : node array;  (* reusable completion scratch *)
-  mutable due_gens : int array;
-  mutable due_len : int;
   (* cached cells of the per-tick counters, so the hot loop skips the
      string-keyed hashtable *)
   c_tick : int ref;
@@ -247,8 +445,37 @@ type state = {
   c_issue : int ref array;  (* per cluster-index *)
   c_regread : int ref array;
   c_committed : int ref;
+  (* lazy cells for the event-driven counters: the key appears in the
+     metrics JSON on the first increment, exactly like the string-keyed
+     Counter.incr calls they replace, so counter sets stay identical *)
+  c_copy_dispatched : Counter.lcell;
+  c_split_dispatched : Counter.lcell;
+  c_dispatch : Counter.lcell array;  (* per cluster-index *)
+  c_wpred_lookup : Counter.lcell;
+  c_wpred_update : Counter.lcell;
+  c_tc_miss : Counter.lcell;
+  c_copy_completed : Counter.lcell;
+  c_regwrite : Counter.lcell array;
+  c_alu : Counter.lcell array;
+  c_mul_wide : Counter.lcell;
+  c_agu : Counter.lcell array;
+  c_fpu_wide : Counter.lcell;
+  c_mem_dl0 : Counter.lcell;
+  c_mem_ul1 : Counter.lcell;
+  c_mem_main : Counter.lcell;
+  c_lr_replicated : Counter.lcell;
+  c_width_flush : Counter.lcell;
+  c_replay : Counter.lcell;
   mutable next_node_id : int;
   mutable now : int;
+  (* per-round scratch results: stage walks report through these fields
+     instead of returning tuples or threading refs *)
+  mutable iss_issued : int;
+  mutable iss_ready : int;
+  mutable dis_demand_w : int;  (* copy slot demand of the current dispatch *)
+  mutable dis_demand_n : int;
+  mutable rsteer_n : int;  (* live prefix of sc.resteer *)
+  mutable split_prev : vstate;  (* previous lane while cracking a split *)
   (* results *)
   mutable committed : int;
   mutable copies : int;
@@ -272,78 +499,101 @@ type state = {
   mutable issued_total : int;
 }
 
-let wheel_size = 4096
-
-let create ?sink ?accounting cfg decide trace =
-  ( match Config.validate cfg with
-  | Ok () -> ()
-  | Error msg -> invalid_arg ("Pipeline: " ^ msg) );
-  let counters = Counter.create () in
-  let null_node = make_detached_node () in
-  {
-    cfg; trace; decide; sink;
-    acct = accounting;
-    stall_src = Sr_none;
-    wflush_until = 0;
-    preds = Bundle.create ~entries:cfg.Config.wpred_entries ~conf_bits:cfg.Config.conf_bits ();
-    counters;
-    fetch_idx = 0; fetch_resume = 0;
-    (* sized for the worst realistic forced-wide set of a 30k-uop window
-       so population never rehashes; lookups are also length-guarded in
-       the frontend *)
-    force_wide = Hashtbl.create 256;
-    rename = Array.make Reg.count None;
-    undo_log = Stack.create ();
-    iq = [| make_iq (); make_iq () |];
-    rob = Queue.create ();
-    rob_count = 0;
-    mob_count = 0;
-    backlog = [| 0; 0 |];
-    backlog_ewma = [| 0.; 0. |];
-    memory = Cache.Hierarchy.create ();
-    gshare = Branch_predictor.create ();
-    tcache = Trace_cache.create ();
-    regfile =
-      Regfile.create ~wide_regs:cfg.Config.wide_regs
-        ~narrow_regs:cfg.Config.narrow_regs ();
-    events =
-      Array.init wheel_size (fun _ ->
-          { ev_nodes = Array.make 4 null_node; ev_gens = Array.make 4 0;
-            ev_len = 0 });
-    null_node;
-    due_nodes = Array.make 16 null_node;
-    due_gens = Array.make 16 0;
-    due_len = 0;
-    c_tick = Counter.cell counters "tick";
-    c_cycle_wide = Counter.cell counters "cycle_wide";
-    c_cycle_narrow = Counter.cell counters "cycle_narrow";
-    c_issue =
-      [| Counter.cell counters "issue_wide"; Counter.cell counters "issue_narrow" |];
-    c_regread =
-      [| Counter.cell counters "regread_wide";
-         Counter.cell counters "regread_narrow" |];
-    c_committed = Counter.cell counters "committed";
-    next_node_id = 0;
-    now = 0;
-    committed = 0; copies = 0; steered_narrow = 0; split_uops = 0;
-    steered_888 = 0; steered_br = 0; steered_cr = 0; steered_ir = 0;
-    steered_other = 0; wide_default = 0; wide_demoted = 0;
-    wpred_correct = 0; wpred_fatal = 0; wpred_nonfatal = 0;
-    prefetch_copies = 0; prefetch_useful = 0;
-    nready_w2n = 0; nready_n2w = 0; issued_total = 0;
-  }
-
 let fresh_node_id st =
   let id = st.next_node_id in
   st.next_node_id <- id + 1;
   id
 
+(* ----- pool allocation ----- *)
+
+let alloc_vstate st ~pc ~narrow ~pred_narrow ~cluster =
+  let sc = st.sc in
+  if sc.p_vcur >= Array.length sc.p_vstates then grow_vpool sc;
+  let v = sc.p_vstates.(sc.p_vcur) in
+  sc.p_vcur <- sc.p_vcur + 1;
+  v.v_pc <- pc;
+  v.v_narrow <- narrow;
+  v.v_pred_narrow <- pred_narrow;
+  v.v_epoch <- 0;
+  v.v_done <- false;
+  v.v_avail0 <- never;
+  v.v_avail1 <- never;
+  v.v_copy_inflight0 <- false;
+  v.v_copy_inflight1 <- false;
+  v.v_demand_copied <- false;
+  v.v_prefetched0 <- false;
+  v.v_prefetched1 <- false;
+  v.v_prefetch_used0 <- false;
+  v.v_prefetch_used1 <- false;
+  v.v_lr <- false;
+  v.v_cluster <- cluster;
+  v.v_from_load <- false;
+  v
+
+let alloc_node st =
+  let sc = st.sc in
+  if sc.p_ncur >= Array.length sc.p_nodes then grow_npool sc;
+  let n = sc.p_nodes.(sc.p_ncur) in
+  sc.p_ncur <- sc.p_ncur + 1;
+  n.n_id <- min_int;
+  n.n_trace_idx <- -1;
+  n.n_uop <- null_uop;
+  n.n_kind <- k_normal;
+  n.n_cv <- null_vstate;
+  n.n_copy_target <- 0;
+  n.n_copy_epoch <- 0;
+  n.n_copy_publishes <- false;
+  n.n_slice_final <- false;
+  n.n_cluster <- Config.Wide;
+  n.n_squashed <- false;
+  n.n_done <- false;
+  n.n_issued <- false;
+  n.n_gen <- 0;
+  n.n_ndeps <- 0;
+  n.n_dest <- null_vstate;
+  n.n_reason <- r_none;
+  n.n_is_mem <- false;
+  n.n_lr_replicate <- false;
+  n.n_br_mispredicted <- false;
+  n.n_alloc <- -1;
+  n.n_remote_reads <- false;
+  n.n_complete <- never;
+  n.n_disp_tick <- 0;
+  n.n_issue_tick <- 0;
+  n.n_prev <- n;
+  n.n_next <- n;
+  n.n_mark <- false;
+  n
+
+(* ----- ROB ring ----- *)
+
+let rob_add st node =
+  let pos = st.rob_head + st.rob_count in
+  let pos = if pos >= st.rob_cap then pos - st.rob_cap else pos in
+  st.rob_buf.(pos) <- node;
+  st.rob_count <- st.rob_count + 1
+
+let rob_peek st = st.rob_buf.(st.rob_head)
+
+let rob_pop st =
+  st.rob_buf.(st.rob_head) <- null_node;
+  let h = st.rob_head + 1 in
+  st.rob_head <- (if h >= st.rob_cap then 0 else h);
+  st.rob_count <- st.rob_count - 1
+
+(* k-th oldest occupant, 0 <= k < rob_count *)
+let rob_get st k =
+  let pos = st.rob_head + k in
+  st.rob_buf.(if pos >= st.rob_cap then pos - st.rob_cap else pos)
+
+(* ----- event wheel ----- *)
+
 let schedule st node tick =
   node.n_complete <- tick;
-  let slot = st.events.(tick land (wheel_size - 1)) in
+  let slot = st.sc.events.(tick land (wheel_size - 1)) in
   let cap = Array.length slot.ev_nodes in
   if slot.ev_len = cap then begin
-    let nodes = Array.make (2 * cap) st.null_node in
+    let nodes = Array.make (2 * cap) null_node in
     let gens = Array.make (2 * cap) 0 in
     Array.blit slot.ev_nodes 0 nodes 0 cap;
     Array.blit slot.ev_gens 0 gens 0 cap;
@@ -361,11 +611,10 @@ let schedule st node tick =
    sink can never change simulated behavior - only record it. *)
 
 let node_event_name (node : node) =
-  match node.n_kind with
-  | Copy _ -> "copy"
-  | Slice _ -> "slice"
-  | Normal -> (
-    match node.n_uop with Some u -> Opcode.to_string u.Uop.op | None -> "?")
+  if node.n_kind = k_copy then "copy"
+  else if node.n_kind = k_slice then "slice"
+  else if node.n_trace_idx >= 0 then Opcode.to_string node.n_uop.Uop.op
+  else "?"
 
 let emit st kind (node : node) ~a ~b =
   match st.sink with
@@ -415,19 +664,18 @@ let mem_time st (u : Uop.t) =
       if u.Uop.ul1_miss then cfg.Config.mem_latency else cfg.Config.ul1_latency
     else cfg.Config.dl0_latency
   | Config.Mem_cache_sim ->
-    Cache.Hierarchy.latency st.memory
-      ~latencies:(cfg.Config.dl0_latency, cfg.Config.ul1_latency, cfg.Config.mem_latency)
-      u.Uop.mem_addr
+    (* the latency triple lives in [st.lat3] so a cache-model access does
+       not build a tuple per uop *)
+    Cache.Hierarchy.latency st.memory ~latencies:st.lat3 u.Uop.mem_addr
 
 let exec_ticks st cluster (node : node) =
   let cfg = st.cfg in
-  match node.n_kind with
-  | Copy _ -> 2 * cfg.Config.copy_latency
-  | Slice _ -> 1
-  | Normal ->
-    let u = match node.n_uop with Some u -> u | None -> assert false in
+  if node.n_kind = k_copy then 2 * cfg.Config.copy_latency
+  else if node.n_kind = k_slice then 1
+  else begin
+    let u = node.n_uop in
     let base = Opcode.latency u.Uop.op in
-    ( match cluster with
+    match cluster with
     | Config.Wide ->
       if u.Uop.op = Opcode.Load then (2 * base) + (2 * mem_time st u)
       else 2 * base
@@ -435,75 +683,189 @@ let exec_ticks st cluster (node : node) =
       (* the 8-bit backend is clocked 2x: one slow-cycle op takes one tick;
          memory hierarchy time is absolute and unchanged *)
       let alu = if cfg.Config.helper_fast_clock then base else 2 * base in
-      if u.Uop.op = Opcode.Load then alu + (2 * mem_time st u) else alu )
+      if u.Uop.op = Opcode.Load then alu + (2 * mem_time st u) else alu
+  end
 
 (* ----- rename-time width knowledge ----- *)
 
 let source_info st (operand : Uop.operand) =
   match operand with
   | Uop.Imm v ->
-    { Steer.si_narrow = Width.is_narrow_bits ~bits:st.cfg.Config.narrow_bits v;
-      si_known = true; si_cluster = None }
-  | Uop.Reg r -> (
-    match st.rename.(Reg.to_index r) with
-    | None ->
+    Steer.src_info_bits
+      ~narrow:(Width.is_narrow_bits ~bits:st.cfg.Config.narrow_bits v)
+      ~known:true ~cluster_code:Steer.cluster_code_none
+  | Uop.Reg r ->
+    let v = st.rename.(Reg.to_index r) in
+    if v == null_vstate then
       (* architectural value from before the trace window: a long-ready,
          conservatively wide register *)
-      { Steer.si_narrow = false; si_known = true; si_cluster = None }
-    | Some v ->
+      Steer.src_info_bits ~narrow:false ~known:true
+        ~cluster_code:Steer.cluster_code_none
+    else begin
+      let cluster_code =
+        match v.v_cluster with
+        | Config.Wide -> Steer.cluster_code_wide
+        | Config.Narrow -> Steer.cluster_code_narrow
+      in
       if v.v_done then
-        { Steer.si_narrow = v.v_narrow; si_known = true; si_cluster = Some v.v_cluster }
+        Steer.src_info_bits ~narrow:v.v_narrow ~known:true ~cluster_code
       else
-        { Steer.si_narrow = v.v_pred_narrow; si_known = false;
-          si_cluster = Some v.v_cluster } )
+        Steer.src_info_bits ~narrow:v.v_pred_narrow ~known:false ~cluster_code
+    end
+
+let eflags_index = Reg.to_index Reg.Eflags
 
 let flags_in_narrow st () =
-  match st.rename.(Reg.to_index Reg.Eflags) with
-  | Some v -> v.v_cluster = Config.Narrow
-  | None -> false
+  let v = st.rename.(eflags_index) in
+  v != null_vstate && v.v_cluster = Config.Narrow
 
-let occupancy st cluster =
-  float_of_int st.iq.(cluster_index cluster).iq_len
+let occupancy_lt st c limit =
+  float_of_int st.iq.(cluster_index c).iq_len
   /. float_of_int st.cfg.Config.iq_size
+  < limit
 
-let steer_ctx st =
-  {
-    Steer.cfg = st.cfg;
-    preds = st.preds;
-    source_info = source_info st;
-    flags_in_narrow = flags_in_narrow st;
-    occupancy = occupancy st;
-    ready_backlog = (fun c -> st.backlog.(cluster_index c));
-    backlog_ewma = (fun c -> st.backlog_ewma.(cluster_index c));
-    rob_occupancy =
-      (fun () -> float_of_int st.rob_count /. float_of_int st.cfg.Config.rob_size);
-  }
+let ready_backlog st c = st.backlog.(cluster_index c)
+
+let backlog_ewma_gt st c limit = st.backlog_ewma.(cluster_index c) > limit
+
+let rob_occupancy_lt st limit =
+  float_of_int st.rob_count /. float_of_int st.cfg.Config.rob_size < limit
+
+let get_ctx st =
+  match st.steer_ctx with Some ctx -> ctx | None -> assert false
+
+(* ----- creation ----- *)
+
+let create ?sink ?accounting cfg decide trace =
+  ( match Config.validate cfg with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Pipeline: " ^ msg) );
+  let counters = Counter.create () in
+  let sc = Domain.DLS.get scratch_key in
+  reset_scratch sc ~rob_size:cfg.Config.rob_size;
+  let uarr = Trace.uops trace in
+  let st =
+    {
+      cfg; trace; decide; sink;
+      soa = Trace.soa trace;
+      uarr;
+      trace_len = Array.length uarr;
+      acct = accounting;
+      sc;
+      steer_ctx = None;
+      lat3 = (cfg.Config.dl0_latency, cfg.Config.ul1_latency, cfg.Config.mem_latency);
+      stall_src = Sr_none;
+      wflush_until = 0;
+      preds = Bundle.create ~entries:cfg.Config.wpred_entries ~conf_bits:cfg.Config.conf_bits ();
+      counters;
+      fetch_idx = 0; fetch_resume = 0;
+      (* sized for the worst realistic forced-wide set of a 30k-uop window
+         so population never rehashes; lookups are also length-guarded in
+         the frontend *)
+      force_wide = Hashtbl.create 256;
+      rename = sc.rename;
+      iq =
+        [| { iq_sent = sc.sent0; iq_len = 0 };
+           { iq_sent = sc.sent1; iq_len = 0 } |];
+      rob_buf = sc.rob_buf;
+      rob_cap = Array.length sc.rob_buf;
+      rob_head = 0;
+      rob_count = 0;
+      mob_count = 0;
+      backlog = [| 0; 0 |];
+      backlog_ewma = [| 0.; 0. |];
+      memory = Cache.Hierarchy.create ();
+      gshare = Branch_predictor.create ();
+      tcache = Trace_cache.create ();
+      regfile =
+        Regfile.create ~wide_regs:cfg.Config.wide_regs
+          ~narrow_regs:cfg.Config.narrow_regs ();
+      c_tick = Counter.cell counters "tick";
+      c_cycle_wide = Counter.cell counters "cycle_wide";
+      c_cycle_narrow = Counter.cell counters "cycle_narrow";
+      c_issue =
+        [| Counter.cell counters "issue_wide"; Counter.cell counters "issue_narrow" |];
+      c_regread =
+        [| Counter.cell counters "regread_wide";
+           Counter.cell counters "regread_narrow" |];
+      c_committed = Counter.cell counters "committed";
+      c_copy_dispatched = Counter.lcell counters "copy_dispatched";
+      c_split_dispatched = Counter.lcell counters "split_dispatched";
+      c_dispatch =
+        [| Counter.lcell counters "dispatch_wide";
+           Counter.lcell counters "dispatch_narrow" |];
+      c_wpred_lookup = Counter.lcell counters "wpred_lookup";
+      c_wpred_update = Counter.lcell counters "wpred_update";
+      c_tc_miss = Counter.lcell counters "tc_miss";
+      c_copy_completed = Counter.lcell counters "copy_completed";
+      c_regwrite =
+        [| Counter.lcell counters "regwrite_wide";
+           Counter.lcell counters "regwrite_narrow" |];
+      c_alu =
+        [| Counter.lcell counters "alu_wide"; Counter.lcell counters "alu_narrow" |];
+      c_mul_wide = Counter.lcell counters "mul_wide";
+      c_agu =
+        [| Counter.lcell counters "agu_wide"; Counter.lcell counters "agu_narrow" |];
+      c_fpu_wide = Counter.lcell counters "fpu_wide";
+      c_mem_dl0 = Counter.lcell counters "mem_dl0";
+      c_mem_ul1 = Counter.lcell counters "mem_ul1";
+      c_mem_main = Counter.lcell counters "mem_main";
+      c_lr_replicated = Counter.lcell counters "lr_replicated";
+      c_width_flush = Counter.lcell counters "width_flush";
+      c_replay = Counter.lcell counters "replay";
+      next_node_id = 0;
+      now = 0;
+      iss_issued = 0; iss_ready = 0;
+      dis_demand_w = 0; dis_demand_n = 0;
+      rsteer_n = 0;
+      split_prev = null_vstate;
+      committed = 0; copies = 0; steered_narrow = 0; split_uops = 0;
+      steered_888 = 0; steered_br = 0; steered_cr = 0; steered_ir = 0;
+      steered_other = 0; wide_default = 0; wide_demoted = 0;
+      wpred_correct = 0; wpred_fatal = 0; wpred_nonfatal = 0;
+      prefetch_copies = 0; prefetch_useful = 0;
+      nready_w2n = 0; nready_n2w = 0; issued_total = 0;
+    }
+  in
+  (* the steering context is one record of closures over [st], built once
+     per run; every per-uop query through it returns an immediate *)
+  st.steer_ctx <-
+    Some
+      {
+        Steer.cfg = st.cfg;
+        preds = st.preds;
+        source_info = source_info st;
+        flags_in_narrow = flags_in_narrow st;
+        occupancy_lt = occupancy_lt st;
+        ready_backlog = ready_backlog st;
+        backlog_ewma_gt = backlog_ewma_gt st;
+        rob_occupancy_lt = rob_occupancy_lt st;
+      };
+  st
 
 (* ----- dispatch helpers ----- *)
 
-let reg_deps st (u : Uop.t) =
-  List.filter_map
-    (fun operand ->
-      match operand with
-      | Uop.Reg r -> (
-        match st.rename.(Reg.to_index r) with
-        | Some v -> Some (v, v.v_epoch)
-        | None -> None)
-      | Uop.Imm _ -> None)
-    u.Uop.srcs
-
-(* Dependences that need a copy before they are usable in [cluster]. A
-   value produced in the other cluster needs no copy when one is already
-   in flight, already delivered, or when LR will replicate it. *)
-let copies_needed cluster deps =
-  let i = cluster_index cluster in
-  List.filter
-    (fun ((v : vstate), _) ->
-      v.v_cluster <> cluster
-      && v.v_avail.(i) = never
-      && (not v.v_copy_inflight.(i))
-      && not v.v_lr)
-    deps
+(* Register dependences of the uop at [trace_idx], read straight off the
+   SoA source columns into the dispatch scratch (value, epoch) arrays —
+   the seed built a [(vstate * int) list] per uop here. *)
+let collect_reg_deps st trace_idx =
+  let sc = st.sc in
+  let soa = st.soa in
+  let lo = Uop_soa.src_base soa trace_idx in
+  let ns = Uop_soa.nsrcs soa trace_idx in
+  sc.dp_n <- 0;
+  ensure_dp_cap sc ns;
+  for j = lo to lo + ns - 1 do
+    let r = Uop_soa.src_reg soa j in
+    if r >= 0 then begin
+      let v = st.rename.(r) in
+      if v != null_vstate then begin
+        sc.dp_v.(sc.dp_n) <- v;
+        sc.dp_e.(sc.dp_n) <- v.v_epoch;
+        sc.dp_n <- sc.dp_n + 1
+      end
+    end
+  done
 
 let enqueue_iq st cluster node =
   node.n_disp_tick <- st.now;
@@ -513,77 +875,90 @@ let enqueue_iq st cluster node =
 let iq_free st cluster =
   st.cfg.Config.iq_size - st.iq.(cluster_index cluster).iq_len
 
-(* (wide, narrow) issue-queue slots the pending copies will occupy: copies
-   dispatch into the producing value's cluster. *)
-let copy_slot_demand needed =
-  List.fold_left
-    (fun (w, n) ((v : vstate), _) ->
-      match v.v_cluster with Config.Wide -> (w + 1, n) | Config.Narrow -> (w, n + 1))
-    (0, 0) needed
+(* Mark the scratch dependences that need a copy before they are usable
+   in [cluster] (a value produced in the other cluster needs no copy when
+   one is already in flight, already delivered, or when LR will replicate
+   it), and tally the (wide, narrow) issue-queue slots those copies will
+   occupy into [dis_demand_w/n] — copies dispatch into the producing
+   value's cluster. *)
+let mark_copies_needed st ~cluster ~no_copies =
+  let sc = st.sc in
+  let ci = cluster_index cluster in
+  st.dis_demand_w <- 0;
+  st.dis_demand_n <- 0;
+  for k = 0 to sc.dp_n - 1 do
+    let v = sc.dp_v.(k) in
+    let need =
+      (not no_copies)
+      && v.v_cluster <> cluster
+      && v_avail v ci = never
+      && (not (v_copy_inflight v ci))
+      && not v.v_lr
+    in
+    sc.dp_need.(k) <- need;
+    if need then
+      match v.v_cluster with
+      | Config.Wide -> st.dis_demand_w <- st.dis_demand_w + 1
+      | Config.Narrow -> st.dis_demand_n <- st.dis_demand_n + 1
+  done
 
 let make_copy st ~(cv : vstate) ~target ~prefetch ~publishes =
   let source_cluster = cv.v_cluster in
-  let rec node =
-    {
-      n_id = fresh_node_id st;
-      n_trace_idx = -1;
-      n_uop = None;
-      n_kind = Copy { cv; target; epoch = cv.v_epoch; prefetch; publishes };
-      n_cluster = source_cluster;
-      n_squashed = false; n_done = false; n_issued = false; n_gen = 0;
-      n_deps = [| (cv, cv.v_epoch) |];
-      n_dest = None;
-      n_reason = None;
-      n_is_mem = false;
-      n_lr_replicate = false;
-      n_br_mispredicted = false;
-      n_alloc = None;
-      n_remote_reads = false;
-      n_complete = never;
-      n_disp_tick = 0; n_issue_tick = 0;
-      n_prev = node; n_next = node; n_mark = false;
-    }
-  in
-  cv.v_copy_inflight.(cluster_index target) <- true;
+  let ti = cluster_index target in
+  let node = alloc_node st in
+  node.n_id <- fresh_node_id st;
+  node.n_kind <- k_copy;
+  node.n_cv <- cv;
+  node.n_copy_target <- ti;
+  node.n_copy_epoch <- cv.v_epoch;
+  node.n_copy_publishes <- publishes;
+  node.n_cluster <- source_cluster;
+  ensure_node_dep_cap node 1;
+  node.n_dep_v.(0) <- cv;
+  node.n_dep_e.(0) <- cv.v_epoch;
+  node.n_ndeps <- 1;
+  set_v_copy_inflight cv ti true;
   if prefetch then begin
-    cv.v_prefetched.(cluster_index target) <- true;
+    set_v_prefetched cv ti true;
     st.prefetch_copies <- st.prefetch_copies + 1
   end
   else cv.v_demand_copied <- true;
   st.copies <- st.copies + 1;
-  Counter.incr st.counters "copy_dispatched";
+  Counter.lincr st.c_copy_dispatched;
   enqueue_iq st source_cluster node
 
-(* Record a rename-table overwrite for rollback, and train the CP predictor
-   with the dying value's copy history. *)
-let rename_write st node_id reg (v : vstate) =
+(* Train the CP predictor with the dying value's copy history on a
+   rename-table overwrite. (The seed also kept an undo log here; nothing
+   ever consumed it, so it is gone.) *)
+let rename_write st reg (v : vstate) =
   let i = Reg.to_index reg in
   let prev = st.rename.(i) in
-  ( match prev with
-  | Some dead when st.cfg.Config.scheme.Config.cp ->
-    Copy_predictor.update st.preds.Bundle.copy dead.v_pc ~copied:dead.v_demand_copied
-  | Some _ | None -> () );
-  Stack.push { un_node = node_id; un_reg = i; un_prev = prev } st.undo_log;
-  st.rename.(i) <- Some v
+  if prev != null_vstate && st.cfg.Config.scheme.Config.cp then
+    Copy_predictor.update st.preds.Bundle.copy prev.v_pc
+      ~copied:prev.v_demand_copied;
+  st.rename.(i) <- v
 
-(* Credit a consumed prefetch, once per (value, cluster). *)
-let credit_prefetch st cluster deps =
+(* Credit a consumed prefetch, once per (value, cluster), over the
+   scratch dependences. *)
+let credit_prefetch_deps st cluster =
   let i = cluster_index cluster in
-  List.iter
-    (fun ((v : vstate), _) ->
-      if v.v_prefetched.(i) && (not v.v_prefetch_used.(i)) && v.v_cluster <> cluster
-      then begin
-        v.v_prefetch_used.(i) <- true;
-        st.prefetch_useful <- st.prefetch_useful + 1
-      end)
-    deps
+  let sc = st.sc in
+  for k = 0 to sc.dp_n - 1 do
+    let v = sc.dp_v.(k) in
+    if v_prefetched v i && (not (v_prefetch_used v i)) && v.v_cluster <> cluster
+    then begin
+      set_v_prefetch_used v i true;
+      st.prefetch_useful <- st.prefetch_useful + 1
+    end
+  done
 
 exception Dispatch_stall
 
 (* ----- dispatch ----- *)
 
-let dispatch_split st (u : Uop.t) ~trace_idx ~prediction deps =
+let dispatch_split st (u : Uop.t) ~trace_idx ~pred_narrow =
   let cfg = st.cfg in
+  let sc = st.sc in
   let slices = 4 in
   let produces_value = Uop.has_dest u || Uop.writes_flags u in
   let result_copies = if Uop.has_dest u then slices else 0 in
@@ -602,14 +977,13 @@ let dispatch_split st (u : Uop.t) ~trace_idx ~prediction deps =
     st.stall_src <- Sr_regfile;
     raise Dispatch_stall
   end;
-  credit_prefetch st Config.Narrow deps;
+  credit_prefetch_deps st Config.Narrow;
   let dest =
     if produces_value then
-      Some
-        (make_vstate ~pc:u.Uop.pc
-           ~narrow:(Width.is_narrow_bits ~bits:cfg.Config.narrow_bits u.Uop.result)
-           ~pred_narrow:prediction.Width_predictor.narrow ~cluster:Config.Narrow)
-    else None
+      alloc_vstate st ~pc:u.Uop.pc
+        ~narrow:(Width.is_narrow_bits ~bits:cfg.Config.narrow_bits u.Uop.result)
+        ~pred_narrow ~cluster:Config.Narrow
+    else null_vstate
   in
   (* carry-rippling ops chain lane k+1 on lane k's carry-out; bitwise,
      move and store lanes are independent byte operations *)
@@ -622,92 +996,81 @@ let dispatch_split st (u : Uop.t) ~trace_idx ~prediction deps =
     | Opcode.Fp_add | Opcode.Fp_mul | Opcode.Fp_div | Opcode.Copy
     | Opcode.Nop -> false
   in
-  let prev_slice = ref None in
+  st.split_prev <- null_vstate;
   for k = 0 to slices - 1 do
     let final = k = slices - 1 in
-    let chain_deps =
-      match !prev_slice with
-      | Some v when ripples -> Array.of_list ((v, v.v_epoch) :: deps)
-      | Some _ | None -> Array.of_list deps
-    in
+    let node = alloc_node st in
+    node.n_id <- fresh_node_id st;
+    node.n_trace_idx <- trace_idx;
+    node.n_uop <- u;
+    node.n_kind <- k_slice;
+    node.n_slice_final <- final;
+    node.n_cluster <- Config.Narrow;
+    let chain = if ripples then st.split_prev else null_vstate in
+    let extra = if chain != null_vstate then 1 else 0 in
+    ensure_node_dep_cap node (sc.dp_n + extra);
+    if extra = 1 then begin
+      node.n_dep_v.(0) <- chain;
+      node.n_dep_e.(0) <- chain.v_epoch
+    end;
+    for j = 0 to sc.dp_n - 1 do
+      node.n_dep_v.(extra + j) <- sc.dp_v.(j);
+      node.n_dep_e.(extra + j) <- sc.dp_e.(j)
+    done;
+    node.n_ndeps <- sc.dp_n + extra;
     let slice_dest =
       if final then dest
       else
-        Some
-          (make_vstate ~pc:u.Uop.pc ~narrow:true ~pred_narrow:true
-             ~cluster:Config.Narrow)
+        alloc_vstate st ~pc:u.Uop.pc ~narrow:true ~pred_narrow:true
+          ~cluster:Config.Narrow
     in
-    let rec node =
-      {
-        n_id = fresh_node_id st;
-        n_trace_idx = trace_idx;
-        n_uop = Some u;
-        n_kind = Slice { final };
-        n_cluster = Config.Narrow;
-        n_squashed = false; n_done = false; n_issued = false; n_gen = 0;
-        n_deps = chain_deps;
-        n_dest = slice_dest;
-        n_reason = Some Steer.Rir;
-        n_is_mem = false;
-        n_lr_replicate = false;
-        n_br_mispredicted = false;
-        n_alloc = None;
-        n_remote_reads = true;
-        n_complete = never;
-        n_disp_tick = 0; n_issue_tick = 0;
-        n_prev = node; n_next = node; n_mark = false;
-      }
-    in
-    if not final then prev_slice := slice_dest;
-    ( match slice_dest with
-    | Some _ ->
-      if Regfile.allocate st.regfile Config.Narrow then
-        node.n_alloc <- Some Config.Narrow
-    | None -> () );
+    node.n_dest <- slice_dest;
+    node.n_reason <- r_ir;
+    node.n_remote_reads <- true;
+    if not final then st.split_prev <- slice_dest;
+    if slice_dest != null_vstate then
+      if Regfile.allocate st.regfile Config.Narrow then node.n_alloc <- 1;
     enqueue_iq st Config.Narrow node;
-    Queue.add node st.rob;
-    st.rob_count <- st.rob_count + 1
+    rob_add st node
   done;
-  ( match dest with
-  | Some v ->
+  st.split_prev <- null_vstate;
+  if dest != null_vstate then begin
     ( match u.Uop.dst with
-    | Some reg -> rename_write st (st.next_node_id - 1) reg v
+    | Some reg -> rename_write st reg dest
     | None -> () );
-    if Uop.writes_flags u then rename_write st (st.next_node_id - 1) Reg.Eflags v;
+    if Uop.writes_flags u then rename_write st Reg.Eflags dest;
     (* publish the result to the wide cluster as a burst of byte copies;
        only the last one makes the value visible there (§3.7). A
        replicated register file publishes through its write ports
        instead. *)
     if Uop.has_dest u && not cfg.Config.replicated_regfile then
       for k = 0 to slices - 1 do
-        make_copy st ~cv:v ~target:Config.Wide ~prefetch:false
+        make_copy st ~cv:dest ~target:Config.Wide ~prefetch:false
           ~publishes:(k = slices - 1)
       done
-  | None -> () );
-  Counter.incr st.counters "split_dispatched"
+  end;
+  Counter.lincr st.c_split_dispatched
 
-let dispatch_steered st (u : Uop.t) ~trace_idx ~prediction ~cluster ~reason deps =
+let dispatch_steered st (u : Uop.t) ~trace_idx ~pred_narrow ~pred_confident
+    ~cluster ~reason =
   let cfg = st.cfg in
   let scheme = cfg.Config.scheme in
+  let sc = st.sc in
   let produces_value = Uop.has_dest u || Uop.writes_flags u in
-  let remote_reads = reason = Some Steer.Rcr in
-  let needed =
-    if remote_reads || cfg.Config.replicated_regfile then []
-    else copies_needed cluster deps
-  in
-  let demand_w, demand_n = copy_slot_demand needed in
-  let own_w, own_n =
-    match cluster with Config.Wide -> (1, 0) | Config.Narrow -> (0, 1)
-  in
+  let remote_reads = reason = r_cr in
+  mark_copies_needed st ~cluster
+    ~no_copies:(remote_reads || cfg.Config.replicated_regfile);
+  let ci = cluster_index cluster in
+  let own_w = 1 - ci and own_n = ci in
   if st.rob_count >= cfg.Config.rob_size then begin
     st.stall_src <- Sr_rob;
     raise Dispatch_stall
   end;
-  if iq_free st Config.Wide < demand_w + own_w then begin
+  if iq_free st Config.Wide < st.dis_demand_w + own_w then begin
     st.stall_src <- Sr_iq;
     raise Dispatch_stall
   end;
-  if iq_free st Config.Narrow < demand_n + own_n then begin
+  if iq_free st Config.Narrow < st.dis_demand_n + own_n then begin
     st.stall_src <- Sr_iq;
     raise Dispatch_stall
   end;
@@ -723,23 +1086,22 @@ let dispatch_steered st (u : Uop.t) ~trace_idx ~prediction ~cluster ~reason deps
     end;
     st.mob_count <- st.mob_count + 1
   end;
-  List.iter
-    (fun ((v : vstate), _) ->
-      make_copy st ~cv:v ~target:cluster ~prefetch:false ~publishes:true)
-    needed;
-  credit_prefetch st cluster deps;
+  for k = 0 to sc.dp_n - 1 do
+    if sc.dp_need.(k) then
+      make_copy st ~cv:sc.dp_v.(k) ~target:cluster ~prefetch:false
+        ~publishes:true
+  done;
+  credit_prefetch_deps st cluster;
   let dest =
     if produces_value then
-      Some
-        (make_vstate ~pc:u.Uop.pc
-           ~narrow:(Width.is_narrow_bits ~bits:cfg.Config.narrow_bits u.Uop.result)
-           ~pred_narrow:prediction.Width_predictor.narrow ~cluster)
-    else None
+      alloc_vstate st ~pc:u.Uop.pc
+        ~narrow:(Width.is_narrow_bits ~bits:cfg.Config.narrow_bits u.Uop.result)
+        ~pred_narrow ~cluster
+    else null_vstate
   in
   let lr_replicate =
-    scheme.Config.lr && u.Uop.op = Opcode.Load
-    && prediction.Width_predictor.narrow
-    && ((not cfg.Config.confidence_gate) || prediction.Width_predictor.confident)
+    scheme.Config.lr && u.Uop.op = Opcode.Load && pred_narrow
+    && ((not cfg.Config.confidence_gate) || pred_confident)
   in
   (* resolve the direction prediction in program order, here at rename *)
   let br_mispredicted =
@@ -750,104 +1112,96 @@ let dispatch_steered st (u : Uop.t) ~trace_idx ~prediction ~cluster ~reason deps
       | Config.Br_gshare ->
         Branch_predictor.update st.gshare u.Uop.pc ~taken:u.Uop.taken
   in
-  ( match dest with
-  | Some v ->
-    v.v_lr <- lr_replicate;
-    v.v_from_load <- u.Uop.op = Opcode.Load
-  | None -> () );
-  let rec node =
-    {
-      n_id = fresh_node_id st;
-      n_trace_idx = trace_idx;
-      n_uop = Some u;
-      n_kind = Normal;
-      n_cluster = cluster;
-      n_squashed = false; n_done = false; n_issued = false; n_gen = 0;
-      n_deps = Array.of_list deps;
-      n_dest = dest;
-      n_reason = reason;
-      n_is_mem = is_mem;
-      n_lr_replicate = lr_replicate;
-      n_br_mispredicted = br_mispredicted;
-      n_alloc = None;
-      n_remote_reads = remote_reads;
-      n_complete = never;
-      n_disp_tick = 0; n_issue_tick = 0;
-      n_prev = node; n_next = node; n_mark = false;
-    }
-  in
-  ( match dest with
-  | Some v ->
-    if Regfile.allocate st.regfile cluster then node.n_alloc <- Some cluster;
+  if dest != null_vstate then begin
+    dest.v_lr <- lr_replicate;
+    dest.v_from_load <- u.Uop.op = Opcode.Load
+  end;
+  let node = alloc_node st in
+  node.n_id <- fresh_node_id st;
+  node.n_trace_idx <- trace_idx;
+  node.n_uop <- u;
+  node.n_cluster <- cluster;
+  ensure_node_dep_cap node sc.dp_n;
+  for j = 0 to sc.dp_n - 1 do
+    node.n_dep_v.(j) <- sc.dp_v.(j);
+    node.n_dep_e.(j) <- sc.dp_e.(j)
+  done;
+  node.n_ndeps <- sc.dp_n;
+  node.n_dest <- dest;
+  node.n_reason <- reason;
+  node.n_is_mem <- is_mem;
+  node.n_lr_replicate <- lr_replicate;
+  node.n_br_mispredicted <- br_mispredicted;
+  node.n_remote_reads <- remote_reads;
+  if dest != null_vstate then begin
+    if Regfile.allocate st.regfile cluster then node.n_alloc <- ci;
     ( match u.Uop.dst with
-    | Some reg -> rename_write st node.n_id reg v
+    | Some reg -> rename_write st reg dest
     | None -> () );
-    if Uop.writes_flags u then rename_write st node.n_id Reg.Eflags v
-  | None -> () );
+    if Uop.writes_flags u then rename_write st Reg.Eflags dest
+  end;
   enqueue_iq st cluster node;
-  Queue.add node st.rob;
-  st.rob_count <- st.rob_count + 1;
+  rob_add st node;
   (* CP: producer-side copy prefetching (§3.6). Narrow producers prefetch
      predicted copies to the wide cluster; wide producers of predicted
      narrow values prefetch toward the helper. *)
-  ( match dest with
-  | Some v when scheme.Config.cp && Uop.has_dest u ->
+  if dest != null_vstate && scheme.Config.cp && Uop.has_dest u then begin
     let cp_hit = Copy_predictor.predict st.preds.Bundle.copy u.Uop.pc in
     if cluster = Config.Narrow && cp_hit && iq_free st Config.Narrow > 0 then
-      make_copy st ~cv:v ~target:Config.Wide ~prefetch:true ~publishes:true
+      make_copy st ~cv:dest ~target:Config.Wide ~prefetch:true ~publishes:true
     else if
-      cluster = Config.Wide && cp_hit && prediction.Width_predictor.narrow
-      && prediction.Width_predictor.confident
+      cluster = Config.Wide && cp_hit && pred_narrow && pred_confident
       && iq_free st Config.Wide > 0
-    then make_copy st ~cv:v ~target:Config.Narrow ~prefetch:true ~publishes:true
-  | Some _ | None -> () );
-  Counter.incr st.counters
-    (match cluster with
-    | Config.Wide -> "dispatch_wide"
-    | Config.Narrow -> "dispatch_narrow")
+    then make_copy st ~cv:dest ~target:Config.Narrow ~prefetch:true ~publishes:true
+  end;
+  Counter.lincr st.c_dispatch.(ci)
 
 let dispatch_uop st ~forced_wide (u : Uop.t) ~trace_idx =
   let scheme = st.cfg.Config.scheme in
-  let prediction = Width_predictor.predict st.preds.Bundle.width u.Uop.pc in
-  Counter.incr st.counters "wpred_lookup";
-  let decision =
-    if forced_wide || not scheme.Config.helper then Steer.Steer Config.Wide
-    else st.decide (steer_ctx st) u
+  let pred_narrow = Width_predictor.predict_narrow st.preds.Bundle.width u.Uop.pc in
+  let pred_confident =
+    Width_predictor.predict_confident st.preds.Bundle.width u.Uop.pc
   in
-  let deps = reg_deps st u in
+  Counter.lincr st.c_wpred_lookup;
+  let decision =
+    if forced_wide || not scheme.Config.helper then Steer.steer_wide
+    else st.decide (get_ctx st) u
+  in
+  collect_reg_deps st trace_idx;
   match decision with
-  | Steer.Split -> dispatch_split st u ~trace_idx ~prediction deps
+  | Steer.Split -> dispatch_split st u ~trace_idx ~pred_narrow
   | Steer.Steer cluster ->
-    dispatch_steered st u ~trace_idx ~prediction ~cluster ~reason:None deps
+    dispatch_steered st u ~trace_idx ~pred_narrow ~pred_confident ~cluster
+      ~reason:r_none
   | Steer.Steer_narrow reason ->
-    dispatch_steered st u ~trace_idx ~prediction ~cluster:Config.Narrow
-      ~reason:(Some reason) deps
+    dispatch_steered st u ~trace_idx ~pred_narrow ~pred_confident
+      ~cluster:Config.Narrow ~reason:(reason_code reason)
 
 exception Fetch_miss
 
+let rec frontend_loop st budget =
+  if budget > 0 && st.fetch_idx < st.trace_len then begin
+    let u = st.uarr.(st.fetch_idx) in
+    ( match st.cfg.Config.frontend_model with
+    | Config.Fe_ideal -> ()
+    | Config.Fe_trace_cache ->
+      if not (Trace_cache.lookup st.tcache u.Uop.pc) then begin
+        (* build the trace line from the UL1 instruction stream *)
+        st.fetch_resume <- st.now + (2 * st.cfg.Config.ul1_latency);
+        Counter.lincr st.c_tc_miss;
+        raise Fetch_miss
+      end );
+    let forced_wide =
+      Hashtbl.length st.force_wide > 0 && Hashtbl.mem st.force_wide st.fetch_idx
+    in
+    dispatch_uop st ~forced_wide u ~trace_idx:st.fetch_idx;
+    st.fetch_idx <- st.fetch_idx + 1;
+    frontend_loop st (budget - 1)
+  end
+
 let frontend st =
   if st.now >= st.fetch_resume then begin
-    let budget = ref st.cfg.Config.decode_width in
-    try
-      while !budget > 0 && st.fetch_idx < Trace.length st.trace do
-        let u = Trace.get st.trace st.fetch_idx in
-        ( match st.cfg.Config.frontend_model with
-        | Config.Fe_ideal -> ()
-        | Config.Fe_trace_cache ->
-          if not (Trace_cache.lookup st.tcache u.Uop.pc) then begin
-            (* build the trace line from the UL1 instruction stream *)
-            st.fetch_resume <- st.now + (2 * st.cfg.Config.ul1_latency);
-            Counter.incr st.counters "tc_miss";
-            raise Fetch_miss
-          end );
-        let forced_wide =
-          Hashtbl.length st.force_wide > 0
-          && Hashtbl.mem st.force_wide st.fetch_idx
-        in
-        dispatch_uop st ~forced_wide u ~trace_idx:st.fetch_idx;
-        st.fetch_idx <- st.fetch_idx + 1;
-        decr budget
-      done
+    try frontend_loop st st.cfg.Config.decode_width
     with Dispatch_stall | Fetch_miss -> ()
   end
 
@@ -857,82 +1211,94 @@ let frontend st =
    resets its value (epoch bump kills in-flight copies, avail returns to
    never), and every consumer - resteered or not - then waits for the
    re-execution to publish the value again. *)
+let rec deps_avail_from st i (node : node) k =
+  k >= node.n_ndeps
+  || (v_avail node.n_dep_v.(k) i <= st.now && deps_avail_from st i node (k + 1))
+
+let rec deps_avail_remote_from st (node : node) k =
+  k >= node.n_ndeps
+  || ((let v = node.n_dep_v.(k) in v.v_avail0 <= st.now || v.v_avail1 <= st.now)
+     && deps_avail_remote_from st node (k + 1))
+
 let deps_ready st cluster (node : node) =
-  if node.n_remote_reads then
-    Array.for_all
-      (fun ((v : vstate), _) ->
-        v.v_avail.(0) <= st.now || v.v_avail.(1) <= st.now)
-      node.n_deps
+  if node.n_remote_reads then deps_avail_remote_from st node 0
   else begin
     let i =
-      match node.n_kind with
-      | Copy { cv; _ } -> cluster_index cv.v_cluster
-      | Normal | Slice _ -> cluster_index cluster
+      if node.n_kind = k_copy then cluster_index node.n_cv.v_cluster
+      else cluster_index cluster
     in
-    Array.for_all
-      (fun ((v : vstate), _) -> v.v_avail.(i) <= st.now)
-      node.n_deps
+    deps_avail_from st i node 0
   end
 
 let dead_copy (node : node) =
-  match node.n_kind with
-  | Copy { cv; epoch; _ } -> cv.v_epoch <> epoch
-  | Normal | Slice _ -> false
+  node.n_kind = k_copy && node.n_cv.v_epoch <> node.n_copy_epoch
 
-let issue_cluster st cluster =
-  let i = cluster_index cluster in
-  let q = st.iq.(i) in
-  let width = st.cfg.Config.issue_width in
-  let issued = ref 0 in
-  let ready_not_issued = ref 0 in
-  let c_regread = st.c_regread.(i) in
-  let c_issue = st.c_issue.(i) in
-  let s = q.iq_sent in
-  let cur = ref s.n_next in
-  while !cur != s do
-    let node = !cur in
+let rec issue_walk st cluster q width c_regread c_issue s (node : node) issued
+    ready =
+  if node == s then begin
+    st.iss_issued <- issued;
+    st.iss_ready <- ready
+  end
+  else begin
     let next = node.n_next in
-    if node.n_squashed || dead_copy node then iq_unlink q node
+    if node.n_squashed || dead_copy node then begin
+      iq_unlink q node;
+      issue_walk st cluster q width c_regread c_issue s next issued ready
+    end
     else if deps_ready st cluster node then begin
-      if !issued < width then begin
+      if issued < width then begin
         node.n_issued <- true;
         node.n_issue_tick <- st.now;
         emit st Event.Issue node ~a:node.n_disp_tick ~b:0;
-        incr issued;
         st.issued_total <- st.issued_total + 1;
-        c_regread := !c_regread + Array.length node.n_deps;
+        c_regread := !c_regread + node.n_ndeps;
         incr c_issue;
         iq_unlink q node;
-        schedule st node (st.now + exec_ticks st cluster node)
+        schedule st node (st.now + exec_ticks st cluster node);
+        issue_walk st cluster q width c_regread c_issue s next (issued + 1) ready
       end
-      else incr ready_not_issued
-    end;
-    cur := next
-  done;
-  st.backlog.(i) <- !ready_not_issued;
+      else
+        issue_walk st cluster q width c_regread c_issue s next issued (ready + 1)
+    end
+    else issue_walk st cluster q width c_regread c_issue s next issued ready
+  end
+
+(* One issue round; results land in [iss_issued] (slots that did work)
+   and [iss_ready] (the NREADY leftover). *)
+let issue_cluster st cluster =
+  let i = cluster_index cluster in
+  let q = st.iq.(i) in
+  issue_walk st cluster q st.cfg.Config.issue_width st.c_regread.(i)
+    st.c_issue.(i) q.iq_sent q.iq_sent.n_next 0 0;
+  st.backlog.(i) <- st.iss_ready;
   st.backlog_ewma.(i) <-
-    (0.9 *. st.backlog_ewma.(i)) +. (0.1 *. float_of_int !ready_not_issued);
-  (!issued, !ready_not_issued)
+    (0.9 *. st.backlog_ewma.(i)) +. (0.1 *. float_of_int st.iss_ready)
 
 (* Ready-but-stalled wide uops the helper's integer-only 8-bit units could
    in principle have hosted — the NREADY eligibility filter. *)
-let count_ready_narrow_capable st =
-  iq_fold
-    (fun acc (node : node) ->
-      let capable =
-        match node.n_uop with
-        | None -> true
-        | Some u -> (
-          match Opcode.exec_class u.Uop.op with
-          | Opcode.Int_alu | Opcode.Mem | Opcode.Ctrl -> true
-          | Opcode.Int_mul | Opcode.Fp -> false)
-      in
-      if (not node.n_squashed) && (not node.n_issued) && capable
-         && deps_ready st Config.Wide node
+let rec nready_walk st s (node : node) acc =
+  if node == s then acc
+  else begin
+    let capable =
+      node.n_trace_idx < 0
+      ||
+      match Opcode.exec_class node.n_uop.Uop.op with
+      | Opcode.Int_alu | Opcode.Mem | Opcode.Ctrl -> true
+      | Opcode.Int_mul | Opcode.Fp -> false
+    in
+    let acc =
+      if
+        (not node.n_squashed) && (not node.n_issued) && capable
+        && deps_ready st Config.Wide node
       then acc + 1
-      else acc)
-    0
-    st.iq.(cluster_index Config.Wide)
+      else acc
+    in
+    nready_walk st s node.n_next acc
+  end
+
+let count_ready_narrow_capable st =
+  let s = st.iq.(0).iq_sent in
+  nready_walk st s s.n_next 0
 
 (* ----- cycle accounting (top-down slot attribution) ----- *)
 
@@ -940,27 +1306,30 @@ let count_ready_narrow_capable st =
    the same availability rule as [deps_ready]. Memory wins over copy
    wins over plain operands, so one blocked node maps to exactly one
    category. *)
-let blocked_reason st cluster (node : node) =
-  match node.n_kind with
-  | Copy _ -> Accounting.Wait_copy
-  | Normal | Slice _ ->
-    let i = cluster_index cluster in
-    let mem = ref false and cop = ref false in
-    Array.iter
-      (fun ((v : vstate), _) ->
-        let avail =
-          if node.n_remote_reads then
-            v.v_avail.(0) <= st.now || v.v_avail.(1) <= st.now
-          else v.v_avail.(i) <= st.now
-        in
-        if not avail then begin
-          if v.v_from_load && not v.v_done then mem := true
-          else if v.v_done || v.v_copy_inflight.(i) then cop := true
-        end)
-      node.n_deps;
-    if !mem then Accounting.Memory
-    else if !cop then Accounting.Wait_copy
+let rec blocked_scan st i remote (node : node) k mem cop =
+  if k >= node.n_ndeps then
+    if mem then Accounting.Memory
+    else if cop then Accounting.Wait_copy
     else Accounting.Wait_operands
+  else begin
+    let v = node.n_dep_v.(k) in
+    let avail =
+      if remote then v.v_avail0 <= st.now || v.v_avail1 <= st.now
+      else v_avail v i <= st.now
+    in
+    if avail then blocked_scan st i remote node (k + 1) mem cop
+    else begin
+      let mem_dep = v.v_from_load && not v.v_done in
+      blocked_scan st i remote node (k + 1) (mem || mem_dep)
+        (cop || ((not mem_dep) && (v.v_done || v_copy_inflight v i)))
+    end
+  end
+
+let blocked_reason st cluster (node : node) =
+  if node.n_kind = k_copy then Accounting.Wait_copy
+  else
+    blocked_scan st (cluster_index cluster) node.n_remote_reads node 0 false
+      false
 
 (* Attribution of a slot no queue occupant can explain: the machine is
    draining a width flush, starved by the frontend, dispatch-blocked on
@@ -1028,9 +1397,9 @@ let account_commit_round st a ~committed =
   let idle = st.cfg.Config.commit_width - committed in
   if idle > 0 then begin
     let cat =
-      if Queue.is_empty st.rob then empty_reason st ~narrow:false
+      if st.rob_count = 0 then empty_reason st ~narrow:false
       else begin
-        let head = Queue.peek st.rob in
+        let head = rob_peek st in
         if not head.n_issued then blocked_reason st head.n_cluster head
         else if head.n_is_mem then Accounting.Memory
         else Accounting.Wait_operands
@@ -1042,9 +1411,25 @@ let account_commit_round st a ~committed =
 
 (* ----- width misprediction recovery ----- *)
 
-(* Fatal width misprediction recovery (Â§3.2): squash the offender and
+let flush_keep (node : node) = (not node.n_mark) && not (dead_copy node)
+
+(* drop dependences on values that no longer exist, in place *)
+let rec compact_live_deps (node : node) k w =
+  if k >= node.n_ndeps then node.n_ndeps <- w
+  else begin
+    let v = node.n_dep_v.(k) in
+    let e = node.n_dep_e.(k) in
+    if v.v_epoch = e then begin
+      node.n_dep_v.(w) <- v;
+      node.n_dep_e.(w) <- e;
+      compact_live_deps node (k + 1) (w + 1)
+    end
+    else compact_live_deps node (k + 1) w
+  end
+
+(* Fatal width misprediction recovery (§3.2): squash the offender and
    every younger uop in the NARROW backend and resteer them into the wide
-   backend. Older work, and younger wide-backend work, is untouched â the
+   backend. Older work, and younger wide-backend work, is untouched — the
    resteered uops keep their ROB slots, so no rename rollback or refetch is
    needed. Their destination values are re-produced in the wide cluster:
    wide consumers then read them directly, and in-flight copies of the dead
@@ -1053,19 +1438,25 @@ let account_commit_round st a ~committed =
    itself be younger and in the narrow backend. *)
 let flush_from st (offender : node) =
   let cfg = st.cfg in
-  let resteered = ref [] in
-  Queue.iter
-    (fun (node : node) ->
-      if node.n_id >= offender.n_id && node.n_cluster = Config.Narrow then begin
-        match node.n_kind with
-        | Copy _ -> ()
-        | Normal | Slice _ -> resteered := node :: !resteered
-      end)
-    st.rob;
-  let resteered = List.rev !resteered in
+  let sc = st.sc in
+  st.rsteer_n <- 0;
+  for k = 0 to st.rob_count - 1 do
+    let node = rob_get st k in
+    if
+      node.n_id >= offender.n_id
+      && node.n_cluster = Config.Narrow
+      && node.n_kind <> k_copy
+    then begin
+      ensure_resteer_cap sc (st.rsteer_n + 1);
+      sc.resteer.(st.rsteer_n) <- node;
+      st.rsteer_n <- st.rsteer_n + 1
+    end
+  done;
+  let n_rest = st.rsteer_n in
   (* purge the narrow issue queue of the squashed incarnations, and of
      copies whose value is about to die *)
-  let reset_node (node : node) =
+  for k = 0 to n_rest - 1 do
+    let node = sc.resteer.(k) in
     emit st Event.Squash node ~a:0 ~b:0;
     node.n_gen <- node.n_gen + 1;
     node.n_issued <- false;
@@ -1073,79 +1464,75 @@ let flush_from st (offender : node) =
     if node.n_is_mem && node.n_done then st.mob_count <- st.mob_count + 1;
     (* the destination register moves to the wide file; tolerate a full
        pool (resteer cannot stall) by keeping the old entry *)
-    ( match node.n_alloc with
-    | Some Config.Narrow when Regfile.allocate st.regfile Config.Wide ->
-      Regfile.release st.regfile Config.Narrow;
-      node.n_alloc <- Some Config.Wide
-    | Some _ | None -> () );
+    if node.n_alloc = 1 then
+      if Regfile.allocate st.regfile Config.Wide then begin
+        Regfile.release st.regfile Config.Narrow;
+        node.n_alloc <- 0
+      end;
     node.n_done <- false;
     node.n_cluster <- Config.Wide;
     node.n_remote_reads <- false;
-    ( match node.n_dest with
-    | Some v ->
-      reset_vstate v;
-      v.v_cluster <- Config.Wide
-    | None -> () )
-  in
-  List.iter reset_node resteered;
-  List.iter (fun (node : node) -> node.n_mark <- true) resteered;
-  Array.iter
-    (fun q ->
-      iq_filter_inplace q (fun (node : node) ->
-          (not node.n_mark) && not (dead_copy node)))
-    st.iq;
-  List.iter (fun (node : node) -> node.n_mark <- false) resteered;
+    let dest = node.n_dest in
+    if dest != null_vstate then begin
+      reset_vstate dest;
+      dest.v_cluster <- Config.Wide
+    end
+  done;
+  for k = 0 to n_rest - 1 do
+    sc.resteer.(k).n_mark <- true
+  done;
+  iq_filter_inplace st.iq.(0) flush_keep;
+  iq_filter_inplace st.iq.(1) flush_keep;
+  for k = 0 to n_rest - 1 do
+    sc.resteer.(k).n_mark <- false
+  done;
   (* collapse resteered IR slice groups: the final slice becomes the whole
      wide uop again, its three byte-lane companions become no-ops *)
-  List.iter
-    (fun (node : node) ->
-      match node.n_kind with
-      | Slice { final } ->
-        if final then begin
-          node.n_kind <- Normal;
-          (* n_reason keeps Rir: the reason only matters for the fatal
-             check of NARROW-cluster uops (Rir is never fatal there), and
-             commit uses it to attribute this uop as demoted-to-wide *)
-          (* drop the intra-group chain dependences: re-derive register
-             dependences from the rename state captured at dispatch is not
-             possible, so keep only deps on values that still exist *)
-          node.n_deps <-
-            Array.of_list
-              (List.filter
-                 (fun ((v : vstate), epoch) -> v.v_epoch = epoch)
-                 (Array.to_list node.n_deps))
-        end
-        else begin
-          node.n_kind <- Slice { final = false };
-          node.n_done <- true
-        end
-      | Normal | Copy _ -> ())
-    resteered;
+  for k = 0 to n_rest - 1 do
+    let node = sc.resteer.(k) in
+    if node.n_kind = k_slice then begin
+      if node.n_slice_final then begin
+        node.n_kind <- k_normal;
+        (* n_reason keeps Rir: the reason only matters for the fatal
+           check of NARROW-cluster uops (Rir is never fatal there), and
+           commit uses it to attribute this uop as demoted-to-wide *)
+        (* drop the intra-group chain dependences: re-deriving register
+           dependences from the rename state captured at dispatch is not
+           possible, so keep only deps on values that still exist *)
+        compact_live_deps node 0 0
+      end
+      else begin
+        node.n_slice_final <- false;
+        node.n_done <- true
+      end
+    end
+  done;
   (* re-dispatch into the wide backend (a transient resteer-buffer overflow
      of the issue queue is allowed), creating the copies the new cluster
      placement needs *)
-  let wide = cluster_index Config.Wide in
-  List.iter
-    (fun (node : node) ->
-      if not node.n_done then begin
-        if not st.cfg.Config.replicated_regfile then
-          Array.iter
-            (fun ((v : vstate), epoch) ->
-              if
-                v.v_epoch = epoch && v.v_cluster = Config.Narrow
-                && v.v_avail.(wide) = never
-                && not v.v_copy_inflight.(wide)
-              then make_copy st ~cv:v ~target:Config.Wide ~prefetch:false
-                  ~publishes:true)
-            node.n_deps;
-        node.n_disp_tick <- st.now;
-        iq_append st.iq.(wide) node
-      end)
-    resteered;
+  for k = 0 to n_rest - 1 do
+    let node = sc.resteer.(k) in
+    if not node.n_done then begin
+      if not cfg.Config.replicated_regfile then
+        for j = 0 to node.n_ndeps - 1 do
+          let v = node.n_dep_v.(j) in
+          if
+            v.v_epoch = node.n_dep_e.(j)
+            && v.v_cluster = Config.Narrow
+            && v.v_avail0 = never
+            && not v.v_copy_inflight0
+          then
+            make_copy st ~cv:v ~target:Config.Wide ~prefetch:false
+              ~publishes:true
+        done;
+      node.n_disp_tick <- st.now;
+      iq_append st.iq.(0) node
+    end
+  done;
   st.fetch_resume <- max st.fetch_resume (st.now + (2 * cfg.Config.width_flush_penalty));
   st.wflush_until <- max st.wflush_until (st.now + (2 * cfg.Config.width_flush_penalty));
-  emit st Event.Flush offender ~a:(List.length resteered) ~b:0;
-  Counter.incr st.counters "width_flush"
+  emit st Event.Flush offender ~a:n_rest ~b:0;
+  Counter.lincr st.c_width_flush
 
 (* ICS'05-style replay: only the offending uop re-executes, in the wide
    cluster; consumers simply wait for the value to be re-produced. Much
@@ -1158,130 +1545,124 @@ let replay st (node : node) =
   node.n_done <- false;
   node.n_cluster <- Config.Wide;
   node.n_remote_reads <- false;
-  ( match node.n_dest with
-  | Some v ->
-    reset_vstate v;
-    v.v_cluster <- Config.Wide
-  | None -> () );
-  ( match node.n_alloc with
-  | Some Config.Narrow when Regfile.allocate st.regfile Config.Wide ->
-    Regfile.release st.regfile Config.Narrow;
-    node.n_alloc <- Some Config.Wide
-  | Some _ | None -> () );
-  let wide = cluster_index Config.Wide in
+  let dest = node.n_dest in
+  if dest != null_vstate then begin
+    reset_vstate dest;
+    dest.v_cluster <- Config.Wide
+  end;
+  if node.n_alloc = 1 then
+    if Regfile.allocate st.regfile Config.Wide then begin
+      Regfile.release st.regfile Config.Narrow;
+      node.n_alloc <- 0
+    end;
   (* re-executing in the wide cluster needs the sources there; without a
      replicated file some may live only in the narrow one *)
   if not st.cfg.Config.replicated_regfile then
-    Array.iter
-      (fun ((v : vstate), epoch) ->
-        if
-          v.v_epoch = epoch && v.v_cluster = Config.Narrow
-          && v.v_avail.(wide) = never
-          && not v.v_copy_inflight.(wide)
-        then
-          make_copy st ~cv:v ~target:Config.Wide ~prefetch:false ~publishes:true)
-      node.n_deps;
+    for j = 0 to node.n_ndeps - 1 do
+      let v = node.n_dep_v.(j) in
+      if
+        v.v_epoch = node.n_dep_e.(j)
+        && v.v_cluster = Config.Narrow
+        && v.v_avail0 = never
+        && not v.v_copy_inflight0
+      then make_copy st ~cv:v ~target:Config.Wide ~prefetch:false ~publishes:true
+    done;
   node.n_disp_tick <- st.now;
-  iq_append st.iq.(wide) node;
+  iq_append st.iq.(0) node;
   (* without a replicated register file the re-produced value lands in the
      wide file only, but narrow consumers dispatched before the replay were
      wired copy-free (the value used to live beside them) - send it back *)
-  ( match node.n_dest with
-  | Some v when not st.cfg.Config.replicated_regfile ->
-    make_copy st ~cv:v ~target:Config.Narrow ~prefetch:false ~publishes:true
-  | Some _ | None -> () );
-  Counter.incr st.counters "replay"
+  if dest != null_vstate && not st.cfg.Config.replicated_regfile then
+    make_copy st ~cv:dest ~target:Config.Narrow ~prefetch:false ~publishes:true;
+  Counter.lincr st.c_replay
 
-(* Did this narrow-steered uop actually need the wide datapath? *)
+(* Did this narrow-steered uop actually need the wide datapath? The
+   ground-truth width checks read the SoA shape columns directly. *)
 let narrow_execution_wrong st (node : node) =
   let bits = st.cfg.Config.narrow_bits in
-  match node.n_uop, node.n_reason with
-  | Some u, Some Steer.R888 -> not (Uop.is_888_bits ~bits u)
-  | Some u, Some Steer.Rcr ->
-    if u.Uop.op = Opcode.Load then
-      (not (Uop.carry_not_propagated_bits ~bits u))
-      || not (Width.is_narrow_bits ~bits u.Uop.result)
-    else not (Uop.carry_not_propagated_bits ~bits u)
-  (* Rlive is proof-carried: the static bidirectional pass proved every
-     bit above the narrow cut dead, so narrow execution is exact on all
-     observable values even when the ground-truth values are wide — there
-     is nothing for the dynamic check to verify. *)
-  | Some _, (Some Steer.Rbr | Some Steer.Rir | Some Steer.Rlive | None)
-  | None, _ ->
+  let idx = node.n_trace_idx in
+  if idx < 0 then false
+  else if node.n_reason = r_888 then
+    not (Uop_soa.is_888_bits ~bits st.soa idx)
+  else if node.n_reason = r_cr then begin
+    if node.n_uop.Uop.op = Opcode.Load then
+      (not (Uop_soa.carry_not_propagated_bits ~bits st.soa idx))
+      || not (Width.is_narrow_bits ~bits node.n_uop.Uop.result)
+    else not (Uop_soa.carry_not_propagated_bits ~bits st.soa idx)
+  end
+  else
+    (* Rlive is proof-carried: the static bidirectional pass proved every
+       bit above the narrow cut dead, so narrow execution is exact on all
+       observable values even when the ground-truth values are wide — there
+       is nothing for the dynamic check to verify. *)
     false
 
 (* ----- writeback / completion ----- *)
 
-let train_predictors st (u : Uop.t) =
+let train_predictors st (u : Uop.t) idx =
   let bits = st.cfg.Config.narrow_bits in
   if Uop.has_dest u || Uop.writes_flags u then begin
     Width_predictor.update st.preds.Bundle.width u.Uop.pc
       ~narrow:(Width.is_narrow_bits ~bits u.Uop.result);
-    Counter.incr st.counters "wpred_update"
+    Counter.lincr st.c_wpred_update
   end;
-  if st.cfg.Config.scheme.Config.cr && Opcode.carry_eligible u.Uop.op
-     && List.length u.Uop.src_vals = 2
+  if
+    st.cfg.Config.scheme.Config.cr
+    && Opcode.carry_eligible u.Uop.op
+    && Uop_soa.nsrcs st.soa idx = 2
   then
     Carry_predictor.update st.preds.Bundle.carry u.Uop.pc
-      ~carry_local:(Uop.carry_not_propagated_bits ~bits u)
+      ~carry_local:(Uop_soa.carry_not_propagated_bits ~bits st.soa idx)
 
 let classify_prediction st (node : node) (u : Uop.t) ~fatal =
   if Uop.has_dest u || Uop.writes_flags u then begin
     let narrow = Width.is_narrow_bits ~bits:st.cfg.Config.narrow_bits u.Uop.result in
     let predicted =
-      match node.n_dest with Some v -> v.v_pred_narrow | None -> narrow
+      if node.n_dest != null_vstate then node.n_dest.v_pred_narrow else narrow
     in
     if fatal then st.wpred_fatal <- st.wpred_fatal + 1
     else if predicted = narrow then st.wpred_correct <- st.wpred_correct + 1
     else st.wpred_nonfatal <- st.wpred_nonfatal + 1
   end
 
-let regwrite_counter cluster =
-  match cluster with
-  | Config.Wide -> "regwrite_wide"
-  | Config.Narrow -> "regwrite_narrow"
+let complete_copy st (node : node) =
+  let cv = node.n_cv in
+  if cv.v_epoch = node.n_copy_epoch then begin
+    let i = node.n_copy_target in
+    if node.n_copy_publishes then set_v_avail cv i (min (v_avail cv i) st.now);
+    Counter.lincr st.c_copy_completed;
+    Counter.lincr st.c_regwrite.(i)
+  end
 
-let complete_copy st (node : node) ~cv ~target ~epoch ~publishes =
-  if cv.v_epoch = epoch then begin
-    let i = cluster_index target in
-    if publishes then cv.v_avail.(i) <- min cv.v_avail.(i) st.now;
-    Counter.incr st.counters "copy_completed";
-    Counter.incr st.counters (regwrite_counter target)
-  end;
-  ignore node
-
-let complete_slice st (node : node) ~final =
-  ( match node.n_dest with
-  | Some v ->
+let complete_slice st (node : node) =
+  let v = node.n_dest in
+  if v != null_vstate then begin
     v.v_done <- true;
-    v.v_avail.(cluster_index Config.Narrow) <- st.now;
-    if final && st.cfg.Config.replicated_regfile then begin
-      let wide = cluster_index Config.Wide in
-      v.v_avail.(wide) <- min v.v_avail.(wide) (st.now + 2);
-      Counter.incr st.counters (regwrite_counter Config.Wide)
+    v.v_avail1 <- st.now;
+    if node.n_slice_final && st.cfg.Config.replicated_regfile then begin
+      v.v_avail0 <- min v.v_avail0 (st.now + 2);
+      Counter.lincr st.c_regwrite.(0)
     end
-  | None -> () );
-  if final then begin
-    match node.n_uop with
-    | Some u ->
-      classify_prediction st node u ~fatal:false;
-      train_predictors st u
-    | None -> ()
   end;
-  Counter.incr st.counters "alu_narrow";
-  Counter.incr st.counters (regwrite_counter Config.Narrow)
+  if node.n_slice_final then begin
+    classify_prediction st node node.n_uop ~fatal:false;
+    train_predictors st node.n_uop node.n_trace_idx
+  end;
+  Counter.lincr st.c_alu.(1);
+  Counter.lincr st.c_regwrite.(1)
 
 let complete_normal st (node : node) =
-  let u = match node.n_uop with Some u -> u | None -> assert false in
+  let u = node.n_uop in
   if node.n_is_mem then begin
     st.mob_count <- st.mob_count - 1;
-    Counter.incr st.counters
-      (if u.Uop.dl0_miss then if u.Uop.ul1_miss then "mem_main" else "mem_ul1"
-       else "mem_dl0")
+    Counter.lincr
+      ( if u.Uop.dl0_miss then
+          if u.Uop.ul1_miss then st.c_mem_main else st.c_mem_ul1
+        else st.c_mem_dl0 )
   end;
   let fatal = node.n_cluster = Config.Narrow && narrow_execution_wrong st node in
   classify_prediction st node u ~fatal;
-  train_predictors st u;
+  train_predictors st u node.n_trace_idx;
   if fatal then begin
     if st.cfg.Config.replay_recovery then replay st node
     else
@@ -1289,43 +1670,35 @@ let complete_normal st (node : node) =
       flush_from st node
   end
   else begin
-    ( match node.n_dest with
-    | Some v ->
+    let v = node.n_dest in
+    let own = cluster_index node.n_cluster in
+    if v != null_vstate then begin
       v.v_done <- true;
-      let own = cluster_index node.n_cluster in
-      v.v_avail.(own) <- st.now;
+      set_v_avail v own st.now;
       (* ICS'05 register replication: the result is also written to the
          other cluster's file, one cycle later, with no copy uop *)
       if st.cfg.Config.replicated_regfile then begin
-        let oth = cluster_index (other_cluster node.n_cluster) in
-        v.v_avail.(oth) <- min v.v_avail.(oth) (st.now + 2);
-        Counter.incr st.counters (regwrite_counter (other_cluster node.n_cluster))
+        let oth = 1 - own in
+        set_v_avail v oth (min (v_avail v oth) (st.now + 2));
+        Counter.lincr st.c_regwrite.(oth)
       end;
       (* LR (§3.4): the shared MOB fills both register files. The replica of
          an actually-wide value carries a truncated pattern; a narrow
          consumer that reads it discovers the width violation at its own
          execution and recovers through the ordinary flush path. *)
       if node.n_lr_replicate then begin
-        let oth = cluster_index (other_cluster node.n_cluster) in
-        v.v_avail.(oth) <- st.now + 2;
-        if v.v_narrow then Counter.incr st.counters "lr_replicated";
-        Counter.incr st.counters (regwrite_counter (other_cluster node.n_cluster))
+        let oth = 1 - own in
+        set_v_avail v oth (st.now + 2);
+        if v.v_narrow then Counter.lincr st.c_lr_replicated;
+        Counter.lincr st.c_regwrite.(oth)
       end
-    | None -> () );
-    Counter.incr st.counters (regwrite_counter node.n_cluster);
+    end;
+    Counter.lincr st.c_regwrite.(own);
     ( match Opcode.exec_class u.Uop.op with
-    | Opcode.Int_alu | Opcode.Ctrl ->
-      Counter.incr st.counters
-        (match node.n_cluster with
-        | Config.Wide -> "alu_wide"
-        | Config.Narrow -> "alu_narrow")
-    | Opcode.Int_mul -> Counter.incr st.counters "mul_wide"
-    | Opcode.Mem ->
-      Counter.incr st.counters
-        (match node.n_cluster with
-        | Config.Wide -> "agu_wide"
-        | Config.Narrow -> "agu_narrow")
-    | Opcode.Fp -> Counter.incr st.counters "fpu_wide" );
+    | Opcode.Int_alu | Opcode.Ctrl -> Counter.lincr st.c_alu.(own)
+    | Opcode.Int_mul -> Counter.lincr st.c_mul_wide
+    | Opcode.Mem -> Counter.lincr st.c_agu.(own)
+    | Opcode.Fp -> Counter.lincr st.c_fpu_wide );
     if node.n_br_mispredicted then
       st.fetch_resume <-
         max st.fetch_resume (st.now + (2 * st.cfg.Config.branch_penalty))
@@ -1335,126 +1708,138 @@ let complete_node st (node : node) =
   if not node.n_squashed then begin
     node.n_done <- true;
     emit st Event.Writeback node ~a:node.n_disp_tick ~b:node.n_issue_tick;
-    match node.n_kind with
-    | Copy { cv; target; epoch; prefetch = _; publishes } ->
-      complete_copy st node ~cv ~target ~epoch ~publishes
-    | Slice { final } -> complete_slice st node ~final
-    | Normal -> complete_normal st node
+    if node.n_kind = k_copy then complete_copy st node
+    else if node.n_kind = k_slice then complete_slice st node
+    else complete_normal st node
   end
 
-let push_due st node gen =
-  let cap = Array.length st.due_nodes in
-  if st.due_len = cap then begin
-    let nodes = Array.make (2 * cap) st.null_node in
+let push_due sc node gen =
+  let cap = Array.length sc.due_nodes in
+  if sc.due_len = cap then begin
+    let nodes = Array.make (2 * cap) null_node in
     let gens = Array.make (2 * cap) 0 in
-    Array.blit st.due_nodes 0 nodes 0 cap;
-    Array.blit st.due_gens 0 gens 0 cap;
-    st.due_nodes <- nodes;
-    st.due_gens <- gens
+    Array.blit sc.due_nodes 0 nodes 0 cap;
+    Array.blit sc.due_gens 0 gens 0 cap;
+    sc.due_nodes <- nodes;
+    sc.due_gens <- gens
   end;
-  st.due_nodes.(st.due_len) <- node;
-  st.due_gens.(st.due_len) <- gen;
-  st.due_len <- st.due_len + 1
+  sc.due_nodes.(sc.due_len) <- node;
+  sc.due_gens.(sc.due_len) <- gen;
+  sc.due_len <- sc.due_len + 1
 
-let process_completions st =
-  let slot = st.events.(st.now land (wheel_size - 1)) in
-  st.due_len <- 0;
-  let kept = ref 0 in
-  for k = 0 to slot.ev_len - 1 do
+(* Split this wheel slot into due-now (into the due batch) and kept
+   future-wrap entries (compacted in place); returns the kept count. *)
+let rec compact_slot sc slot now k kept =
+  if k >= slot.ev_len then kept
+  else begin
     let node = slot.ev_nodes.(k) in
     let gen = slot.ev_gens.(k) in
-    if node.n_gen = gen then begin
-      if node.n_complete = st.now then push_due st node gen
-      else begin
-        (* a future wrap of the wheel; keep, compacted in place *)
-        slot.ev_nodes.(!kept) <- node;
-        slot.ev_gens.(!kept) <- gen;
-        incr kept
+    let kept =
+      if node.n_gen = gen then begin
+        if node.n_complete = now then begin
+          push_due sc node gen;
+          kept
+        end
+        else begin
+          slot.ev_nodes.(kept) <- node;
+          slot.ev_gens.(kept) <- gen;
+          kept + 1
+        end
       end
-    end
+      else kept
+    in
+    compact_slot sc slot now (k + 1) kept
+  end
+
+let rec sift_due sc j (node : node) gen =
+  if j >= 0 && sc.due_nodes.(j).n_id > node.n_id then begin
+    sc.due_nodes.(j + 1) <- sc.due_nodes.(j);
+    sc.due_gens.(j + 1) <- sc.due_gens.(j);
+    sift_due sc (j - 1) node gen
+  end
+  else begin
+    sc.due_nodes.(j + 1) <- node;
+    sc.due_gens.(j + 1) <- gen
+  end
+
+let process_completions st =
+  let sc = st.sc in
+  let slot = sc.events.(st.now land (wheel_size - 1)) in
+  sc.due_len <- 0;
+  let kept = compact_slot sc slot st.now 0 0 in
+  for k = kept to slot.ev_len - 1 do
+    slot.ev_nodes.(k) <- null_node
   done;
-  for k = !kept to slot.ev_len - 1 do
-    slot.ev_nodes.(k) <- st.null_node
-  done;
-  slot.ev_len <- !kept;
+  slot.ev_len <- kept;
   (* oldest first: a fatal flush must squash younger completions sharing
      this tick. Insertion sort on the (tiny) due batch; ids are unique so
      the order is total and deterministic. *)
-  for k = 1 to st.due_len - 1 do
-    let node = st.due_nodes.(k) in
-    let gen = st.due_gens.(k) in
-    let j = ref (k - 1) in
-    while !j >= 0 && st.due_nodes.(!j).n_id > node.n_id do
-      st.due_nodes.(!j + 1) <- st.due_nodes.(!j);
-      st.due_gens.(!j + 1) <- st.due_gens.(!j);
-      decr j
-    done;
-    st.due_nodes.(!j + 1) <- node;
-    st.due_gens.(!j + 1) <- gen
+  for k = 1 to sc.due_len - 1 do
+    sift_due sc (k - 1) sc.due_nodes.(k) sc.due_gens.(k)
   done;
-  for k = 0 to st.due_len - 1 do
-    let node = st.due_nodes.(k) in
+  for k = 0 to sc.due_len - 1 do
+    let node = sc.due_nodes.(k) in
     (* re-check the generation: a flush triggered by an older completion
        this same tick may have squashed-and-resteered this one *)
-    if node.n_gen = st.due_gens.(k) then complete_node st node
+    if node.n_gen = sc.due_gens.(k) then complete_node st node
   done
 
 (* ----- commit ----- *)
 
+let rec commit_loop st budget =
+  if budget <= 0 || st.rob_count = 0 then budget
+  else begin
+    let head = rob_peek st in
+    if head.n_done && not head.n_squashed then begin
+      rob_pop st;
+      ( if head.n_alloc >= 0 then
+          Regfile.release st.regfile
+            (if head.n_alloc = 0 then Config.Wide else Config.Narrow) );
+      ( if head.n_kind = k_normal then begin
+          st.committed <- st.committed + 1;
+          if head.n_cluster = Config.Narrow then begin
+            st.steered_narrow <- st.steered_narrow + 1;
+            let r = head.n_reason in
+            (* r_live is the static oracle's dead-width variant of the 888
+               rule; it shares the 888 attribution bucket so the sample
+               schema stays fixed across schemes *)
+            if r = r_888 || r = r_live then st.steered_888 <- st.steered_888 + 1
+            else if r = r_br then st.steered_br <- st.steered_br + 1
+            else if r = r_cr then st.steered_cr <- st.steered_cr + 1
+            else if r = r_ir then st.steered_ir <- st.steered_ir + 1
+            else st.steered_other <- st.steered_other + 1
+          end
+          else if
+            (* a retained reason on a wide-cluster uop means recovery
+               demoted it there after a narrow steering decision *)
+            head.n_reason <> r_none
+          then st.wide_demoted <- st.wide_demoted + 1
+          else st.wide_default <- st.wide_default + 1
+        end
+        else if head.n_kind = k_slice then begin
+          if head.n_slice_final then begin
+            st.committed <- st.committed + 1;
+            st.steered_narrow <- st.steered_narrow + 1;
+            st.split_uops <- st.split_uops + 1;
+            st.steered_ir <- st.steered_ir + 1
+          end
+        end
+        else assert false (* copies never enter the ROB *) );
+      incr st.c_committed;
+      emit st Event.Commit head ~a:0 ~b:0;
+      commit_loop st (budget - 1)
+    end
+    else budget
+  end
+
 (* Returns the number of commit slots used this round (for accounting). *)
 let commit st =
-  let budget = ref st.cfg.Config.commit_width in
-  let stop = ref false in
-  while (not !stop) && !budget > 0 && not (Queue.is_empty st.rob) do
-    let head = Queue.peek st.rob in
-    if head.n_done && not head.n_squashed then begin
-      ignore (Queue.pop st.rob);
-      st.rob_count <- st.rob_count - 1;
-      decr budget;
-      ( match head.n_alloc with
-      | Some c -> Regfile.release st.regfile c
-      | None -> () );
-      ( match head.n_kind with
-      | Normal ->
-        st.committed <- st.committed + 1;
-        if head.n_cluster = Config.Narrow then begin
-          st.steered_narrow <- st.steered_narrow + 1;
-          ( match head.n_reason with
-          | Some Steer.R888 | Some Steer.Rlive ->
-            (* Rlive is the static oracle's dead-width variant of the 888
-               rule; it shares the 888 attribution bucket so the sample
-               schema stays fixed across schemes. *)
-            st.steered_888 <- st.steered_888 + 1
-          | Some Steer.Rbr -> st.steered_br <- st.steered_br + 1
-          | Some Steer.Rcr -> st.steered_cr <- st.steered_cr + 1
-          | Some Steer.Rir -> st.steered_ir <- st.steered_ir + 1
-          | None -> st.steered_other <- st.steered_other + 1 )
-        end
-        else
-          (* a retained reason on a wide-cluster uop means recovery
-             demoted it there after a narrow steering decision *)
-          ( match head.n_reason with
-          | Some _ -> st.wide_demoted <- st.wide_demoted + 1
-          | None -> st.wide_default <- st.wide_default + 1 )
-      | Slice { final } ->
-        if final then begin
-          st.committed <- st.committed + 1;
-          st.steered_narrow <- st.steered_narrow + 1;
-          st.split_uops <- st.split_uops + 1;
-          st.steered_ir <- st.steered_ir + 1
-        end
-      | Copy _ -> assert false );
-      incr st.c_committed;
-      emit st Event.Commit head ~a:0 ~b:0
-    end
-    else stop := true
-  done;
-  st.cfg.Config.commit_width - !budget
+  let width = st.cfg.Config.commit_width in
+  width - commit_loop st width
 
 (* ----- main loop ----- *)
 
-let finished st =
-  st.fetch_idx >= Trace.length st.trace && Queue.is_empty st.rob
+let finished st = st.fetch_idx >= st.trace_len && st.rob_count = 0
 
 let run ?(max_ticks = 200_000_000) ?sink ?accounting ~cfg ~decide ~scheme_name
     trace =
@@ -1477,12 +1862,14 @@ let run ?(max_ticks = 200_000_000) ?sink ?accounting ~cfg ~decide ~scheme_name
       | None -> () );
       st.stall_src <- Sr_none;
       frontend st;
-      let issued_w, leftover_w = issue_cluster st Config.Wide in
+      issue_cluster st Config.Wide;
+      let issued_w = st.iss_issued and leftover_w = st.iss_ready in
       ( match st.acct with
       | Some a -> account_issue_round st a Config.Wide ~issued:issued_w
       | None -> () );
       if helper then begin
-        let issued_n, leftover_n = issue_cluster st Config.Narrow in
+        issue_cluster st Config.Narrow;
+        let issued_n = st.iss_issued and leftover_n = st.iss_ready in
         ( match st.acct with
         | Some a -> account_issue_round st a Config.Narrow ~issued:issued_n
         | None -> () );
@@ -1499,9 +1886,9 @@ let run ?(max_ticks = 200_000_000) ?sink ?accounting ~cfg ~decide ~scheme_name
       end
     end
     else if helper && cfg.Config.helper_fast_clock then begin
-      let issued_n, _ = issue_cluster st Config.Narrow in
+      issue_cluster st Config.Narrow;
       match st.acct with
-      | Some a -> account_issue_round st a Config.Narrow ~issued:issued_n
+      | Some a -> account_issue_round st a Config.Narrow ~issued:st.iss_issued
       | None -> ()
     end;
     incr st.c_tick;

@@ -1,18 +1,50 @@
-type src_info = {
-  si_narrow : bool;
-  si_known : bool;
-  si_cluster : Config.cluster option;
-}
+(* Rename-time source knowledge, packed into an immediate int so the
+   per-uop steering path allocates nothing: bit 0 = believed narrow,
+   bit 1 = belief is actual (producer done) rather than predicted,
+   bits 2-3 = producing cluster code (0 = architectural / immediate,
+   1 = wide, 2 = narrow). *)
+type src_info = int
 
+let cluster_code_none = 0
+let cluster_code_wide = 1
+let cluster_code_narrow = 2
+
+let src_info_bits ~narrow ~known ~cluster_code : src_info =
+  (if narrow then 1 else 0) lor (if known then 2 else 0) lor (cluster_code lsl 2)
+
+let src_info ~narrow ~known ~cluster =
+  src_info_bits ~narrow ~known
+    ~cluster_code:
+      (match cluster with
+      | None -> cluster_code_none
+      | Some Config.Wide -> cluster_code_wide
+      | Some Config.Narrow -> cluster_code_narrow)
+
+let si_narrow (si : src_info) = si land 1 <> 0
+
+let si_known (si : src_info) = si land 2 <> 0
+
+let si_cluster (si : src_info) =
+  match si lsr 2 with
+  | 1 -> Some Config.Wide
+  | 2 -> Some Config.Narrow
+  | _ -> None
+
+(* Occupancy-style signals are exposed as threshold tests instead of
+   float-returning closures: a [float] coming back out of a closure call
+   is boxed per call, while a [bool] is immediate. The float literals at
+   the policy call sites are static data, so a comparison costs nothing. *)
 type ctx = {
   cfg : Config.t;
   preds : Hc_predictors.Bundle.t;
   source_info : Hc_isa.Uop.operand -> src_info;
   flags_in_narrow : unit -> bool;
-  occupancy : Config.cluster -> float;
+  occupancy_lt : Config.cluster -> float -> bool;
+      (* issue-queue occupancy (len / iq_size) strictly below the bound *)
   ready_backlog : Config.cluster -> int;
-  backlog_ewma : Config.cluster -> float;
-  rob_occupancy : unit -> float;
+  backlog_ewma_gt : Config.cluster -> float -> bool;
+      (* smoothed ready-backlog strictly above the bound *)
+  rob_occupancy_lt : float -> bool;
 }
 
 type reason = R888 | Rbr | Rcr | Rir | Rlive
@@ -21,6 +53,24 @@ type decision =
   | Steer of Config.cluster
   | Steer_narrow of reason
   | Split
+
+(* Preallocated decisions: policies return these so a steering verdict
+   never allocates. [Split] is a constant constructor and needs no
+   sharing. *)
+let steer_wide = Steer Config.Wide
+let steer_narrow_cluster = Steer Config.Narrow
+let steer_888 = Steer_narrow R888
+let steer_br = Steer_narrow Rbr
+let steer_cr = Steer_narrow Rcr
+let steer_ir = Steer_narrow Rir
+let steer_live = Steer_narrow Rlive
+
+let steer_narrow_of = function
+  | R888 -> steer_888
+  | Rbr -> steer_br
+  | Rcr -> steer_cr
+  | Rir -> steer_ir
+  | Rlive -> steer_live
 
 type decide = ctx -> Hc_isa.Uop.t -> decision
 

@@ -5,18 +5,37 @@
     written-back producers, predictions otherwise), where each source value
     currently lives, where the last flags writer went, and the issue-queue
     occupancies. Ground-truth uop fields must not be consulted — the
-    pipeline discovers mispredictions at execute, not the policy. *)
+    pipeline discovers mispredictions at execute, not the policy.
 
-type src_info = {
-  si_narrow : bool;
-      (** believed width of the operand: actual for immediates and
-          written-back producers (§3.2: "the actual width is read if the
-          producer instruction has already written back"), predicted
-          otherwise *)
-  si_known : bool;  (** [true] when [si_narrow] is the actual width *)
-  si_cluster : Config.cluster option;
-      (** cluster whose register file will hold the value, when renamed *)
-}
+    The context is built once per simulation and every query returns an
+    immediate value (packed int or bool), so a steering decision allocates
+    nothing on the simulator's hot path. *)
+
+type src_info = private int
+(** Rename-time knowledge about one source operand, packed into an
+    immediate int. Construct with {!src_info}, read through the
+    [si_]accessors. *)
+
+val src_info :
+  narrow:bool -> known:bool -> cluster:Config.cluster option -> src_info
+(** [narrow] — believed width of the operand: actual for immediates and
+    written-back producers (§3.2: "the actual width is read if the
+    producer instruction has already written back"), predicted otherwise.
+    [known] — [true] when [narrow] is the actual width. [cluster] — the
+    cluster whose register file will hold the value, when renamed. *)
+
+val src_info_bits : narrow:bool -> known:bool -> cluster_code:int -> src_info
+(** Allocation-free constructor taking the cluster as a code
+    ({!cluster_code_none} / {!cluster_code_wide} / {!cluster_code_narrow})
+    instead of an option — the pipeline's rename stage uses this. *)
+
+val cluster_code_none : int
+val cluster_code_wide : int
+val cluster_code_narrow : int
+
+val si_narrow : src_info -> bool
+val si_known : src_info -> bool
+val si_cluster : src_info -> Config.cluster option
 
 type ctx = {
   cfg : Config.t;
@@ -25,17 +44,21 @@ type ctx = {
   flags_in_narrow : unit -> bool;
       (** did the most recent flags-writing uop steer to the helper
           cluster (the BR condition of §3.3) *)
-  occupancy : Config.cluster -> float;  (** IQ occupancy fraction in [0,1] *)
+  occupancy_lt : Config.cluster -> float -> bool;
+      (** is the IQ occupancy fraction (len / iq_size, in [0,1]) strictly
+          below the bound — a threshold test rather than a float return,
+          so the query never boxes *)
   ready_backlog : Config.cluster -> int;
       (** NREADY signal from the most recent issue round of that cluster:
           how many ready uops could not issue for lack of slots *)
-  backlog_ewma : Config.cluster -> float;
-      (** exponentially smoothed ready backlog: distinguishes sustained
-          congestion from a single-cycle blip *)
-  rob_occupancy : unit -> float;
-      (** reorder-buffer fill fraction: near 1.0 the machine is
-          commit-blocked (typically on memory) and issue-bandwidth tricks
-          like IR splitting cannot help *)
+  backlog_ewma_gt : Config.cluster -> float -> bool;
+      (** is the exponentially smoothed ready backlog (which
+          distinguishes sustained congestion from a single-cycle blip)
+          strictly above the bound *)
+  rob_occupancy_lt : float -> bool;
+      (** is the reorder-buffer fill fraction strictly below the bound;
+          near 1.0 the machine is commit-blocked (typically on memory)
+          and issue-bandwidth tricks like IR splitting cannot help *)
 }
 
 type reason =
@@ -54,6 +77,25 @@ type decision =
   | Steer of Config.cluster
   | Steer_narrow of reason
   | Split  (** IR: crack into four chained 8-bit slices in the helper *)
+
+val steer_wide : decision
+(** Preallocated [Steer Config.Wide]; policies return these shared
+    values so a verdict never allocates. *)
+
+val steer_narrow_cluster : decision  (** [Steer Config.Narrow] *)
+
+val steer_888 : decision  (** [Steer_narrow R888] *)
+
+val steer_br : decision  (** [Steer_narrow Rbr] *)
+
+val steer_cr : decision  (** [Steer_narrow Rcr] *)
+
+val steer_ir : decision  (** [Steer_narrow Rir] *)
+
+val steer_live : decision  (** [Steer_narrow Rlive] *)
+
+val steer_narrow_of : reason -> decision
+(** The shared [Steer_narrow] value for a reason. *)
 
 type decide = ctx -> Hc_isa.Uop.t -> decision
 (** A steering policy as the rename stage calls it. [Pipeline.run] takes

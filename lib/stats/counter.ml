@@ -12,6 +12,25 @@ let cell t name =
 
 let incr t name = Stdlib.incr (cell t name)
 
+(* A lazily-bound cached cell: the key appears in the table only once the
+   first increment lands (exactly [incr]'s behavior), but every later
+   increment is one physical-equality test and an int bump — no string
+   hashing, no [find_opt] option allocation. The hot simulator loops use
+   these so instrumentation stays allocation-free after warmup. *)
+let unbound : int ref = ref 0
+
+type lcell = {
+  lc_t : t;
+  lc_name : string;
+  mutable lc_cell : int ref;
+}
+
+let lcell t name = { lc_t = t; lc_name = name; lc_cell = unbound }
+
+let lincr l =
+  if l.lc_cell == unbound then l.lc_cell <- cell l.lc_t l.lc_name;
+  Stdlib.incr l.lc_cell
+
 let add t name n =
   let r = cell t name in
   r := !r + n

@@ -18,6 +18,19 @@ val cell : t -> string -> int ref
     Hot paths that bump the same counter millions of times can look the
     cell up once and [incr] the ref directly, skipping the string hash. *)
 
+type lcell
+(** A lazily-bound cached cell: binds to the underlying cell on the first
+    increment, so the counter name appears in the set exactly when [incr]
+    would have created it — but repeat increments cost one comparison and
+    an int bump, with no string hashing and no allocation. *)
+
+val lcell : t -> string -> lcell
+(** [lcell t name] prepares a lazy cell for [name] without touching the
+    set ([names]/[get] do not see [name] until the first {!lincr}). *)
+
+val lincr : lcell -> unit
+(** Add 1 through the lazy cell, binding it on first use. *)
+
 val add : t -> string -> int -> unit
 (** [add t name n] adds [n] (which may be negative) to [name]. *)
 

@@ -11,51 +11,56 @@ let helper_capable (u : Uop.t) =
   | Opcode.Int_alu | Opcode.Mem | Opcode.Ctrl -> true
   | Opcode.Int_mul | Opcode.Fp -> false
 
-(* The believed widths of a uop's sources, as the rename stage sees them
-   (actual when known, predicted otherwise). *)
-let source_beliefs (ctx : Steer.ctx) (u : Uop.t) =
-  List.map ctx.Steer.source_info u.Uop.srcs
-
-let all_sources_narrow beliefs =
-  List.for_all (fun (si : Steer.src_info) -> si.Steer.si_narrow) beliefs
+(* The believed width of each source, as the rename stage sees it (actual
+   when known, predicted otherwise), queried operand by operand — the
+   whole decision path allocates nothing, so it runs on the simulator's
+   per-uop hot path as-is. *)
+let rec all_sources_narrow (ctx : Steer.ctx) = function
+  | [] -> true
+  | s :: tl ->
+    Steer.si_narrow (ctx.Steer.source_info s) && all_sources_narrow ctx tl
 
 (* §3.2: every source believed narrow, result predicted narrow with high
    confidence. Uops with no observable result only need narrow sources. *)
-let decide_888 (ctx : Steer.ctx) (u : Uop.t) beliefs =
+let decide_888 (ctx : Steer.ctx) (u : Uop.t) =
   let cfg = ctx.Steer.cfg in
-  if not (all_sources_narrow beliefs) then false
+  if not (all_sources_narrow ctx u.Uop.srcs) then false
   else if not (Uop.has_dest u || Uop.writes_flags u) then true
-  else begin
-    let p = Width_predictor.predict ctx.Steer.preds.Bundle.width u.Uop.pc in
-    p.Width_predictor.narrow
-    && ((not cfg.Config.confidence_gate) || p.Width_predictor.confident)
-  end
+  else
+    let width = ctx.Steer.preds.Bundle.width in
+    Width_predictor.predict_narrow width u.Uop.pc
+    && ((not cfg.Config.confidence_gate)
+       || Width_predictor.predict_confident width u.Uop.pc)
 
 (* §3.5: 8-32-32 shape as believed at rename — exactly one wide source —
    plus a confident carry-local prediction. Loads also need the loaded
    value predicted narrow: the helper register file is 8 bits wide and
    there is no upper-24 reconstruction tag for memory data. *)
-let decide_cr (ctx : Steer.ctx) (u : Uop.t) beliefs =
+let decide_cr (ctx : Steer.ctx) (u : Uop.t) =
   let cfg = ctx.Steer.cfg in
   if not (Opcode.carry_eligible u.Uop.op) then false
   else
-    match beliefs with
-    | [ a; b ] ->
+    match u.Uop.srcs with
+    | [ sa; sb ] ->
+      let a = ctx.Steer.source_info sa and b = ctx.Steer.source_info sb in
       let wide_count =
-        (if a.Steer.si_narrow then 0 else 1) + if b.Steer.si_narrow then 0 else 1
+        (if Steer.si_narrow a then 0 else 1)
+        + if Steer.si_narrow b then 0 else 1
       in
       if wide_count <> 1 then false
       else begin
-        let c = Carry_predictor.predict ctx.Steer.preds.Bundle.carry u.Uop.pc in
+        let carry = ctx.Steer.preds.Bundle.carry in
         let carry_ok =
-          c.Carry_predictor.carry_local
-          && ((not cfg.Config.confidence_gate) || c.Carry_predictor.confident)
+          Carry_predictor.predict_carry_local carry u.Uop.pc
+          && ((not cfg.Config.confidence_gate)
+             || Carry_predictor.predict_confident carry u.Uop.pc)
         in
         if not carry_ok then false
         else if u.Uop.op = Opcode.Load then begin
-          let p = Width_predictor.predict ctx.Steer.preds.Bundle.width u.Uop.pc in
-          p.Width_predictor.narrow
-          && ((not cfg.Config.confidence_gate) || p.Width_predictor.confident)
+          let width = ctx.Steer.preds.Bundle.width in
+          Width_predictor.predict_narrow width u.Uop.pc
+          && ((not cfg.Config.confidence_gate)
+             || Width_predictor.predict_confident width u.Uop.pc)
         end
         else true
       end
@@ -81,36 +86,31 @@ let decide_ir (ctx : Steer.ctx) (u : Uop.t) =
   (* splitting trades eight helper issue slots for one wide slot plus four
      copies: worth it exactly when the wide scheduler has a ready backlog
      (the NREADY signal of section 3.7) while the helper has headroom *)
-  ignore cfg;
-  let occ_n = ctx.Steer.occupancy Config.Narrow in
   eligible
-  && ctx.Steer.backlog_ewma Config.Wide > 1.0
+  && ctx.Steer.backlog_ewma_gt Config.Wide 1.0
   && ctx.Steer.ready_backlog Config.Narrow = 0
-  && occ_n < 0.35
-  && ctx.Steer.rob_occupancy () < 0.8
+  && ctx.Steer.occupancy_lt Config.Narrow 0.35
+  && ctx.Steer.rob_occupancy_lt 0.8
 
 let decide (ctx : Steer.ctx) (u : Uop.t) =
   let scheme = ctx.Steer.cfg.Config.scheme in
-  if not scheme.Config.helper then Steer.Steer Config.Wide
-  else if not (helper_capable u) then Steer.Steer Config.Wide
+  if not scheme.Config.helper then Steer.steer_wide
+  else if not (helper_capable u) then Steer.steer_wide
   else if Opcode.is_branch u.Uop.op then begin
     (* §3.3: follow the flags producer into the helper cluster (the branch
        target was resolved in the frontend, so the flags value is the only
        input the backend needs) *)
     if scheme.Config.br && Uop.reads_flags u && ctx.Steer.flags_in_narrow ()
-    then Steer.Steer_narrow Steer.Rbr
-    else Steer.Steer Config.Wide
+    then Steer.steer_br
+    else Steer.steer_wide
   end
   else if u.Uop.op = Opcode.Store then
-    if decide_ir ctx u then Steer.Split else Steer.Steer Config.Wide
+    if decide_ir ctx u then Steer.Split else Steer.steer_wide
   else begin
-    let beliefs = source_beliefs ctx u in
-    if scheme.Config.s888 && decide_888 ctx u beliefs then
-      Steer.Steer_narrow Steer.R888
-    else if scheme.Config.cr && decide_cr ctx u beliefs then
-      Steer.Steer_narrow Steer.Rcr
+    if scheme.Config.s888 && decide_888 ctx u then Steer.steer_888
+    else if scheme.Config.cr && decide_cr ctx u then Steer.steer_cr
     else if decide_ir ctx u then Steer.Split
-    else Steer.Steer Config.Wide
+    else Steer.steer_wide
   end
 
 (* Oracle counterpart of [decide]'s 8-8-8 rule: instead of predictor
@@ -127,11 +127,11 @@ let decide (ctx : Steer.ctx) (u : Uop.t) =
 let static_oracle ?(reason = Steer.R888) ~provably_narrow (ctx : Steer.ctx)
     (u : Uop.t) =
   let scheme = ctx.Steer.cfg.Config.scheme in
-  if not scheme.Config.helper then Steer.Steer Config.Wide
-  else if not (helper_capable u) then Steer.Steer Config.Wide
+  if not scheme.Config.helper then Steer.steer_wide
+  else if not (helper_capable u) then Steer.steer_wide
   else if Opcode.is_branch u.Uop.op || u.Uop.op = Opcode.Store then
-    Steer.Steer Config.Wide
-  else if provably_narrow u then Steer.Steer_narrow reason
-  else Steer.Steer Config.Wide
+    Steer.steer_wide
+  else if provably_narrow u then Steer.steer_narrow_of reason
+  else Steer.steer_wide
 
 let stack = ("baseline", Config.monolithic) :: Config.scheme_stack

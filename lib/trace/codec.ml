@@ -1,4 +1,5 @@
 module Uop = Hc_isa.Uop
+module Uop_soa = Hc_isa.Uop_soa
 module Reg = Hc_isa.Reg
 module Opcode = Hc_isa.Opcode
 
@@ -34,14 +35,6 @@ let op_names =
      h)
 
 let op_of_name n = Hashtbl.find_opt (Lazy.force op_names) n
-
-let op_indices =
-  lazy
-    (let h = Hashtbl.create 64 in
-     List.iteri (fun i op -> Hashtbl.replace h op i) Opcode.all;
-     h)
-
-let op_index op = Hashtbl.find (Lazy.force op_indices) op
 
 (* ----- CRC-32 (IEEE 802.3, reflected, 0xEDB88320) ----- *)
 
@@ -135,46 +128,45 @@ let encode (t : Trace.t) =
   for i = 0 to Reg.count - 1 do
     add_string b (Reg.to_string (Reg.of_index i))
   done;
+  (* walk the packed columns directly: the column contents are already
+     the wire indices (opcode/register tables are written in enum order),
+     and the packed flag byte is the wire flag byte, so encoding never
+     forces the trace's record view *)
+  let soa = Trace.soa t in
   let prev_id = ref (-1) and prev_pc = ref 0 in
-  Trace.iter
-    (fun (u : Uop.t) ->
-      add_svarint b (u.Uop.id - !prev_id - 1);
-      prev_id := u.Uop.id;
-      add_svarint b (u.Uop.pc - !prev_pc);
-      prev_pc := u.Uop.pc;
-      add_varint b (op_index u.Uop.op);
-      add_varint b
-        (match u.Uop.dst with None -> 0 | Some r -> Reg.to_index r + 1);
-      let flags =
-        (if u.Uop.taken then 1 else 0)
-        lor (if u.Uop.branch_mispredicted then 2 else 0)
-        lor (if u.Uop.dl0_miss then 4 else 0)
-        lor if u.Uop.ul1_miss then 8 else 0
+  for i = 0 to Uop_soa.length soa - 1 do
+    let id = Uop_soa.id soa i and pc = Uop_soa.pc soa i in
+    add_svarint b (id - !prev_id - 1);
+    prev_id := id;
+    add_svarint b (pc - !prev_pc);
+    prev_pc := pc;
+    add_varint b (Uop_soa.op_index soa i);
+    add_varint b (Uop_soa.dst_index soa i + 1);
+    Buffer.add_char b (Char.chr (Char.code (Bytes.get soa.Uop_soa.flags i) land 0xF));
+    let lo = Uop_soa.src_base soa i and n = Uop_soa.nsrcs soa i in
+    add_varint b n;
+    for j = lo to lo + n - 1 do
+      ( match Uop_soa.src_reg soa j with
+      | -1 -> Buffer.add_char b '\000'
+      | reg ->
+        Buffer.add_char b '\001';
+        add_varint b reg );
+      add_varint b (Uop_soa.src_val soa j)
+    done;
+    add_varint b (Uop_soa.result soa i);
+    (* mem_addr is base + offset of the first two source values for
+       every well-formed memory uop (lint E107), so it delta-codes
+       against that sum to one byte; 0 (non-memory) keeps its own code
+       so it never pays for the full-magnitude delta. *)
+    ( match Uop_soa.mem_addr soa i with
+    | 0 -> add_varint b 0
+    | addr ->
+      let base =
+        if n >= 2 then Uop_soa.src_val soa lo + Uop_soa.src_val soa (lo + 1)
+        else 0
       in
-      Buffer.add_char b (Char.chr flags);
-      add_varint b (List.length u.Uop.srcs);
-      List.iter2
-        (fun src v ->
-          ( match src with
-          | Uop.Imm _ -> Buffer.add_char b '\000'
-          | Uop.Reg r ->
-            Buffer.add_char b '\001';
-            add_varint b (Reg.to_index r) );
-          add_varint b v)
-        u.Uop.srcs u.Uop.src_vals;
-      add_varint b u.Uop.result;
-      (* mem_addr is base + offset of the first two source values for
-         every well-formed memory uop (lint E107), so it delta-codes
-         against that sum to one byte; 0 (non-memory) keeps its own code
-         so it never pays for the full-magnitude delta. *)
-      ( match u.Uop.mem_addr with
-      | 0 -> add_varint b 0
-      | addr ->
-        let base =
-          match u.Uop.src_vals with a :: o :: _ -> a + o | _ -> 0
-        in
-        add_varint b (1 + zigzag (addr - base)) ))
-    t;
+      add_varint b (1 + zigzag (addr - base)) )
+  done;
   let payload = Buffer.contents b in
   let hdr = String.length magic + 1 in
   let crc = crc32 payload ~pos:hdr ~len:(String.length payload - hdr) in
@@ -243,12 +235,15 @@ let decode ?profile s =
   let r = { s; pos = hdr; limit = total - 4 } in
   let name = read_string r in
   let count = read_varint r in
+  (* the header tables map wire indices to this build's dense enum
+     indices — the columns store enum indices directly, so the rest of
+     decode never touches an [Opcode.t] or [Reg.t] value *)
   let nops = read_varint r in
   let ops =
     Array.init nops (fun _ ->
         let n = read_string r in
         match op_of_name n with
-        | Some op -> op
+        | Some op -> Opcode.to_index op
         | None -> corrupt "unknown opcode %S in header table" n)
   in
   let nregs = read_varint r in
@@ -256,80 +251,60 @@ let decode ?profile s =
     Array.init nregs (fun _ ->
         let n = read_string r in
         match reg_of_name n with
-        | Some reg -> reg
+        | Some reg -> Reg.to_index reg
         | None -> corrupt "unknown register %S in header table" n)
   in
   let op_at i =
     if i < 0 || i >= nops then corrupt "opcode index %d out of table" i;
-    ops.(i)
+    Array.unsafe_get ops i
   in
   let reg_at i =
     if i < 0 || i >= nregs then corrupt "register index %d out of table" i;
-    regs.(i)
+    Array.unsafe_get regs i
   in
+  (* zero-copy materialization: varints land straight in the packed
+     columns through a sequential builder — no [Uop.t] record, operand
+     list or option is ever constructed on this path *)
+  let b = Uop_soa.builder count in
   let prev_id = ref (-1) and prev_pc = ref 0 in
-  let uops =
-    Array.init count (fun _ ->
-        let id = !prev_id + 1 + read_svarint r in
-        prev_id := id;
-        let pc = !prev_pc + read_svarint r in
-        prev_pc := pc;
-        let op = op_at (read_varint r) in
-        let dst =
-          match read_varint r with 0 -> None | d -> Some (reg_at (d - 1))
+  for _ = 1 to count do
+    let id = !prev_id + 1 + read_svarint r in
+    prev_id := id;
+    let pc = !prev_pc + read_svarint r in
+    prev_pc := pc;
+    let op = op_at (read_varint r) in
+    let dst = match read_varint r with 0 -> -1 | d -> reg_at (d - 1) in
+    let flags = read_byte r land 0xF in
+    let nsrcs = read_varint r in
+    if nsrcs < 0 || nsrcs > 16 then
+      corrupt "implausible operand count %d at uop %d" nsrcs id;
+    for _ = 1 to nsrcs do
+      match read_byte r with
+      | 0 -> Uop_soa.push_src b ~reg:(-1) ~v:(read_varint r)
+      | 1 ->
+        let reg = reg_at (read_varint r) in
+        Uop_soa.push_src b ~reg ~v:(read_varint r)
+      | t -> corrupt "bad operand tag %d at uop %d" t id
+    done;
+    let result = read_varint r in
+    let mem_addr =
+      match read_varint r with
+      | 0 -> 0
+      | m ->
+        (* E107 invariant: reconstruct against base + offset (the first
+           two already-pushed source values) exactly as encoded *)
+        let base =
+          if Uop_soa.pending_nsrcs b >= 2 then
+            Uop_soa.pending_src_val b 0 + Uop_soa.pending_src_val b 1
+          else 0
         in
-        let flags = read_byte r in
-        let nsrcs = read_varint r in
-        if nsrcs < 0 || nsrcs > 16 then
-          corrupt "implausible operand count %d at uop %d" nsrcs id;
-        (* operands arrive in order; build both lists backwards and
-           reverse once — no intermediate representation *)
-        let srcs = ref [] and src_vals = ref [] in
-        for _ = 1 to nsrcs do
-          ( match read_byte r with
-          | 0 ->
-            let v = read_varint r in
-            srcs := Uop.Imm v :: !srcs;
-            src_vals := v :: !src_vals
-          | 1 ->
-            let reg = reg_at (read_varint r) in
-            let v = read_varint r in
-            srcs := Uop.Reg reg :: !srcs;
-            src_vals := v :: !src_vals
-          | t -> corrupt "bad operand tag %d at uop %d" t id )
-        done;
-        let result = read_varint r in
-        let src_vals = List.rev !src_vals in
-        let mem_addr =
-          match read_varint r with
-          | 0 -> 0
-          | m ->
-            let base =
-              match src_vals with a :: o :: _ -> a + o | _ -> 0
-            in
-            base + unzigzag (m - 1)
-        in
-        (* literal record build: [Uop.make] would re-check list lengths
-           and box six optional arguments per uop, which is measurable
-           across a 30k-uop reload on the warm path *)
-        {
-          Uop.id;
-          pc;
-          op;
-          srcs = List.rev !srcs;
-          dst;
-          src_vals;
-          result;
-          mem_addr;
-          taken = flags land 1 <> 0;
-          branch_mispredicted = flags land 2 <> 0;
-          dl0_miss = flags land 4 <> 0;
-          ul1_miss = flags land 8 <> 0;
-        })
-  in
+        base + unzigzag (m - 1)
+    in
+    Uop_soa.close_uop b ~id ~pc ~op ~dst ~result ~mem_addr ~flags
+  done;
   if r.pos <> r.limit then
     corrupt "%d trailing bytes after uop %d" (r.limit - r.pos) !prev_id;
-  { Trace.name; profile; uops }
+  Trace.of_soa ~name ~profile (Uop_soa.build b)
 
 let save (t : Trace.t) path =
   let oc = open_out_bin path in

@@ -64,5 +64,3 @@ val crc32 : string -> pos:int -> len:int -> int
 
 val reg_of_name : string -> Hc_isa.Reg.t option
 val op_of_name : string -> Hc_isa.Opcode.t option
-val op_index : Hc_isa.Opcode.t -> int
-(** Dense index of an opcode in [Opcode.all] (the encode-side table). *)

@@ -551,7 +551,7 @@ let next st =
 let generate ?(length = 50_000) p =
   let st = create p in
   let uops = Array.init length (fun _ -> next st) in
-  { Trace.name = p.Profile.name; profile = p; uops }
+  Trace.make ~name:p.Profile.name ~profile:p uops
 
 let generate_sliced ?(length = 50_000) p =
   let st = create p in
@@ -560,4 +560,4 @@ let generate_sliced ?(length = 50_000) p =
     ignore (next st)
   done;
   let uops = Array.init length (fun _ -> next st) in
-  { Trace.name = p.Profile.name; profile = p; uops }
+  Trace.make ~name:p.Profile.name ~profile:p uops

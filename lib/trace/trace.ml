@@ -1,33 +1,58 @@
 module Uop = Hc_isa.Uop
+module Uop_soa = Hc_isa.Uop_soa
 module Width = Hc_isa.Width
 
 type t = {
   name : string;
   profile : Profile.t;
-  uops : Uop.t array;
+  soa : Uop_soa.t;
+  mutable memo : Uop.t array option;
+      (* lazily-forced record view of [soa]; both views are immutable once
+         built, and a racing double-force computes identical arrays, so the
+         benign write-write race is safe *)
 }
 
-let length t = Array.length t.uops
+let make ~name ~profile uops =
+  { name; profile; soa = Uop_soa.of_uops uops; memo = Some uops }
+
+let of_soa ~name ~profile soa = { name; profile; soa; memo = None }
+
+let soa t = t.soa
+
+let uops t =
+  match t.memo with
+  | Some a -> a
+  | None ->
+      let a = Uop_soa.to_uops t.soa in
+      t.memo <- Some a;
+      a
+
+let length t = Uop_soa.length t.soa
 
 let get t i =
-  if i < 0 || i >= Array.length t.uops then invalid_arg "Trace.get: out of bounds";
-  t.uops.(i)
+  if i < 0 || i >= length t then invalid_arg "Trace.get: out of bounds";
+  (uops t).(i)
 
-let iter f t = Array.iter f t.uops
+let iter f t = Array.iter f (uops t)
 
-let fold f init t = Array.fold_left f init t.uops
+let fold f init t = Array.fold_left f init (uops t)
 
-let sub t ~pos ~len = { t with uops = Array.sub t.uops pos len }
+let sub t ~pos ~len =
+  {
+    t with
+    soa = Uop_soa.sub t.soa ~pos ~len;
+    memo = (match t.memo with Some a -> Some (Array.sub a pos len) | None -> None);
+  }
 
 let narrow_result_fraction t =
+  let soa = t.soa in
   let producing = ref 0 and narrow = ref 0 in
-  iter
-    (fun u ->
-      if Uop.has_dest u then begin
-        incr producing;
-        if Width.is_narrow u.Uop.result then incr narrow
-      end)
-    t;
+  for i = 0 to Uop_soa.length soa - 1 do
+    if Uop_soa.has_dest soa i then begin
+      incr producing;
+      if Width.is_narrow (Uop_soa.result soa i) then incr narrow
+    end
+  done;
   if !producing = 0 then 0. else float_of_int !narrow /. float_of_int !producing
 
 let pp_summary ppf t =

@@ -2,13 +2,34 @@
 
     A trace is the unit fed to the simulator: a named, finite sequence of
     dynamic uops with concrete values (the ground truth produced by
-    {!Generator}). *)
+    {!Generator}).
 
-type t = {
+    Storage is a packed structure-of-arrays ({!Hc_isa.Uop_soa.t}) — the
+    hot paths (simulator, codec, static analyses) walk its columns
+    without allocating. A boxed {!Hc_isa.Uop.t} record view is
+    materialized lazily on first use of {!get}/{!iter}/{!fold}/{!uops}
+    and memoized, so record-based consumers pay the conversion once per
+    trace, not per run. *)
+
+type t = private {
   name : string;
   profile : Profile.t;  (** the profile the trace was generated from *)
-  uops : Hc_isa.Uop.t array;
+  soa : Hc_isa.Uop_soa.t;
+  mutable memo : Hc_isa.Uop.t array option;  (** use {!uops}, not this *)
 }
+
+val make : name:string -> profile:Profile.t -> Hc_isa.Uop.t array -> t
+(** Build from a record array (packs it; the array is also retained as
+    the memoized record view, so it must not be mutated afterwards). *)
+
+val of_soa : name:string -> profile:Profile.t -> Hc_isa.Uop_soa.t -> t
+(** Build from packed columns without materializing any records — the
+    codec's zero-copy decode path. *)
+
+val soa : t -> Hc_isa.Uop_soa.t
+
+val uops : t -> Hc_isa.Uop.t array
+(** The record view; forced and memoized on first call. Do not mutate. *)
 
 val length : t -> int
 

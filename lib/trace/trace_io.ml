@@ -121,7 +121,7 @@ let load_text ~profile content =
         with Failure msg ->
           failwith (Printf.sprintf "line %d: %s" (i + 2) msg))
   in
-  { Trace.name; profile; uops }
+  Trace.make ~name ~profile uops
 
 let load ?profile path =
   let profile =

@@ -17,6 +17,14 @@ dune runtest
 echo "== bench --micro --json BENCH_smoke.json =="
 dune exec bench/main.exe -- --micro --json BENCH_smoke.json
 
+echo "== allocation gate =="
+# The untraced SoA simulator must stay allocation-free per uop: the gate
+# runs the fig6 (8_8_8) kernel warm over two trace lengths and fails if
+# the marginal Gc.minor_words per uop exceeds zero. Deterministic (it
+# counts words, not time), so zero tolerance is safe.
+dune exec bench/main.exe -- --alloc-gate
+echo "allocation gate OK"
+
 echo "== telemetry: trace + interval series =="
 # A small traced run: Chrome trace JSON + interval CSV, then validate
 # every JSON artifact with the dependency-free checker. The CLI itself

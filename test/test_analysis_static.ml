@@ -180,7 +180,7 @@ let test_sliced_window_lookup () =
 
 let test_empty_trace () =
   let p = Profile.find_spec_int "gcc" in
-  let empty = { Trace.name = "empty"; profile = p; uops = [||] } in
+  let empty = Trace.make ~name:"empty" ~profile:p [||] in
   let st = Static.analyze empty in
   Alcotest.(check int) "no provable uops" 0 st.Static.provable_count;
   Alcotest.(check int) "no steerable uops" 0 st.Static.steerable_count;
@@ -243,15 +243,15 @@ let test_bidir_all_seeds () =
 let gcc_trace = lazy (Generator.generate_sliced ~length:6_000 (Profile.find_spec_int "gcc"))
 
 let with_uop tr i u =
-  let uops = Array.copy tr.Trace.uops in
+  let uops = Array.copy (Trace.uops tr) in
   uops.(i) <- u;
-  { tr with Trace.uops }
+  Trace.make ~name:tr.Trace.name ~profile:tr.Trace.profile uops
 
 let find_uop tr pred =
   let found = ref None in
   Array.iteri
     (fun i u -> if !found = None && pred u then found := Some (i, u))
-    tr.Trace.uops;
+    (Trace.uops tr);
   match !found with
   | Some iu -> iu
   | None -> Alcotest.fail "fixture uop not found in trace"
@@ -318,9 +318,12 @@ let test_lint_report_cap () =
         if u.Uop.op = Opcode.Load && not u.Uop.dl0_miss then
           { u with Uop.ul1_miss = true }
         else u)
-      tr.Trace.uops
+      (Trace.uops tr)
   in
-  let diags = Lint.check_trace { tr with Trace.uops } in
+  let diags =
+    Lint.check_trace
+      (Trace.make ~name:tr.Trace.name ~profile:tr.Trace.profile uops)
+  in
   Alcotest.(check bool) "errors capped" true (Lint.count Lint.Error diags <= 5);
   Alcotest.(check bool) "overflow summarized" true
     (Lint.count Lint.Info diags >= 1)

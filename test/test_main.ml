@@ -32,6 +32,7 @@ let () =
       Test_codec.suite;
       Test_cache.suite;
       Test_analysis_static.suite;
+      Test_uop_soa.suite;
       Test_fuzz.suite;
       Test_parallel.suite;
       Test_obs.suite;

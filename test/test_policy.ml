@@ -21,21 +21,21 @@ let ctx ?(scheme = Config.find_scheme "+IR") ?(flags_narrow = false)
     let v =
       List.assq operand (List.combine u.Uop.srcs u.Uop.src_vals)
     in
-    { Steer.si_narrow = Hc_isa.Width.is_narrow v; si_known = true;
-      si_cluster = Some Config.Wide }
+    Steer.src_info ~narrow:(Hc_isa.Width.is_narrow v) ~known:true
+      ~cluster:(Some Config.Wide)
   in
+  let occupancy c = match c with Config.Wide -> occ_w | Config.Narrow -> occ_n in
+  let ewma c = match c with Config.Wide -> ewma_w | Config.Narrow -> 0. in
   {
     Steer.cfg;
     preds;
     source_info = info;
     flags_in_narrow = (fun () -> flags_narrow);
-    occupancy =
-      (fun c -> match c with Config.Wide -> occ_w | Config.Narrow -> occ_n);
+    occupancy_lt = (fun c limit -> occupancy c < limit);
     ready_backlog =
       (fun c -> match c with Config.Wide -> backlog_w | Config.Narrow -> backlog_n);
-    backlog_ewma =
-      (fun c -> match c with Config.Wide -> ewma_w | Config.Narrow -> 0.);
-    rob_occupancy = (fun () -> rob_occ);
+    backlog_ewma_gt = (fun c limit -> ewma c > limit);
+    rob_occupancy_lt = (fun limit -> rob_occ < limit);
   }
 
 let mk ?(op = Opcode.Add) ?(dst = Some Reg.Eax) ?(pc = 0x400000) srcs vals =

@@ -59,9 +59,7 @@ let test_malformed () =
          "0 400000 frobnicate dst=- srcs= res=0 addr=0 taken=0 misp=0 dl0=0 ul1=0" ])
 
 let test_empty_trace () =
-  let t =
-    { Trace.name = "empty"; profile = List.hd Profile.spec_int; uops = [||] }
-  in
+  let t = Trace.make ~name:"empty" ~profile:(List.hd Profile.spec_int) [||] in
   let path = temp "hc_empty.trace" in
   Trace_io.save t path;
   let t' = Trace_io.load path in
